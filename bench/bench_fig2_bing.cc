@@ -1,0 +1,12 @@
+// Reproduces Figure 2(a): max flow time on the Bing web-search workload at
+// QPS 800 / 1000 / 1200 under simulated OPT, steal-16-first, admit-first
+// (and FIFO for reference).
+#include "bench/fig2_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pjsched;
+  const auto args = benchfig2::parse_args(argc, argv);
+  const auto dist = workload::bing_distribution();
+  benchfig2::run_fig2(dist, {800.0, 1000.0, 1200.0}, args, "Figure 2(a)");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Empirical companion to Lemma 5.1: work stealing is Omega(log n)-
+// competitive even with constant speed augmentation.
+//
+// The adversarial instance (src/workload/lower_bound_instance.h) releases
+// star jobs (1 root + m/10 children, all unit work) every 2m steps on
+// m = log2(n) processors.  OPT finishes each job in 2 time units; under
+// randomized stealing some jobs execute (nearly) sequentially, so the max
+// flow grows linearly in m — i.e. logarithmically in the n = 2^Theta(m)
+// the proof envisions.  This bench sweeps m and prints max flow under
+// admit-first at speeds 1 and 2 (speed augmentation does not rescue the
+// ratio's growth), against OPT's constant 2 and the centralized FIFO,
+// which also achieves 2.
+#include <cmath>
+#include <iostream>
+
+#include "src/metrics/table.h"
+#include "src/sched/fifo.h"
+#include "src/sched/work_stealing.h"
+#include "src/workload/lower_bound_instance.h"
+
+int main() {
+  using namespace pjsched;
+
+  std::cout << "# Lemma 5.1 lower bound: max flow of randomized work "
+               "stealing grows ~linearly in m = log2(n)\n"
+            << "# while OPT = 2 for every m.  jobs per point: 2000.\n";
+
+  metrics::Table table({"m", "children", "opt_flow", "fifo_flow",
+                        "ws_flow_speed1", "ws_flow_speed2",
+                        "ws1_over_opt"});
+  for (unsigned m : {10u, 20u, 40u, 80u, 160u}) {
+    workload::LowerBoundConfig cfg;
+    cfg.m = m;
+    cfg.num_jobs = 2000;
+    const auto inst = workload::make_lower_bound_instance(cfg);
+
+    sched::FifoScheduler fifo;
+    const double fifo_flow = fifo.run(inst, {m, 1.0}).max_flow;
+
+    sched::WorkStealingScheduler ws1(0, 2024);
+    sched::WorkStealingScheduler ws2(0, 2024);
+    const double f1 = ws1.run(inst, {m, 1.0}).max_flow;
+    const double f2 = ws2.run(inst, {m, 2.0}).max_flow;
+
+    table.add_row({metrics::Table::cell(std::uint64_t{m}),
+                   metrics::Table::cell(std::uint64_t{std::max(1u, m / 10)}),
+                   metrics::Table::cell(workload::lower_bound_opt_flow()),
+                   metrics::Table::cell(fifo_flow), metrics::Table::cell(f1),
+                   metrics::Table::cell(f2),
+                   metrics::Table::cell(f1 / workload::lower_bound_opt_flow())});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrate: RNG
+// throughput, event-engine decision rate, and step-engine worker-step rate.
+// These establish that the Figure-2 experiments (millions of simulated
+// steps) run in seconds, and catch performance regressions in the engines.
+#include <benchmark/benchmark.h>
+
+#include "src/sched/fifo.h"
+#include "src/sched/work_stealing.h"
+#include "src/sim/rng.h"
+#include "src/workload/distributions.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+using namespace pjsched;
+
+void BM_RngNextU64(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  sim::Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform_int(15));
+}
+BENCHMARK(BM_RngUniformInt);
+
+core::Instance bench_instance(std::size_t jobs) {
+  const auto dist = workload::bing_distribution();
+  workload::GeneratorConfig gen;
+  gen.num_jobs = jobs;
+  gen.qps = 1000.0;
+  gen.seed = 5;
+  return workload::generate_instance(dist, gen);
+}
+
+void BM_EventEngineFifo(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)));
+  sched::FifoScheduler fifo;
+  for (auto _ : state) {
+    auto res = fifo.run(inst, {16, 1.0});
+    benchmark::DoNotOptimize(res.max_flow);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventEngineFifo)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_StepEngineAdmitFirst(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sched::WorkStealingScheduler ws(0, 7);
+    auto res = ws.run(inst, {16, 1.0});
+    benchmark::DoNotOptimize(res.max_flow);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StepEngineAdmitFirst)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StepEngineStealK(benchmark::State& state) {
+  const auto inst = bench_instance(2000);
+  const auto k = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    sched::WorkStealingScheduler ws(k, 7);
+    auto res = ws.run(inst, {16, 1.0});
+    benchmark::DoNotOptimize(res.max_flow);
+  }
+}
+BENCHMARK(BM_StepEngineStealK)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_InstanceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto inst = bench_instance(2000);
+    benchmark::DoNotOptimize(inst.jobs.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_InstanceGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

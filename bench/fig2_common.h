@@ -1,0 +1,91 @@
+// Shared driver for the three Figure-2 reproduction benches.
+//
+// The paper's Figure 2 plots, for each workload (Bing / finance /
+// log-normal) and each QPS operating point (low/medium/high utilization on
+// m = 16 processors), the maximum flow time achieved by the simulated OPT
+// lower bound, steal-k-first (k = 16), and admit-first.  Each bench binary
+// prints that exact series as a table (plus FIFO for reference, which the
+// paper discusses as the idealized policy work stealing approximates).
+//
+// Expected shape (paper Section 6): OPT <= steal-16-first <= admit-first,
+// with the admit-first gap widening as utilization grows.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+
+namespace pjsched::benchfig2 {
+
+struct Args {
+  std::size_t jobs = 10000;
+  std::uint64_t seed = 42;
+  bool csv = false;
+};
+
+/// Parses "--jobs=N", "--seed=S", "--csv" from argv; anything else is
+/// rejected with a usage message.
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      args.jobs = static_cast<std::size_t>(std::stoull(arg.substr(7)));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = std::stoull(arg.substr(7));
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--jobs=N] [--seed=S] [--csv]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline void run_fig2(const workload::WorkDistribution& dist,
+                     std::vector<double> qps_values, const Args& args,
+                     const char* figure_label) {
+  core::ExperimentConfig cfg;
+  cfg.processors = 16;  // the paper's dual 8-core Xeon testbed
+  cfg.num_jobs = args.jobs;
+  // One work unit = 10 microseconds.  This matters for work stealing: a
+  // steal attempt costs one step, and real TBB steals cost microseconds,
+  // so the simulated steal/work cost ratio must match reality for the
+  // empirical comparison (the paper notes the k steal attempts per
+  // admission are "negligible in practice").
+  cfg.units_per_ms = 100.0;
+  cfg.qps_values = std::move(qps_values);
+  cfg.seed = args.seed;
+
+  core::SchedulerSpec opt;
+  opt.kind = core::SchedulerKind::kOptBound;
+  core::SchedulerSpec steal16;
+  steal16.kind = core::SchedulerKind::kStealKFirst;
+  steal16.steal_k = 16;  // the paper's empirical k
+  steal16.seed = args.seed;
+  core::SchedulerSpec admit;
+  admit.kind = core::SchedulerKind::kAdmitFirst;
+  admit.seed = args.seed;
+  core::SchedulerSpec fifo;
+  fifo.kind = core::SchedulerKind::kFifo;
+  cfg.schedulers = {opt, steal16, admit, fifo};
+
+  std::cout << "# " << figure_label << " — workload '" << dist.name()
+            << "', m=" << cfg.processors << ", jobs=" << cfg.num_jobs
+            << ", seed=" << cfg.seed << "\n"
+            << "# paper shape: OPT <= steal-16-first <= admit-first; "
+               "gap widens with load\n";
+  const auto rows = core::run_experiment(dist, cfg);
+  const auto table = core::rows_to_table(rows);
+  if (args.csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+}
+
+}  // namespace pjsched::benchfig2

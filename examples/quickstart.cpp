@@ -1,0 +1,84 @@
+// Quickstart: build a few DAG jobs by hand, run them through three
+// schedulers on a simulated 4-processor machine, and print each job's flow
+// time and the max-flow objective.
+//
+//   $ ./quickstart
+//
+// Walks through the core public API:
+//   dag::Dag / dag builders  — describe dynamic multithreaded jobs
+//   core::Instance           — jobs + arrival times (+ optional weights)
+//   core::run_scheduler      — simulate a named scheduler
+//   core::*_lower_bound      — bounds to judge the result against
+#include <iostream>
+
+#include "src/core/bounds.h"
+#include "src/core/run.h"
+#include "src/dag/builders.h"
+#include "src/metrics/table.h"
+
+int main() {
+  using namespace pjsched;
+
+  // --- 1. Describe jobs as DAGs. -------------------------------------
+  // A hand-built diamond: fetch -> {parse, render} -> respond.
+  dag::Dag diamond;
+  const auto fetch = diamond.add_node(2);    // 2 work units
+  const auto parse = diamond.add_node(4);
+  const auto render = diamond.add_node(6);
+  const auto respond = diamond.add_node(1);
+  diamond.add_edge(fetch, parse);
+  diamond.add_edge(fetch, render);
+  diamond.add_edge(parse, respond);
+  diamond.add_edge(render, respond);
+  diamond.seal();  // validates (acyclic etc.) and freezes
+
+  core::Instance instance;
+  instance.jobs.push_back({/*arrival=*/0.0, /*weight=*/1.0, diamond});
+  // Builders for common shapes: a parallel-for job and a sequential one.
+  instance.jobs.push_back(
+      {/*arrival=*/1.0, 1.0, dag::parallel_for_dag(/*grains=*/8, /*body=*/3)});
+  instance.jobs.push_back({/*arrival=*/2.0, 1.0, dag::serial_chain(5, 2)});
+
+  std::cout << "Jobs:\n";
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const auto& g = instance.jobs[i].graph;
+    std::cout << "  job " << i << ": arrival " << instance.jobs[i].arrival
+              << ", work W=" << g.total_work() << ", span P="
+              << g.critical_path() << ", parallelism " << g.parallelism()
+              << "\n";
+  }
+
+  // --- 2. Run schedulers. --------------------------------------------
+  const core::MachineConfig machine{/*processors=*/4, /*speed=*/1.0};
+  metrics::Table table({"scheduler", "max_flow", "mean_flow", "job0_flow",
+                        "job1_flow", "job2_flow"});
+  for (const char* name : {"fifo", "steal-16-first", "admit-first"}) {
+    auto spec = core::parse_scheduler(name);
+    spec.seed = 42;  // work stealing is randomized; seed for reproducibility
+    const auto res = core::run_scheduler(instance, spec, machine);
+    table.add_row({res.scheduler_name, metrics::Table::cell(res.max_flow),
+                   metrics::Table::cell(res.mean_flow),
+                   metrics::Table::cell(res.flow[0]),
+                   metrics::Table::cell(res.flow[1]),
+                   metrics::Table::cell(res.flow[2])});
+  }
+  std::cout << "\nResults on m=4, speed 1:\n";
+  table.print(std::cout);
+  std::cout << "\n(steal-16-first pays 16 failed steal attempts — one time\n"
+               " step each in the paper's machine model — before admitting\n"
+               " each job; with jobs this tiny that dominates, which is\n"
+               " exactly why Theorem 4.1 charges it k+1+eps speed.  On\n"
+               " realistic workloads, where one steal is microseconds\n"
+               " against milliseconds of work, it is the best policy —\n"
+               " see examples/web_search_server.cpp.)\n";
+
+  // --- 3. Judge against lower bounds. ---------------------------------
+  std::cout << "\nLower bounds on OPT's max flow:\n"
+            << "  span bound  (max_i P_i):        "
+            << core::span_lower_bound(instance) << "\n"
+            << "  work bound  (max_i W_i/m):      "
+            << core::work_lower_bound(instance, machine.processors) << "\n"
+            << "  OPT-sim bound (paper Sec. 6):   "
+            << core::opt_sim_lower_bound(instance, machine.processors) << "\n";
+  return 0;
+}

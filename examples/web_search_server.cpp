@@ -1,0 +1,69 @@
+// Scenario example: an interactive web-search service (the paper's
+// motivating workload).  Queries arrive online at a configurable QPS, each
+// parallelized with a parallel-for over index shards; the operator cares
+// about the worst response time (max flow), not the average.
+//
+// The example sweeps load from relaxed to near-saturation and shows how
+// the scheduling policy determines tail behaviour: FIFO and steal-16-first
+// degrade gracefully, admit-first falls off at high load, and LIFO
+// collapses (old queries starve) — the reason maximum flow time is the
+// right objective for latency SLOs.
+//
+//   $ ./web_search_server [qps...]      (defaults: 600 900 1200 1400)
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/workload/distributions.h"
+
+int main(int argc, char** argv) {
+  using namespace pjsched;
+
+  std::vector<double> qps_values;
+  for (int i = 1; i < argc; ++i) qps_values.push_back(std::atof(argv[i]));
+  if (qps_values.empty()) qps_values = {600.0, 900.0, 1200.0, 1400.0};
+
+  const auto dist = workload::bing_distribution();
+
+  core::ExperimentConfig cfg;
+  cfg.processors = 16;
+  cfg.num_jobs = 8000;
+  cfg.units_per_ms = 100.0;  // 10 us work units: realistic steal cost
+  cfg.qps_values = qps_values;
+  cfg.seed = 2016;
+
+  core::SchedulerSpec opt;
+  opt.kind = core::SchedulerKind::kOptBound;
+  core::SchedulerSpec fifo;
+  fifo.kind = core::SchedulerKind::kFifo;
+  core::SchedulerSpec steal16;
+  steal16.kind = core::SchedulerKind::kStealKFirst;
+  steal16.steal_k = 16;
+  steal16.seed = cfg.seed;
+  core::SchedulerSpec admit;
+  admit.kind = core::SchedulerKind::kAdmitFirst;
+  admit.seed = cfg.seed;
+  core::SchedulerSpec lifo;
+  lifo.kind = core::SchedulerKind::kLifo;
+  cfg.schedulers = {opt, fifo, steal16, admit, lifo};
+
+  std::cout << "Web-search service on a 16-way box, Bing-shaped queries "
+               "(mean "
+            << dist.mean_ms() << " ms)\n"
+            << "Worst-case response time by scheduler and load:\n\n";
+  const auto rows = core::run_experiment(dist, cfg);
+  core::rows_to_table(rows).print(std::cout);
+
+  std::cout << "\nReading the table:\n"
+               "  * 'opt-lower-bound' is the unbeatable floor (paper Sec 6).\n"
+               "  * FIFO tracks it almost exactly but needs a centralized,\n"
+               "    preempting runtime.\n"
+               "  * steal-16-first is the practical choice: a distributed\n"
+               "    work-stealing runtime within ~1.3x of OPT.\n"
+               "  * admit-first degrades as load grows (jobs run nearly\n"
+               "    sequentially once all workers hold a job).\n"
+               "  * LIFO starves old queries: the max-flow objective "
+               "explodes.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Scenario example: mixed-criticality serving with Biggest-Weight-First
+// (paper Section 7).  An API gateway hosts three client tiers — interactive
+// (weight 16), standard (weight 4), and batch (weight 1) — and the SLO
+// metric is the maximum *weighted* response time: a second of latency on an
+// interactive call costs 16x a second on a batch call.
+//
+// The example compares BWF against weight-oblivious FIFO and clairvoyant
+// SJF under increasing load, showing that only BWF keeps max_i w_i F_i
+// near the weighted lower bound.
+//
+//   $ ./weighted_priorities
+#include <iostream>
+
+#include "src/core/bounds.h"
+#include "src/core/run.h"
+#include "src/metrics/table.h"
+#include "src/workload/distributions.h"
+#include "src/workload/generator.h"
+
+int main() {
+  using namespace pjsched;
+  const unsigned m = 16;
+  const auto dist = workload::finance_distribution();
+
+  std::cout << "API gateway with three client tiers (weights 16/4/1), "
+               "finance-shaped requests, m=16\n\n";
+
+  for (double qps : {700.0, 1000.0}) {
+    workload::GeneratorConfig gen;
+    gen.num_jobs = 6000;
+    gen.qps = qps;
+    gen.seed = 314;
+    gen.weight_classes = {16.0, 4.0, 1.0};  // sampled uniformly per request
+    const auto inst = workload::generate_instance(dist, gen);
+    const double wlb =
+        core::weighted_combined_lower_bound(inst, m) / gen.units_per_ms;
+
+    std::cout << "QPS " << qps << " (utilization "
+              << workload::utilization(dist, qps, m)
+              << "), weighted lower bound " << wlb << " weighted-ms:\n";
+    metrics::Table table(
+        {"scheduler", "wmax_flow_ms", "vs_lower_bound", "max_flow_ms"});
+    for (const char* name : {"bwf", "fifo", "sjf"}) {
+      const auto res =
+          core::run_scheduler(inst, core::parse_scheduler(name), {m, 1.0});
+      const double wf = res.max_weighted_flow / gen.units_per_ms;
+      table.add_row({res.scheduler_name, metrics::Table::cell(wf),
+                     metrics::Table::cell(wf / wlb),
+                     metrics::Table::cell(res.max_flow / gen.units_per_ms)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "BWF trades some unweighted max flow for a substantially\n"
+               "better weighted objective, and its advantage grows with\n"
+               "load — Theorem 7.1 says this is essentially the best an\n"
+               "online scheduler can do.\n";
+  return 0;
+}

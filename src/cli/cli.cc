@@ -1,0 +1,305 @@
+#include "src/cli/cli.h"
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/core/bounds.h"
+#include "src/core/multi_trial.h"
+#include "src/core/run.h"
+#include "src/metrics/gantt.h"
+#include "src/metrics/table.h"
+#include "src/workload/distributions.h"
+#include "src/workload/generator.h"
+#include "src/workload/instance_io.h"
+
+namespace pjsched::cli {
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string workload = "bing";
+  std::string scheduler = "steal-16-first";
+  std::size_t jobs = 2000;
+  double qps = 1000.0;
+  std::uint64_t seed = 42;
+  std::size_t grains = 32;
+  double units_per_ms = 100.0;
+  unsigned m = 16;
+  double speed = 1.0;
+  std::string load_file;
+  std::optional<std::size_t> gantt_width;
+  std::string chrome_trace_file;
+  std::optional<std::size_t> utilization_buckets;
+  bool csv = false;
+  std::vector<double> weight_classes = {1.0};
+  std::size_t trials = 1;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+bool consume(const std::string& arg, const char* key, std::string* value) {
+  const std::string prefix = std::string("--") + key + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+Options parse(const std::vector<std::string>& args) {
+  if (args.empty()) usage_error("missing command (run | generate | bounds)");
+  Options opt;
+  opt.command = args[0];
+  if (opt.command != "run" && opt.command != "generate" &&
+      opt.command != "bounds")
+    usage_error("unknown command '" + opt.command + "'");
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string v;
+    try {
+      if (consume(arg, "workload", &v)) {
+        opt.workload = v;
+      } else if (consume(arg, "scheduler", &v)) {
+        opt.scheduler = v;
+      } else if (consume(arg, "jobs", &v)) {
+        opt.jobs = std::stoull(v);
+      } else if (consume(arg, "qps", &v)) {
+        opt.qps = std::stod(v);
+      } else if (consume(arg, "seed", &v)) {
+        opt.seed = std::stoull(v);
+      } else if (consume(arg, "grains", &v)) {
+        opt.grains = std::stoull(v);
+      } else if (consume(arg, "units-per-ms", &v)) {
+        opt.units_per_ms = std::stod(v);
+      } else if (consume(arg, "m", &v)) {
+        opt.m = static_cast<unsigned>(std::stoul(v));
+      } else if (consume(arg, "speed", &v)) {
+        opt.speed = std::stod(v);
+      } else if (consume(arg, "load", &v)) {
+        opt.load_file = v;
+      } else if (arg == "--gantt") {
+        opt.gantt_width = 100;
+      } else if (consume(arg, "gantt", &v)) {
+        opt.gantt_width = std::stoull(v);
+      } else if (consume(arg, "chrome-trace", &v)) {
+        opt.chrome_trace_file = v;
+      } else if (consume(arg, "utilization", &v)) {
+        opt.utilization_buckets = std::stoull(v);
+      } else if (arg == "--csv") {
+        opt.csv = true;
+      } else if (consume(arg, "weights", &v)) {
+        opt.weight_classes.clear();
+        std::istringstream iss(v);
+        std::string tok;
+        while (std::getline(iss, tok, ','))
+          opt.weight_classes.push_back(std::stod(tok));
+        if (opt.weight_classes.empty())
+          usage_error("--weights needs at least one value");
+      } else if (consume(arg, "trials", &v)) {
+        opt.trials = std::stoull(v);
+        if (opt.trials == 0) usage_error("--trials must be >= 1");
+      } else {
+        usage_error("unknown flag '" + arg + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      usage_error("bad value in '" + arg + "'");
+    }
+  }
+  return opt;
+}
+
+std::unique_ptr<workload::WorkDistribution> make_distribution(
+    const std::string& name) {
+  if (name == "bing")
+    return std::make_unique<workload::DiscreteWorkDistribution>(
+        workload::bing_distribution());
+  if (name == "finance")
+    return std::make_unique<workload::DiscreteWorkDistribution>(
+        workload::finance_distribution());
+  if (name == "lognormal")
+    return std::make_unique<workload::LognormalWorkDistribution>(
+        workload::default_lognormal_distribution());
+  usage_error("unknown workload '" + name + "'");
+}
+
+core::Instance obtain_instance(const Options& opt) {
+  if (!opt.load_file.empty()) {
+    std::ifstream in(opt.load_file);
+    if (!in) usage_error("cannot open instance file '" + opt.load_file + "'");
+    return workload::read_instance(in);
+  }
+  const auto dist = make_distribution(opt.workload);
+  workload::GeneratorConfig gen;
+  gen.num_jobs = opt.jobs;
+  gen.qps = opt.qps;
+  gen.seed = opt.seed;
+  gen.grains = opt.grains;
+  gen.units_per_ms = opt.units_per_ms;
+  gen.weight_classes = opt.weight_classes;
+  return workload::generate_instance(*dist, gen);
+}
+
+// Multi-trial run: aggregate statistics across seeds (no trace options).
+int cmd_run_trials(const Options& opt, std::ostream& out) {
+  if (!opt.load_file.empty())
+    usage_error("--trials cannot be combined with --load (trials resample "
+                "the workload)");
+  const auto dist = make_distribution(opt.workload);
+  core::TrialConfig cfg;
+  cfg.trials = opt.trials;
+  cfg.generator.num_jobs = opt.jobs;
+  cfg.generator.qps = opt.qps;
+  cfg.generator.seed = opt.seed;
+  cfg.generator.grains = opt.grains;
+  cfg.generator.units_per_ms = opt.units_per_ms;
+  cfg.generator.weight_classes = opt.weight_classes;
+  cfg.machine = {opt.m, opt.speed};
+  cfg.scheduler = core::parse_scheduler(opt.scheduler);
+  cfg.scheduler.seed = opt.seed;
+  const auto res = core::run_trials(*dist, cfg);
+
+  metrics::Table table({"metric", "mean", "stddev", "min", "max"});
+  const auto add = [&](const char* name, const metrics::Summary& s,
+                       double scale) {
+    table.add_row({name, metrics::Table::cell(s.mean / scale),
+                   metrics::Table::cell(s.stddev / scale),
+                   metrics::Table::cell(s.min / scale),
+                   metrics::Table::cell(s.max / scale)});
+  };
+  out << "scheduler " << opt.scheduler << ", " << opt.trials
+      << " trials, jobs " << opt.jobs << ", m=" << opt.m << ", speed "
+      << opt.speed << " (flow rows in ms)\n";
+  add("max_flow_ms", res.max_flow, opt.units_per_ms);
+  add("mean_flow_ms", res.mean_flow, opt.units_per_ms);
+  add("max_weighted_flow_ms", res.max_weighted_flow, opt.units_per_ms);
+  add("ratio_to_opt", res.ratio_to_opt, 1.0);
+  table.print(out);
+  return 0;
+}
+
+int cmd_generate(const Options& opt, std::ostream& out) {
+  const core::Instance inst = obtain_instance(opt);
+  workload::write_instance(out, inst);
+  return 0;
+}
+
+int cmd_bounds(const Options& opt, std::ostream& out) {
+  const core::Instance inst = obtain_instance(opt);
+  metrics::Table table({"bound", "value_units", "value_ms"});
+  const auto add = [&](const char* name, double v) {
+    table.add_row({name, metrics::Table::cell(v),
+                   metrics::Table::cell(v / opt.units_per_ms)});
+  };
+  add("span (max P_i)", core::span_lower_bound(inst));
+  add("work (max W_i/m)", core::work_lower_bound(inst, opt.m));
+  add("opt-sim (Sec 6)", core::opt_sim_lower_bound(inst, opt.m));
+  add("combined", core::combined_lower_bound(inst, opt.m));
+  add("weighted span", core::weighted_span_lower_bound(inst));
+  add("weighted combined", core::weighted_combined_lower_bound(inst, opt.m));
+  table.print(out);
+  return 0;
+}
+
+int cmd_run(const Options& opt, std::ostream& out) {
+  if (opt.trials > 1) return cmd_run_trials(opt, out);
+  const core::Instance inst = obtain_instance(opt);
+  auto spec = core::parse_scheduler(opt.scheduler);
+  spec.seed = opt.seed;
+
+  const bool want_trace = opt.gantt_width.has_value() ||
+                          !opt.chrome_trace_file.empty() ||
+                          opt.utilization_buckets.has_value();
+  sim::Trace trace;
+  const core::MachineConfig machine{opt.m, opt.speed};
+  const auto res = core::run_scheduler(inst, spec, machine,
+                                       want_trace ? &trace : nullptr);
+
+  if (opt.csv) {
+    metrics::Table table({"scheduler", "jobs", "m", "speed", "max_flow_ms",
+                          "mean_flow_ms", "max_weighted_flow_ms",
+                          "makespan_ms", "steals", "admissions"});
+    table.add_row({res.scheduler_name, metrics::Table::cell(std::uint64_t{
+                                           inst.size()}),
+                   metrics::Table::cell(std::uint64_t{opt.m}),
+                   metrics::Table::cell(opt.speed),
+                   metrics::Table::cell(res.max_flow / opt.units_per_ms),
+                   metrics::Table::cell(res.mean_flow / opt.units_per_ms),
+                   metrics::Table::cell(res.max_weighted_flow / opt.units_per_ms),
+                   metrics::Table::cell(res.makespan / opt.units_per_ms),
+                   metrics::Table::cell(res.stats.steal_attempts),
+                   metrics::Table::cell(res.stats.admissions)});
+    table.print_csv(out);
+  } else {
+    out << "scheduler:        " << res.scheduler_name << "\n"
+        << "jobs:             " << inst.size() << "\n"
+        << "machine:          m=" << opt.m << ", speed " << opt.speed << "\n"
+        << "max flow:         " << res.max_flow / opt.units_per_ms
+        << " ms (job " << res.argmax_flow << ")\n"
+        << "mean flow:        " << res.mean_flow / opt.units_per_ms << " ms\n"
+        << "max weighted:     " << res.max_weighted_flow / opt.units_per_ms
+        << " weighted-ms\n"
+        << "makespan:         " << res.makespan / opt.units_per_ms << " ms\n"
+        << "opt lower bound:  "
+        << core::opt_sim_lower_bound(inst, opt.m) / opt.units_per_ms
+        << " ms\n";
+    if (res.stats.steal_attempts > 0 || res.stats.admissions > 0)
+      out << "steals:           " << res.stats.successful_steals << "/"
+          << res.stats.steal_attempts << " successful, "
+          << res.stats.admissions << " admissions\n";
+  }
+
+  if (opt.gantt_width.has_value()) {
+    metrics::GanttOptions gopt;
+    gopt.width = *opt.gantt_width;
+    out << "\n" << metrics::ascii_gantt(trace, opt.m, gopt);
+  }
+  if (opt.utilization_buckets.has_value()) {
+    const auto busy =
+        metrics::utilization_timeline(trace, *opt.utilization_buckets);
+    out << "\nutilization profile (busy processors per bucket):\n";
+    for (std::size_t b = 0; b < busy.size(); ++b) {
+      out << "  [" << b << "] " << busy[b] << " ";
+      out << std::string(static_cast<std::size_t>(busy[b] * 2.0), '#') << "\n";
+    }
+  }
+  if (!opt.chrome_trace_file.empty()) {
+    std::ofstream f(opt.chrome_trace_file);
+    if (!f)
+      usage_error("cannot write chrome trace '" + opt.chrome_trace_file + "'");
+    metrics::write_chrome_trace(f, trace);
+    out << "\nchrome trace written to " << opt.chrome_trace_file
+        << " (open in chrome://tracing)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    const Options opt = parse(args);
+    if (opt.command == "generate") return cmd_generate(opt, out);
+    if (opt.command == "bounds") return cmd_bounds(opt, out);
+    return cmd_run(opt, out);
+  } catch (const std::invalid_argument& e) {
+    err << "pjsched_cli: " << e.what() << "\n"
+        << "usage: pjsched_cli <run|generate|bounds> [--workload=bing|"
+           "finance|lognormal] [--scheduler=NAME] [--jobs=N] [--qps=Q]\n"
+           "       [--m=M] [--speed=S] [--seed=S] [--grains=G]\n"
+           "       [--units-per-ms=U] [--load=FILE] [--gantt[=W]]\n"
+           "       [--chrome-trace=FILE] [--utilization=B] [--csv]\n"
+           "       [--weights=w1,w2,...] [--trials=R]\n";
+    return 2;
+  }
+}
+
+}  // namespace pjsched::cli

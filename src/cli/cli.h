@@ -1,0 +1,35 @@
+// Command-line front end for the library, factored as a testable function.
+// The `pjsched_cli` binary (tools/pjsched_cli.cc) forwards argv here.
+//
+// Commands:
+//   run       simulate a scheduler on a generated or loaded instance and
+//             print a result summary (optionally a Gantt chart, a Chrome
+//             trace file, CSV, a utilization profile)
+//   generate  write a generated instance to stdout in instance_io format
+//   bounds    print every lower bound for an instance
+//
+// Common flags:
+//   --workload=bing|finance|lognormal   (default bing)
+//   --jobs=N --qps=Q --seed=S --grains=G --units-per-ms=U
+//   --load=FILE                         read instance instead of generating
+// run flags:
+//   --scheduler=NAME   (fifo, bwf, admit-first, steal-<k>-first, opt,
+//                       lifo, sjf, round-robin; default steal-16-first)
+//   --m=M --speed=S
+//   --gantt[=WIDTH]    print an ASCII Gantt chart (records a trace)
+//   --chrome-trace=F   write Chrome trace JSON to file F
+//   --utilization=B    print the B-bucket busy-processor profile
+//   --csv              machine-readable summary line
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pjsched::cli {
+
+/// Returns a process exit code (0 success, 2 usage error).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace pjsched::cli

@@ -1,0 +1,72 @@
+#include "src/core/bounds.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pjsched::core {
+
+namespace {
+void check_m(unsigned m) {
+  if (m == 0) throw std::invalid_argument("lower bound: m == 0");
+}
+}  // namespace
+
+double span_lower_bound(const Instance& instance) {
+  double best = 0.0;
+  for (const JobSpec& j : instance.jobs)
+    best = std::max(best, static_cast<double>(j.graph.critical_path()));
+  return best;
+}
+
+double work_lower_bound(const Instance& instance, unsigned m) {
+  check_m(m);
+  double best = 0.0;
+  for (const JobSpec& j : instance.jobs)
+    best = std::max(best, static_cast<double>(j.graph.total_work()) / m);
+  return best;
+}
+
+double opt_sim_lower_bound(const Instance& instance, unsigned m) {
+  check_m(m);
+  // FIFO on one machine with processing times W_i/m; max flow of that
+  // schedule (optimal for the relaxed instance, hence a lower bound).
+  double frontier = 0.0;
+  double max_flow = 0.0;
+  for (JobId j : instance.arrival_order()) {
+    const JobSpec& job = instance.jobs[j];
+    frontier = std::max(frontier, job.arrival) +
+               static_cast<double>(job.graph.total_work()) / m;
+    max_flow = std::max(max_flow, frontier - job.arrival);
+  }
+  return max_flow;
+}
+
+double combined_lower_bound(const Instance& instance, unsigned m) {
+  return std::max(span_lower_bound(instance),
+                  std::max(work_lower_bound(instance, m),
+                           opt_sim_lower_bound(instance, m)));
+}
+
+double weighted_span_lower_bound(const Instance& instance) {
+  double best = 0.0;
+  for (const JobSpec& j : instance.jobs)
+    best = std::max(best,
+                    j.weight * static_cast<double>(j.graph.critical_path()));
+  return best;
+}
+
+double weighted_work_lower_bound(const Instance& instance, unsigned m) {
+  check_m(m);
+  double best = 0.0;
+  for (const JobSpec& j : instance.jobs)
+    best = std::max(best,
+                    j.weight * static_cast<double>(j.graph.total_work()) / m);
+  return best;
+}
+
+double weighted_combined_lower_bound(const Instance& instance, unsigned m) {
+  return std::max(weighted_span_lower_bound(instance),
+                  weighted_work_lower_bound(instance, m));
+}
+
+}  // namespace pjsched::core

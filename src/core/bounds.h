@@ -1,0 +1,35 @@
+// Lower bounds on the optimal maximum (weighted) flow time of an instance.
+// Every feasible 1-speed schedule satisfies  OPT >= each of these, so they
+// serve as the denominator in empirical competitive-ratio measurements
+// (the paper's Section 6 uses exactly the fully-parallelizable FIFO bound).
+#pragma once
+
+#include "src/core/types.h"
+
+namespace pjsched::core {
+
+/// max_i P_i — no scheduler can finish a job faster than its critical path
+/// at speed 1 (paper Proposition 2.1 / Lemma 3.2's OPT >= P_i argument).
+double span_lower_bound(const Instance& instance);
+
+/// max_i W_i / m — a job's work spread across all m processors.
+double work_lower_bound(const Instance& instance, unsigned m);
+
+/// The paper's simulated-OPT bound (Section 6): each job fully
+/// parallelizable with length W_i/m, scheduled FIFO on one machine.
+/// Dominates work_lower_bound and captures queueing backlog.
+double opt_sim_lower_bound(const Instance& instance, unsigned m);
+
+/// max of all of the above: the tightest bound this library computes.
+double combined_lower_bound(const Instance& instance, unsigned m);
+
+/// Weighted variants for the BWF experiments: lower bounds on
+/// OPT = min max_i w_i F_i.
+///   span:  max_i w_i P_i
+double weighted_span_lower_bound(const Instance& instance);
+///   work:  max_i w_i W_i / m
+double weighted_work_lower_bound(const Instance& instance, unsigned m);
+///   combined
+double weighted_combined_lower_bound(const Instance& instance, unsigned m);
+
+}  // namespace pjsched::core

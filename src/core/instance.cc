@@ -1,0 +1,76 @@
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/core/types.h"
+
+namespace pjsched::core {
+
+void ScheduleResult::finalize(const std::vector<JobSpec>& jobs) {
+  if (completion.size() != jobs.size())
+    throw std::logic_error("ScheduleResult::finalize: completion size mismatch");
+  flow.resize(jobs.size());
+  max_flow = 0.0;
+  max_weighted_flow = 0.0;
+  mean_flow = 0.0;
+  makespan = 0.0;
+  argmax_flow = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (completion[i] < jobs[i].arrival)
+      throw std::logic_error(
+          "ScheduleResult::finalize: job completes before it arrives");
+    flow[i] = completion[i] - jobs[i].arrival;
+    mean_flow += flow[i];
+    makespan = std::max(makespan, completion[i]);
+    max_flow = std::max(max_flow, flow[i]);
+    const Time wf = jobs[i].weight * flow[i];
+    if (wf > max_weighted_flow) {
+      max_weighted_flow = wf;
+      argmax_flow = static_cast<JobId>(i);
+    }
+  }
+  if (!jobs.empty()) mean_flow /= static_cast<Time>(jobs.size());
+}
+
+dag::Work Instance::total_work() const {
+  dag::Work w = 0;
+  for (const JobSpec& j : jobs) w += j.graph.total_work();
+  return w;
+}
+
+dag::Work Instance::max_critical_path() const {
+  dag::Work p = 0;
+  for (const JobSpec& j : jobs) p = std::max(p, j.graph.critical_path());
+  return p;
+}
+
+dag::Work Instance::max_work() const {
+  dag::Work w = 0;
+  for (const JobSpec& j : jobs) w = std::max(w, j.graph.total_work());
+  return w;
+}
+
+void Instance::validate() const {
+  if (jobs.empty()) throw std::invalid_argument("Instance: no jobs");
+  for (const JobSpec& j : jobs) {
+    if (!j.graph.sealed())
+      throw std::invalid_argument("Instance: job DAG not sealed");
+    if (j.graph.node_count() == 0)
+      throw std::invalid_argument("Instance: empty job DAG");
+    if (j.arrival < 0.0)
+      throw std::invalid_argument("Instance: negative arrival time");
+    if (!(j.weight > 0.0))
+      throw std::invalid_argument("Instance: non-positive weight");
+  }
+}
+
+std::vector<JobId> Instance::arrival_order() const {
+  std::vector<JobId> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](JobId a, JobId b) {
+    return jobs[a].arrival < jobs[b].arrival;
+  });
+  return order;
+}
+
+}  // namespace pjsched::core

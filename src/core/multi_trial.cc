@@ -1,0 +1,51 @@
+#include "src/core/multi_trial.h"
+
+#include <stdexcept>
+
+#include "src/core/bounds.h"
+
+namespace pjsched::core {
+
+TrialOutcome run_trials(const workload::WorkDistribution& dist,
+                        const TrialConfig& cfg) {
+  if (cfg.trials == 0) throw std::invalid_argument("run_trials: zero trials");
+
+  std::vector<double> max_flows, mean_flows, wmax_flows, ratios;
+  max_flows.reserve(cfg.trials);
+
+  Instance fixed;
+  if (cfg.fixed_instance)
+    fixed = workload::generate_instance(dist, cfg.generator);
+
+  for (std::size_t t = 0; t < cfg.trials; ++t) {
+    Instance generated;
+    const Instance* instance = &fixed;
+    if (!cfg.fixed_instance) {
+      workload::GeneratorConfig gen = cfg.generator;
+      gen.seed = cfg.generator.seed + t;
+      generated = workload::generate_instance(dist, gen);
+      instance = &generated;
+    }
+
+    SchedulerSpec spec = cfg.scheduler;
+    spec.seed = cfg.scheduler.seed + t;
+    const ScheduleResult res = run_scheduler(*instance, spec, cfg.machine);
+
+    max_flows.push_back(res.max_flow);
+    mean_flows.push_back(res.mean_flow);
+    wmax_flows.push_back(res.max_weighted_flow);
+    const double bound =
+        opt_sim_lower_bound(*instance, cfg.machine.processors);
+    ratios.push_back(bound > 0.0 ? res.max_flow / bound : 0.0);
+  }
+
+  TrialOutcome out;
+  out.max_flow = metrics::summarize(max_flows);
+  out.mean_flow = metrics::summarize(mean_flows);
+  out.max_weighted_flow = metrics::summarize(wmax_flows);
+  out.ratio_to_opt = metrics::summarize(ratios);
+  out.trials = cfg.trials;
+  return out;
+}
+
+}  // namespace pjsched::core

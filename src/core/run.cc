@@ -1,0 +1,95 @@
+#include "src/core/run.h"
+
+#include <stdexcept>
+
+#include "src/sched/baselines.h"
+#include "src/sched/bwf.h"
+#include "src/sched/fifo.h"
+#include "src/sched/opt_bound.h"
+#include "src/sched/work_stealing.h"
+
+namespace pjsched::core {
+
+std::unique_ptr<sched::Scheduler> make_scheduler(const SchedulerSpec& spec) {
+  switch (spec.kind) {
+    case SchedulerKind::kFifo:
+      return std::make_unique<sched::FifoScheduler>();
+    case SchedulerKind::kBwf:
+      return std::make_unique<sched::BwfScheduler>();
+    case SchedulerKind::kAdmitFirst:
+      return std::make_unique<sched::WorkStealingScheduler>(
+          0, spec.seed, spec.admit_by_weight);
+    case SchedulerKind::kStealKFirst:
+      return std::make_unique<sched::WorkStealingScheduler>(
+          spec.steal_k, spec.seed, spec.admit_by_weight);
+    case SchedulerKind::kOptBound:
+      return std::make_unique<sched::OptLowerBound>();
+    case SchedulerKind::kLifo:
+      return std::make_unique<sched::LifoScheduler>();
+    case SchedulerKind::kSjf:
+      return std::make_unique<sched::SjfScheduler>();
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<sched::RoundRobinScheduler>();
+    case SchedulerKind::kEqui:
+      return std::make_unique<sched::EquiScheduler>();
+  }
+  throw std::invalid_argument("make_scheduler: unknown kind");
+}
+
+SchedulerSpec parse_scheduler(const std::string& name_in) {
+  SchedulerSpec spec;
+  std::string name = name_in;
+  // "-bwf" suffix selects weighted admission for the work-stealing names.
+  if (name.size() > 4 && name.compare(name.size() - 4, 4, "-bwf") == 0 &&
+      name != "-bwf") {
+    spec.admit_by_weight = true;
+    name.resize(name.size() - 4);
+  }
+  if (name == "fifo") {
+    spec.kind = SchedulerKind::kFifo;
+  } else if (name == "bwf") {
+    spec.kind = SchedulerKind::kBwf;
+  } else if (name == "admit-first") {
+    spec.kind = SchedulerKind::kAdmitFirst;
+  } else if (name == "opt" || name == "opt-lower-bound") {
+    spec.kind = SchedulerKind::kOptBound;
+  } else if (name == "lifo") {
+    spec.kind = SchedulerKind::kLifo;
+  } else if (name == "sjf") {
+    spec.kind = SchedulerKind::kSjf;
+  } else if (name == "round-robin") {
+    spec.kind = SchedulerKind::kRoundRobin;
+  } else if (name == "equi") {
+    spec.kind = SchedulerKind::kEqui;
+  } else if (name.rfind("steal-", 0) == 0 &&
+             name.size() > 12 &&
+             name.compare(name.size() - 6, 6, "-first") == 0) {
+    const std::string k_str = name.substr(6, name.size() - 12);
+    try {
+      std::size_t pos = 0;
+      const unsigned long k = std::stoul(k_str, &pos);
+      if (pos != k_str.size()) throw std::invalid_argument(k_str);
+      spec.kind = SchedulerKind::kStealKFirst;
+      spec.steal_k = static_cast<unsigned>(k);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_scheduler: bad k in '" + name + "'");
+    }
+  } else {
+    throw std::invalid_argument("parse_scheduler: unknown scheduler '" +
+                                name_in + "'");
+  }
+  if (spec.admit_by_weight && spec.kind != SchedulerKind::kAdmitFirst &&
+      spec.kind != SchedulerKind::kStealKFirst)
+    throw std::invalid_argument(
+        "parse_scheduler: '-bwf' applies only to work-stealing schedulers ('" +
+        name_in + "')");
+  return spec;
+}
+
+ScheduleResult run_scheduler(const Instance& instance,
+                             const SchedulerSpec& spec,
+                             const MachineConfig& machine, sim::Trace* trace) {
+  return make_scheduler(spec)->run(instance, machine, trace);
+}
+
+}  // namespace pjsched::core

@@ -1,0 +1,52 @@
+// One-call public API: name a scheduler, hand it an instance and a machine,
+// get a ScheduleResult.  This is the entry point examples and benches use;
+// the individual scheduler classes in src/sched remain available for
+// callers that need more control.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/types.h"
+#include "src/sched/scheduler.h"
+
+namespace pjsched::core {
+
+enum class SchedulerKind {
+  kFifo,         ///< idealized FIFO (Section 3)
+  kBwf,          ///< Biggest-Weight-First (Section 7)
+  kAdmitFirst,   ///< work stealing, admit before stealing (k = 0)
+  kStealKFirst,  ///< work stealing, admit after k failed steals
+  kOptBound,     ///< the Section 6 simulated-OPT lower bound
+  kLifo,         ///< baseline
+  kSjf,          ///< clairvoyant baseline
+  kRoundRobin,   ///< baseline
+  kEqui,         ///< dynamic equipartition baseline (speedup-curves lit.)
+};
+
+struct SchedulerSpec {
+  SchedulerKind kind = SchedulerKind::kFifo;
+  unsigned steal_k = 16;    ///< used by kStealKFirst (paper's empirical k)
+  std::uint64_t seed = 1;   ///< used by the work-stealing schedulers
+  /// Work-stealing extension: admit the heaviest queued job instead of the
+  /// oldest ("-bwf" suffix in names).
+  bool admit_by_weight = false;
+};
+
+/// Instantiates the scheduler named by `spec`.
+std::unique_ptr<sched::Scheduler> make_scheduler(const SchedulerSpec& spec);
+
+/// Parses "fifo", "bwf", "admit-first", "steal-16-first", "opt", "lifo",
+/// "sjf", "round-robin", "equi" (any k in "steal-<k>-first"; append "-bwf"
+/// to a work-stealing name for weighted admission).
+/// Throws std::invalid_argument on unknown names.
+SchedulerSpec parse_scheduler(const std::string& name);
+
+/// Convenience: build-and-run in one call.
+ScheduleResult run_scheduler(const Instance& instance,
+                             const SchedulerSpec& spec,
+                             const MachineConfig& machine,
+                             sim::Trace* trace = nullptr);
+
+}  // namespace pjsched::core

@@ -1,0 +1,98 @@
+// Fundamental scheduling types mirroring the paper's Table 1:
+//
+//   r_i  arrival (release) time of job J_i     -> JobSpec::arrival
+//   w_i  weight of J_i                         -> JobSpec::weight
+//   c_i  completion time in a schedule         -> ScheduleResult::completion
+//   F_i  flow time c_i - r_i                   -> ScheduleResult::flow
+//   W_i  total work of J_i                     -> JobSpec::graph.total_work()
+//   P_i  critical-path length of J_i           -> JobSpec::graph.critical_path()
+//   m    number of processors                  -> MachineConfig::processors
+//
+// Times are in abstract *unit-work time*: a speed-1 processor performs one
+// unit of work per unit of time; a speed-s processor performs one unit per
+// 1/s time (the paper's "time step").  The workload layer maps units to
+// seconds for reporting.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/dag/dag.h"
+
+namespace pjsched::core {
+
+using Time = double;
+using JobId = std::uint32_t;
+
+inline constexpr Time kNoTime = -1.0;
+
+/// One online job: a sealed DAG plus its release time and weight.
+struct JobSpec {
+  Time arrival = 0.0;
+  double weight = 1.0;  ///< w_i; 1.0 in the unweighted setting
+  dag::Dag graph;
+};
+
+/// The machine the scheduler runs on.  `speed` is the resource-augmentation
+/// factor s: the paper compares an s-speed algorithm against a 1-speed
+/// optimum.
+struct MachineConfig {
+  unsigned processors = 1;  ///< m
+  double speed = 1.0;       ///< s >= 1 in all of the paper's analyses
+};
+
+/// Aggregate engine counters, populated where meaningful.
+struct EngineStats {
+  std::uint64_t steal_attempts = 0;    ///< step engine: total steal attempts
+  std::uint64_t successful_steals = 0; ///< step engine: attempts that got a node
+  std::uint64_t admissions = 0;        ///< step engine: jobs popped from the global queue
+  std::uint64_t work_steps = 0;        ///< step engine: worker-steps spent working
+  std::uint64_t idle_steps = 0;        ///< worker-steps spent not working (stealing/idling)
+  std::uint64_t decision_points = 0;   ///< event engine: allocation recomputations
+  double idle_processor_time = 0.0;    ///< event engine: processor-time spent idle
+};
+
+/// Outcome of running one scheduler on one instance.
+struct ScheduleResult {
+  std::string scheduler_name;
+  std::vector<Time> completion;  ///< c_i per job, kNoTime if unfinished (never in a valid run)
+  std::vector<Time> flow;        ///< F_i = c_i - r_i
+
+  Time max_flow = 0.0;           ///< max_i F_i
+  Time max_weighted_flow = 0.0;  ///< max_i w_i F_i
+  Time mean_flow = 0.0;
+  Time makespan = 0.0;           ///< max_i c_i
+  JobId argmax_flow = 0;         ///< job attaining max_i w_i F_i
+
+  EngineStats stats;
+
+  /// Fills the summary fields from `completion` and the instance's arrivals
+  /// and weights.  Call after populating `completion`.
+  void finalize(const std::vector<JobSpec>& jobs);
+};
+
+/// A full online problem instance.
+struct Instance {
+  std::vector<JobSpec> jobs;
+
+  std::size_t size() const { return jobs.size(); }
+
+  /// Sum of all jobs' work.
+  dag::Work total_work() const;
+  /// max_i P_i — every schedule's max flow is at least max_i P_i / s... and
+  /// OPT's (speed 1) is at least this.
+  dag::Work max_critical_path() const;
+  /// max_i W_i.
+  dag::Work max_work() const;
+
+  /// Throws std::invalid_argument unless every job has a sealed non-empty
+  /// DAG, a non-negative arrival, and a positive weight.
+  void validate() const;
+
+  /// Indices of jobs sorted by (arrival, index).
+  std::vector<JobId> arrival_order() const;
+};
+
+}  // namespace pjsched::core

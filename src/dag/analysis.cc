@@ -1,0 +1,120 @@
+#include "src/dag/analysis.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace pjsched::dag {
+
+namespace {
+void require_sealed(const Dag& d, const char* fn) {
+  if (!d.sealed()) throw std::invalid_argument(std::string(fn) + ": DAG not sealed");
+}
+}  // namespace
+
+std::vector<NodeId> topological_order(const Dag& d) {
+  require_sealed(d, "topological_order");
+  const std::size_t n = d.node_count();
+  std::vector<std::uint32_t> indeg(n);
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    indeg[v] = static_cast<std::uint32_t>(d.in_degree(static_cast<NodeId>(v)));
+    if (indeg[v] == 0) ready.push(static_cast<NodeId>(v));
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (NodeId v : d.successors(u))
+      if (--indeg[v] == 0) ready.push(v);
+  }
+  return order;
+}
+
+Work compute_critical_path(const Dag& d) {
+  require_sealed(d, "compute_critical_path");
+  const auto order = topological_order(d);
+  std::vector<Work> dist(d.node_count(), 0);
+  Work best = 0;
+  for (NodeId u : order) {
+    Work du = d.work_of(u);
+    for (NodeId p : d.predecessors(u)) du = std::max(du, dist[p] + d.work_of(u));
+    dist[u] = du;
+    best = std::max(best, du);
+  }
+  return best;
+}
+
+Work compute_total_work(const Dag& d) {
+  require_sealed(d, "compute_total_work");
+  Work w = 0;
+  for (std::size_t v = 0; v < d.node_count(); ++v)
+    w += d.work_of(static_cast<NodeId>(v));
+  return w;
+}
+
+double brent_bound(const Dag& d, unsigned m) {
+  require_sealed(d, "brent_bound");
+  if (m == 0) throw std::invalid_argument("brent_bound: m == 0");
+  const double w = static_cast<double>(d.total_work());
+  const double p = static_cast<double>(d.critical_path());
+  return w / m + p * (static_cast<double>(m) - 1.0) / m;
+}
+
+std::vector<Work> earliest_start_times(const Dag& d) {
+  require_sealed(d, "earliest_start_times");
+  const auto order = topological_order(d);
+  std::vector<Work> est(d.node_count(), 0);
+  for (NodeId u : order)
+    for (NodeId p : d.predecessors(u))
+      est[u] = std::max(est[u], est[p] + d.work_of(p));
+  return est;
+}
+
+std::size_t max_parallelism_asap(const Dag& d) {
+  require_sealed(d, "max_parallelism_asap");
+  // Under the ASAP schedule node v occupies [est[v], est[v] + work[v]).
+  // Sweep interval endpoints to find the maximum overlap.
+  const auto est = earliest_start_times(d);
+  std::vector<std::pair<Work, int>> events;
+  events.reserve(2 * d.node_count());
+  for (std::size_t v = 0; v < d.node_count(); ++v) {
+    const auto id = static_cast<NodeId>(v);
+    events.emplace_back(est[v], +1);
+    events.emplace_back(est[v] + d.work_of(id), -1);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              // Ends sort before starts at the same instant.
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+  std::size_t cur = 0, best = 0;
+  for (const auto& [t, delta] : events) {
+    cur = static_cast<std::size_t>(static_cast<long long>(cur) + delta);
+    best = std::max(best, cur);
+  }
+  return best;
+}
+
+DagStats compute_stats(const Dag& d) {
+  require_sealed(d, "compute_stats");
+  DagStats s;
+  s.nodes = d.node_count();
+  s.edges = d.edge_count();
+  s.total_work = d.total_work();
+  s.critical_path = d.critical_path();
+  s.average_parallelism = d.parallelism();
+  for (std::size_t v = 0; v < d.node_count(); ++v) {
+    const auto id = static_cast<NodeId>(v);
+    if (d.in_degree(id) == 0) ++s.sources;
+    if (d.out_degree(id) == 0) ++s.sinks;
+    s.max_in_degree = std::max(s.max_in_degree, d.in_degree(id));
+    s.max_out_degree = std::max(s.max_out_degree, d.out_degree(id));
+  }
+  return s;
+}
+
+}  // namespace pjsched::dag

@@ -1,0 +1,55 @@
+// Structural analysis of sealed DAGs: topological order, independent
+// recomputation of work/span, Brent-bound estimates, and degree statistics.
+// seal() already caches W and P; this header provides slower, independent
+// recomputations (used by tests as an oracle) plus derived quantities used
+// by the bound calculators in src/core/bounds.h.
+#pragma once
+
+#include <vector>
+
+#include "src/dag/dag.h"
+
+namespace pjsched::dag {
+
+/// A topological order of the DAG's nodes (Kahn; deterministic: smallest
+/// ready node id first).
+std::vector<NodeId> topological_order(const Dag& d);
+
+/// Recomputes the critical-path length from scratch (oracle for
+/// Dag::critical_path()).
+Work compute_critical_path(const Dag& d);
+
+/// Recomputes total work from scratch (oracle for Dag::total_work()).
+Work compute_total_work(const Dag& d);
+
+/// Brent's bound on greedy m-processor makespan at speed 1:
+/// W/m + P * (m-1)/m.  Any greedy schedule of this single DAG finishes
+/// within this time; used as a sanity ceiling in tests.
+double brent_bound(const Dag& d, unsigned m);
+
+/// Earliest possible start time of each node given unlimited processors
+/// (the "level" of the node weighted by processing times): node v's entry is
+/// the length of the longest path ending just before v.
+std::vector<Work> earliest_start_times(const Dag& d);
+
+/// Maximum number of nodes that can be simultaneously in flight given
+/// unlimited processors (width of the DAG under the ASAP schedule).  An
+/// upper bound on realized parallelism.
+std::size_t max_parallelism_asap(const Dag& d);
+
+/// Summary statistics bundle.
+struct DagStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  Work total_work = 0;
+  Work critical_path = 0;
+  double average_parallelism = 0.0;
+  std::size_t sources = 0;
+  std::size_t sinks = 0;
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;
+};
+
+DagStats compute_stats(const Dag& d);
+
+}  // namespace pjsched::dag

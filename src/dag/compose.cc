@@ -1,0 +1,95 @@
+#include "src/dag/compose.h"
+
+#include <stdexcept>
+
+namespace pjsched::dag {
+
+namespace {
+
+void require_sealed(const Dag& d, const char* fn) {
+  if (!d.sealed())
+    throw std::invalid_argument(std::string(fn) + ": input DAG not sealed");
+}
+
+// Copies `src` into `dst`, returning the node-id offset, and collects
+// src's sources/sinks translated into dst ids.
+NodeId absorb(Dag& dst, const Dag& src, std::vector<NodeId>* sources,
+              std::vector<NodeId>* sinks) {
+  const auto offset = static_cast<NodeId>(dst.node_count());
+  for (NodeId v = 0; v < src.node_count(); ++v) dst.add_node(src.work_of(v));
+  for (NodeId v = 0; v < src.node_count(); ++v)
+    for (NodeId w : src.successors(v))
+      dst.add_edge(offset + v, offset + w);
+  for (NodeId v = 0; v < src.node_count(); ++v) {
+    const auto id = static_cast<NodeId>(v);
+    if (sources != nullptr && src.in_degree(id) == 0)
+      sources->push_back(offset + id);
+    if (sinks != nullptr && src.out_degree(id) == 0)
+      sinks->push_back(offset + id);
+  }
+  return offset;
+}
+
+}  // namespace
+
+Dag sequence(const Dag& first, const Dag& second) {
+  require_sealed(first, "sequence");
+  require_sealed(second, "sequence");
+  Dag d;
+  std::vector<NodeId> first_sinks, second_sources;
+  absorb(d, first, nullptr, &first_sinks);
+  absorb(d, second, &second_sources, nullptr);
+  for (NodeId a : first_sinks)
+    for (NodeId b : second_sources) d.add_edge(a, b);
+  d.seal();
+  return d;
+}
+
+Dag parallel_compose(const Dag& first, const Dag& second) {
+  require_sealed(first, "parallel_compose");
+  require_sealed(second, "parallel_compose");
+  Dag d;
+  absorb(d, first, nullptr, nullptr);
+  absorb(d, second, nullptr, nullptr);
+  d.seal();
+  return d;
+}
+
+Dag map_reduce_dag(std::size_t mappers, Work map_work, std::size_t reducers,
+                   Work reduce_work) {
+  if (mappers == 0 || reducers == 0)
+    throw std::invalid_argument("map_reduce_dag: empty stage");
+  Dag d;
+  std::vector<NodeId> maps, reds;
+  maps.reserve(mappers);
+  reds.reserve(reducers);
+  for (std::size_t i = 0; i < mappers; ++i) maps.push_back(d.add_node(map_work));
+  for (std::size_t i = 0; i < reducers; ++i)
+    reds.push_back(d.add_node(reduce_work));
+  for (NodeId m : maps)
+    for (NodeId r : reds) d.add_edge(m, r);
+  d.seal();
+  return d;
+}
+
+Dag pipeline_dag(std::size_t stages, std::size_t width, Work node_work) {
+  if (stages == 0 || width == 0)
+    throw std::invalid_argument("pipeline_dag: empty shape");
+  Dag d;
+  std::vector<NodeId> prev, cur;
+  for (std::size_t s = 0; s < stages; ++s) {
+    cur.clear();
+    for (std::size_t i = 0; i < width; ++i) cur.push_back(d.add_node(node_work));
+    if (!prev.empty()) {
+      for (std::size_t i = 0; i < width; ++i) {
+        d.add_edge(prev[i], cur[i]);
+        if (width > 1) d.add_edge(prev[i], cur[(i + 1) % width]);
+      }
+    }
+    prev = cur;
+  }
+  d.seal();
+  return d;
+}
+
+}  // namespace pjsched::dag

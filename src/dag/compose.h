@@ -1,0 +1,32 @@
+// DAG composition combinators: build realistic job graphs from smaller
+// pieces (series-parallel composition, shuffle stages, pipelines).  All
+// functions return sealed DAGs and accept only sealed inputs.
+#pragma once
+
+#include <vector>
+
+#include "src/dag/dag.h"
+
+namespace pjsched::dag {
+
+/// Series composition: every sink of `first` precedes every source of
+/// `second` (so all of `first` finishes before any of `second` starts).
+/// W = W1 + W2; P = P1 + P2.
+Dag sequence(const Dag& first, const Dag& second);
+
+/// Parallel composition: disjoint union; the two subgraphs are
+/// independent.  W = W1 + W2; P = max(P1, P2).
+Dag parallel_compose(const Dag& first, const Dag& second);
+
+/// Map-reduce job: `mappers` independent map nodes, an all-to-all shuffle
+/// edge set, and `reducers` reduce nodes.  Classic two-stage shape with a
+/// dense precedence layer.
+Dag map_reduce_dag(std::size_t mappers, Work map_work, std::size_t reducers,
+                   Work reduce_work);
+
+/// Pipeline: `stages` layers of `width` nodes; node (s, i) precedes
+/// nodes (s+1, i) and (s+1, i+1 mod width) — a wrapped stencil, the common
+/// software-pipeline dependence shape.
+Dag pipeline_dag(std::size_t stages, std::size_t width, Work node_work);
+
+}  // namespace pjsched::dag

@@ -1,0 +1,139 @@
+// Dynamic-multithreaded job DAGs (paper Section 2).
+//
+// A job is a directed acyclic graph G whose nodes carry integer processing
+// times (in abstract *work units*).  A node may execute only after all of its
+// predecessors have completed; multiple ready nodes of the same job may run
+// simultaneously on distinct processors.  Schedulers in this library never
+// inspect the DAG beyond its ready frontier: the graph "unfolds dynamically"
+// exactly as in the paper's non-clairvoyant model (see ReadyTracker below).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pjsched::dag {
+
+/// Index of a node within one job's DAG.
+using NodeId = std::uint32_t;
+
+/// Processing time of a node, in abstract integer work units.  One unit is
+/// the amount of work an s-speed processor finishes in 1/s time (paper
+/// Section 3, "time step").  The workload layer decides how many real
+/// milliseconds one unit represents.
+using Work = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Immutable-after-construction DAG of sequential tasks.
+///
+/// Build with add_node / add_edge, then call seal().  seal() validates the
+/// graph (acyclicity, edge sanity) and freezes it; the scheduling engines
+/// require a sealed DAG.  All query methods are safe on a sealed DAG and
+/// never mutate, so one Dag can back many concurrent simulations.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Adds a node with the given processing time (must be >= 1: the machine
+  /// model is built from unit-work steps, so zero-work nodes are banned).
+  /// Returns the new node's id.  Only valid before seal().
+  NodeId add_node(Work processing_time);
+
+  /// Adds a precedence edge: `to` may not start until `from` completes.
+  /// Duplicate edges are rejected in seal().  Only valid before seal().
+  void add_edge(NodeId from, NodeId to);
+
+  /// Validates and freezes the DAG.  Throws std::invalid_argument on a
+  /// cycle, duplicate edge, out-of-range endpoint, or an empty graph.
+  void seal();
+
+  bool sealed() const { return sealed_; }
+
+  std::size_t node_count() const { return work_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  Work work_of(NodeId v) const { return work_[v]; }
+
+  /// Successors / predecessors of a node (sealed only).
+  std::span<const NodeId> successors(NodeId v) const;
+  std::span<const NodeId> predecessors(NodeId v) const;
+
+  std::size_t in_degree(NodeId v) const { return predecessors(v).size(); }
+  std::size_t out_degree(NodeId v) const { return successors(v).size(); }
+
+  /// Nodes with no predecessors, in node-id order (sealed only).
+  std::span<const NodeId> sources() const { return sources_; }
+
+  /// Total work W: sum of all node processing times (sealed only; O(1)).
+  Work total_work() const { return total_work_; }
+
+  /// Critical-path length P: the longest path weighted by processing times
+  /// (sealed only; computed once in seal(), O(1) afterwards).  This is the
+  /// paper's P_i, a lower bound on the job's execution time at speed 1.
+  Work critical_path() const { return critical_path_; }
+
+  /// Average parallelism W/P.
+  double parallelism() const {
+    return static_cast<double>(total_work_) / static_cast<double>(critical_path_);
+  }
+
+ private:
+  friend class ReadyTracker;
+
+  std::vector<Work> work_;
+  // CSR adjacency, filled by seal() from the edge list.
+  std::vector<NodeId> succ_flat_, pred_flat_;
+  std::vector<std::uint32_t> succ_off_, pred_off_;
+  std::vector<std::pair<NodeId, NodeId>> pending_edges_;
+  std::vector<NodeId> sources_;
+  std::size_t edge_count_ = 0;
+  Work total_work_ = 0;
+  Work critical_path_ = 0;
+  bool sealed_ = false;
+};
+
+/// Tracks the dynamically unfolding ready frontier of one executing job.
+///
+/// This is the *only* view of a DAG that the non-clairvoyant schedulers get:
+/// which nodes are currently ready, and which become ready when a node
+/// completes.  The tracker never reveals work of unreached nodes, the total
+/// node count remaining, or graph structure ahead of the frontier.
+class ReadyTracker {
+ public:
+  /// Binds to a sealed DAG.  Initially every source node is ready.
+  explicit ReadyTracker(const Dag& dag);
+
+  /// Nodes currently ready (unblocked, not yet claimed).  Order is
+  /// deterministic: ascending node id of insertion batches.
+  std::span<const NodeId> ready() const { return ready_; }
+  std::size_t ready_count() const { return ready_.size(); }
+
+  /// Removes one ready node from the frontier (the scheduler claimed it and
+  /// will execute it).  `v` must currently be ready.
+  void claim(NodeId v);
+
+  /// Marks a claimed node as completed; appends any newly enabled
+  /// successors to `out_enabled` (may be null) and to the ready frontier.
+  /// Returns the number of successors enabled.
+  std::size_t complete(NodeId v, std::vector<NodeId>* out_enabled = nullptr);
+
+  /// Number of nodes completed so far.
+  std::size_t completed_count() const { return completed_; }
+
+  /// True when every node of the DAG has completed.
+  bool done() const { return completed_ == dag_->node_count(); }
+
+  const Dag& dag() const { return *dag_; }
+
+ private:
+  const Dag* dag_;
+  std::vector<std::uint32_t> pending_preds_;  // per node: unmet predecessors
+  std::vector<NodeId> ready_;
+  std::vector<std::uint8_t> state_;  // 0 = blocked, 1 = ready, 2 = claimed, 3 = done
+  std::size_t completed_ = 0;
+};
+
+}  // namespace pjsched::dag

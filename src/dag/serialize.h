@@ -1,0 +1,32 @@
+// Plain-text (de)serialization of DAGs, for fixtures, golden tests, and
+// dumping generated workloads.  Format:
+//
+//   dag <node_count> <edge_count>
+//   node <id> <work>          (one line per node, ids 0..n-1 in order)
+//   edge <from> <to>          (one line per edge)
+//   end
+//
+// Whitespace-separated, '#'-to-end-of-line comments allowed between records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/dag/dag.h"
+
+namespace pjsched::dag {
+
+/// Writes a sealed DAG in the text format above.
+void write_text(std::ostream& os, const Dag& d);
+
+/// Convenience: serialize to a string.
+std::string to_text(const Dag& d);
+
+/// Parses the text format and returns a sealed DAG.
+/// Throws std::invalid_argument on malformed input.
+Dag read_text(std::istream& is);
+
+/// Convenience: parse from a string.
+Dag from_text(const std::string& text);
+
+}  // namespace pjsched::dag

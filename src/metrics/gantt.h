@@ -1,0 +1,48 @@
+// Trace visualization and export:
+//   * ascii_gantt      — per-processor Gantt chart rendered as text, for
+//                        quick terminal inspection of small schedules;
+//   * chrome_trace_json— Chrome/Perfetto trace-event JSON ("catapult"
+//                        format: load in chrome://tracing or ui.perfetto.dev)
+//                        with one row per processor and one slice per
+//                        executed node, plus steal-attempt instant events;
+//   * utilization_timeline — busy-processor counts over fixed time buckets,
+//                        the standard load profile plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/sim/trace.h"
+
+namespace pjsched::metrics {
+
+struct GanttOptions {
+  std::size_t width = 80;     ///< characters for the time axis
+  core::Time t_begin = 0.0;   ///< chart window start
+  core::Time t_end = -1.0;    ///< window end; < 0 = last interval end
+};
+
+/// Renders one row per processor; each executed node paints its span with
+/// a letter cycling by job id ('A' + job % 26), idle time as '.'.
+/// Returns the chart as a string (trailing newline included).
+std::string ascii_gantt(const sim::Trace& trace, unsigned processors,
+                        const GanttOptions& options = {});
+
+/// Writes the trace in Chrome trace-event JSON.  Time unit: the trace's
+/// native unit mapped to microseconds one-to-one (Chrome requires "us").
+/// Steal attempts and admissions appear as instant events when the trace
+/// recorded them.
+void write_chrome_trace(std::ostream& os, const sim::Trace& trace);
+
+/// Convenience wrapper returning the JSON as a string.
+std::string chrome_trace_json(const sim::Trace& trace);
+
+/// Number of busy processors averaged over each of `buckets` equal time
+/// buckets spanning [0, horizon]; horizon <= 0 means the last interval end.
+std::vector<double> utilization_timeline(const sim::Trace& trace,
+                                         std::size_t buckets,
+                                         core::Time horizon = -1.0);
+
+}  // namespace pjsched::metrics

@@ -1,0 +1,56 @@
+// Summary statistics over flow times and other samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pjsched::metrics {
+
+/// Order statistics and moments of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary; does not modify `samples`.  Empty input yields an
+/// all-zero summary.
+Summary summarize(const std::vector<double>& samples);
+
+/// The q-th quantile (0 <= q <= 1) by linear interpolation between order
+/// statistics; `sorted` must be ascending and non-empty.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Weighted maximum: max_i weights[i] * samples[i] (sizes must match).
+double weighted_max(const std::vector<double>& samples,
+                    const std::vector<double>& weights);
+
+/// Fraction of samples strictly exceeding `threshold` — the SLO-miss rate
+/// when samples are flow times and threshold is the latency objective.
+double slo_miss_fraction(const std::vector<double>& samples, double threshold);
+
+/// The smallest threshold an operator could promise while missing at most
+/// `miss_budget` of requests (i.e. the (1 - miss_budget)-quantile).
+double tightest_slo(const std::vector<double>& samples, double miss_budget);
+
+/// Histogram with fixed-width bins across [lo, hi); values outside clamp to
+/// the boundary bins.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t total() const;
+  /// Fraction of samples in bin b.
+  double fraction(std::size_t b) const;
+  double bin_center(std::size_t b) const;
+};
+
+}  // namespace pjsched::metrics

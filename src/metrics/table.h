@@ -1,0 +1,36 @@
+// Minimal result-table formatting: aligned ASCII tables for terminal output
+// and CSV for downstream plotting.  Used by every bench binary to print the
+// rows/series the paper's figures plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pjsched::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with 4 significant decimals.
+  static std::string cell(double v);
+  static std::string cell(std::uint64_t v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Pipe-separated, column-aligned ASCII rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pjsched::metrics

@@ -1,0 +1,34 @@
+#include "src/runtime/admission_queue.h"
+
+namespace pjsched::runtime {
+
+void AdmissionQueue::push(Task* task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(task);
+}
+
+Task* AdmissionQueue::try_pop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return nullptr;
+  Task* t = queue_.front();
+  queue_.pop_front();
+  return t;
+}
+
+Task* AdmissionQueue::try_pop_heaviest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return nullptr;
+  auto best = queue_.begin();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it)
+    if ((*it)->job->weight() > (*best)->job->weight()) best = it;
+  Task* t = *best;
+  queue_.erase(best);
+  return t;
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace pjsched::runtime

@@ -1,0 +1,41 @@
+// The global FIFO admission queue the paper adds to the work-stealing
+// runtime for multiprogrammed scheduling (Section 4): newly released jobs
+// are appended at the tail; workers admit from the head in FIFO order,
+// gated by the admission policy (admit-first / steal-k-first) in the worker
+// loop.  Mutex-protected: admissions happen at job granularity, far too
+// rarely for the lock to matter, and FIFO order must be exact.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "src/runtime/job.h"
+
+namespace pjsched::runtime {
+
+class AdmissionQueue {
+ public:
+  AdmissionQueue() = default;
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Appends a job's root task at the tail.
+  void push(Task* task);
+
+  /// Pops the head task, or returns nullptr when empty.
+  Task* try_pop();
+
+  /// Pops the task whose job has the largest weight (ties: oldest), or
+  /// returns nullptr when empty — the weighted-admission extension.
+  Task* try_pop_heaviest();
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Task*> queue_;
+};
+
+}  // namespace pjsched::runtime

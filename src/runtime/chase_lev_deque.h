@@ -1,0 +1,150 @@
+// Chase–Lev lock-free work-stealing deque (Chase & Lev, SPAA 2005), in the
+// C11-memory-model formulation of Lê, Pop, Cohen & Zappa Nardelli (PPoPP
+// 2013).  This is the per-worker deque at the heart of the TBB-style
+// runtime: the owner pushes and pops at the *bottom* with no synchronization
+// in the common case; thieves steal from the *top* with a single CAS.
+//
+// Semantics:
+//   * exactly one owner thread may call push()/pop();
+//   * any number of thief threads may call steal() concurrently;
+//   * elements are trivially-copyable-sized payloads (we store pointers).
+//
+// The circular buffer grows geometrically and never shrinks; retired
+// buffers are kept alive until the deque is destroyed, which makes buffer
+// reclamation trivially safe against racing thieves (a standard technique —
+// memory overhead is bounded by 2x the high-water mark).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pjsched::runtime {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(sizeof(T) <= sizeof(void*) && std::is_trivially_copyable_v<T>,
+                "ChaseLevDeque stores small trivially copyable payloads "
+                "(use a pointer type)");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : top_(1), bottom_(1) {  // start at 1 so top - 1 never underflows
+    buffer_.store(new Buffer(round_up_pow2(initial_capacity)),
+                  std::memory_order_relaxed);
+  }
+
+  ~ChaseLevDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: push onto the bottom.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    // Publish the element before publishing the new bottom.
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop from the bottom.  Returns false when empty.
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Thieves: steal from the top.  Returns false when empty or when losing
+  /// a race (callers treat both as a failed steal attempt).
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    out = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return false;  // lost the race to another thief or the owner
+    return true;
+  }
+
+  /// Approximate size; only a hint (races with concurrent operations).
+  std::size_t size_hint() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_hint() const { return size_hint() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    ~Buffer() { delete[] slots; }
+
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::atomic<T>* slots;
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 8;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  // Owner only; doubles the buffer, copying the live range [t, b).
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);  // thieves may still be reading it
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_;
+  alignas(64) std::atomic<std::int64_t> bottom_;
+  alignas(64) std::atomic<Buffer*> buffer_;
+  std::vector<Buffer*> retired_;  // owner-only
+};
+
+}  // namespace pjsched::runtime

@@ -1,0 +1,77 @@
+#include "src/runtime/dag_executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace pjsched::runtime {
+
+void spin_for_units(dag::Work units, double ns_per_unit) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(
+          static_cast<std::int64_t>(static_cast<double>(units) * ns_per_unit));
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Keep the core busy; prevent the loop from being optimized away.
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+  }
+}
+
+namespace {
+
+// Shared per-job execution state: dependence counters plus the body.
+// Owned by shared_ptr captured in every node task, so it lives until the
+// last task finishes regardless of completion order.
+struct DagRun {
+  DagRun(dag::Dag g, NodeBody b)
+      : graph(std::move(g)), body(std::move(b)), pending(graph.node_count()) {
+    for (std::size_t v = 0; v < graph.node_count(); ++v)
+      pending[v].store(static_cast<std::uint32_t>(graph.in_degree(
+                           static_cast<dag::NodeId>(v))),
+                       std::memory_order_relaxed);
+  }
+
+  const dag::Dag graph;  // owned: the run may outlive the caller's copy
+  NodeBody body;
+  std::vector<std::atomic<std::uint32_t>> pending;
+};
+
+void run_node(TaskContext& ctx, const std::shared_ptr<DagRun>& run,
+              dag::NodeId v) {
+  run->body(v, run->graph.work_of(v));
+  for (dag::NodeId w : run->graph.successors(v)) {
+    if (run->pending[w].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ctx.spawn([run, w](TaskContext& inner) { run_node(inner, run, w); });
+    }
+  }
+}
+
+}  // namespace
+
+JobHandle submit_dag(ThreadPool& pool, const dag::Dag& graph, NodeBody body,
+                     double weight) {
+  if (!graph.sealed())
+    throw std::invalid_argument("submit_dag: DAG must be sealed");
+  auto run = std::make_shared<DagRun>(graph, std::move(body));
+  return pool.submit(
+      [run](TaskContext& ctx) {
+        // Spawn every source; the spawning task itself is the job root.
+        for (dag::NodeId s : run->graph.sources())
+          ctx.spawn([run, s](TaskContext& inner) { run_node(inner, run, s); });
+      },
+      weight);
+}
+
+JobHandle submit_dag_spinning(ThreadPool& pool, const dag::Dag& graph,
+                              double ns_per_unit, double weight) {
+  return submit_dag(
+      pool, graph,
+      [ns_per_unit](dag::NodeId, dag::Work units) {
+        spin_for_units(units, ns_per_unit);
+      },
+      weight);
+}
+
+}  // namespace pjsched::runtime

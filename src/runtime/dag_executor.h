@@ -1,0 +1,39 @@
+// Executes a dag::Dag job on the real threaded runtime: the bridge between
+// the simulator's job model and the thread pool, mirroring how the paper's
+// TBB implementation executes the same benchmark jobs the simulated OPT is
+// computed on.
+//
+// Each DAG node becomes one task; when a task finishes it resolves its
+// successors' dependence counters and spawns those that became ready onto
+// its worker's deque — the dynamic-unfolding contract of Section 2,
+// realized with atomics instead of the simulator's ReadyTracker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/dag/dag.h"
+#include "src/runtime/thread_pool.h"
+
+namespace pjsched::runtime {
+
+/// Called once per node when it executes; receives the node id and its
+/// processing time in work units.  The default body (see spin_for_units)
+/// burns CPU proportional to the work.
+using NodeBody = std::function<void(dag::NodeId, dag::Work)>;
+
+/// Busy-spins for roughly `units * ns_per_unit` nanoseconds of CPU time —
+/// the CPU-bound stand-in for real node work.
+void spin_for_units(dag::Work units, double ns_per_unit);
+
+/// Submits `graph` as one job (the run keeps its own copy of the DAG, so
+/// temporaries are fine).  Returns the pool's job handle (flow time lands
+/// in the pool's recorder).
+JobHandle submit_dag(ThreadPool& pool, const dag::Dag& graph, NodeBody body,
+                     double weight = 1.0);
+
+/// Convenience: submit with a spinning body of `ns_per_unit` per work unit.
+JobHandle submit_dag_spinning(ThreadPool& pool, const dag::Dag& graph,
+                              double ns_per_unit, double weight = 1.0);
+
+}  // namespace pjsched::runtime

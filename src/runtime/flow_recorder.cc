@@ -1,0 +1,43 @@
+#include "src/runtime/flow_recorder.h"
+
+#include <algorithm>
+
+namespace pjsched::runtime {
+
+void FlowRecorder::record(const Job& job) {
+  const double flow = job.flow_seconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  flows_.push_back(flow);
+  weights_.push_back(job.weight());
+}
+
+std::size_t FlowRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flows_.size();
+}
+
+std::vector<double> FlowRecorder::flows_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flows_;
+}
+
+double FlowRecorder::max_flow_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double best = 0.0;
+  for (double f : flows_) best = std::max(best, f);
+  return best;
+}
+
+double FlowRecorder::max_weighted_flow_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double best = 0.0;
+  for (std::size_t i = 0; i < flows_.size(); ++i)
+    best = std::max(best, flows_[i] * weights_[i]);
+  return best;
+}
+
+metrics::Summary FlowRecorder::summary() const {
+  return metrics::summarize(flows_seconds());
+}
+
+}  // namespace pjsched::runtime

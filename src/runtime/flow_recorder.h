@@ -1,0 +1,38 @@
+// Per-job flow-time accounting for the threaded runtime: submission and
+// completion wall-clock timestamps, and summary statistics matching the
+// quantities the paper's Figure 2 reports (max flow time; we add mean and
+// weighted max).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/metrics/stats.h"
+#include "src/runtime/job.h"
+
+namespace pjsched::runtime {
+
+class FlowRecorder {
+ public:
+  /// Registers a completed job's flow time (thread-safe; called by workers).
+  void record(const Job& job);
+
+  std::size_t count() const;
+
+  /// Snapshot of all flow times so far, in seconds.
+  std::vector<double> flows_seconds() const;
+
+  /// max_i F_i over recorded jobs, seconds.
+  double max_flow_seconds() const;
+  /// max_i w_i F_i over recorded jobs, seconds.
+  double max_weighted_flow_seconds() const;
+  metrics::Summary summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> flows_;
+  std::vector<double> weights_;
+};
+
+}  // namespace pjsched::runtime

@@ -1,0 +1,106 @@
+// Jobs and tasks for the threaded work-stealing runtime.
+//
+// A Job mirrors the paper's unit of service: it arrives (submit time), its
+// DAG unfolds as tasks spawn subtasks, and it completes when every task has
+// finished.  Completion is tracked with a pending-task counter: the root
+// task counts 1, every spawn increments, every task-exit decrements; zero
+// means done.  Flow time = completion - submission.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+namespace pjsched::runtime {
+
+class TaskContext;
+
+using TaskFn = std::function<void(TaskContext&)>;
+using Clock = std::chrono::steady_clock;
+
+class Job {
+ public:
+  Job(std::uint64_t id, double weight) : id_(id), weight_(weight) {}
+
+  std::uint64_t id() const { return id_; }
+  double weight() const { return weight_; }
+
+  Clock::time_point submit_time() const { return submit_time_; }
+  Clock::time_point completion_time() const { return completion_time_; }
+
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  /// Blocks until the job completes.
+  void wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return finished_.load(std::memory_order_acquire); });
+  }
+
+  /// Flow time in seconds (valid after completion).
+  double flow_seconds() const {
+    return std::chrono::duration<double>(completion_time_ - submit_time_)
+        .count();
+  }
+
+ private:
+  friend class ThreadPool;
+  friend class TaskContext;
+
+  void mark_submitted() { submit_time_ = Clock::now(); }
+
+  void add_pending(std::uint64_t n = 1) {
+    pending_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Returns true if this decrement completed the job.
+  bool finish_one() {
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      completion_time_ = Clock::now();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        finished_.store(true, std::memory_order_release);
+      }
+      cv_.notify_all();
+      return true;
+    }
+    return false;
+  }
+
+  const std::uint64_t id_;
+  const double weight_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<bool> finished_{false};
+  Clock::time_point submit_time_{};
+  Clock::time_point completion_time_{};
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+};
+
+using JobHandle = std::shared_ptr<Job>;
+
+/// A schedulable unit: one task of one job.  Owned by whoever holds the
+/// pointer (deques and the admission queue hold raw pointers; the executing
+/// worker deletes after running).
+struct Task {
+  Job* job = nullptr;
+  TaskFn fn;
+};
+
+/// Counts outstanding spawned subtasks for a fork-join "sync": the spawner
+/// waits (while helping execute other tasks) until the count reaches zero.
+class WaitGroup {
+ public:
+  explicit WaitGroup(std::uint64_t count = 0) : count_(count) {}
+  void add(std::uint64_t n = 1) { count_.fetch_add(n, std::memory_order_relaxed); }
+  void done() { count_.fetch_sub(1, std::memory_order_acq_rel); }
+  bool idle() const { return count_.load(std::memory_order_acquire) == 0; }
+
+ private:
+  std::atomic<std::uint64_t> count_;
+};
+
+}  // namespace pjsched::runtime

@@ -1,0 +1,70 @@
+// Fork-join algorithms layered on the runtime's spawn / wait_help
+// primitives: parallel_reduce and parallel_invoke (parallel_for lives in
+// thread_pool.h next to the pool).  All must be called from inside a task.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/thread_pool.h"
+
+namespace pjsched::runtime {
+
+/// Parallel map-reduce over [begin, end): splits into chunks of at most
+/// `grain`, evaluates `map(lo, hi) -> T` per chunk in parallel, then folds
+/// the chunk results left-to-right with `reduce(T, T) -> T` starting from
+/// `identity`.  The fold order is deterministic (chunk index order), so
+/// non-associative floating-point reductions are reproducible.
+template <typename T, typename MapFn, typename ReduceFn>
+T parallel_reduce(TaskContext& ctx, std::size_t begin, std::size_t end,
+                  std::size_t grain, T identity, MapFn map, ReduceFn reduce) {
+  if (begin >= end) return identity;
+  if (grain == 0) grain = 1;
+  const std::size_t count = end - begin;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  if (chunks == 1) return reduce(std::move(identity), map(begin, end));
+
+  std::vector<T> partial(chunks);
+  WaitGroup wg;
+  for (std::size_t c = 0; c + 1 < chunks; ++c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain;
+    ctx.spawn([&partial, &map, c, lo, hi](
+                  TaskContext&) { partial[c] = map(lo, hi); },
+              wg);
+  }
+  partial[chunks - 1] = map(begin + (chunks - 1) * grain, end);
+  ctx.wait_help(wg);
+
+  T acc = std::move(identity);
+  for (std::size_t c = 0; c < chunks; ++c)
+    acc = reduce(std::move(acc), std::move(partial[c]));
+  return acc;
+}
+
+/// Runs the given callables as parallel subtasks and joins; the last one
+/// executes inline on the calling worker (work-first).
+///
+/// Every callable receives a TaskContext& — *its own*, not the caller's:
+/// a spawned branch may execute on a different worker, and spawning through
+/// the wrong worker's context would break the deques' single-owner
+/// invariant.  Recursive algorithms must thread the inner context down.
+template <typename Last>
+void parallel_invoke(TaskContext& ctx, Last&& last) {
+  std::forward<Last>(last)(ctx);
+}
+
+template <typename First, typename... Rest>
+void parallel_invoke(TaskContext& ctx, First&& first, Rest&&... rest) {
+  WaitGroup wg;
+  ctx.spawn(
+      [fn = std::forward<First>(first)](TaskContext& inner) mutable {
+        fn(inner);
+      },
+      wg);
+  parallel_invoke(ctx, std::forward<Rest>(rest)...);
+  ctx.wait_help(wg);
+}
+
+}  // namespace pjsched::runtime

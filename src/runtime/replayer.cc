@@ -1,0 +1,39 @@
+#include "src/runtime/replayer.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "src/runtime/dag_executor.h"
+
+namespace pjsched::runtime {
+
+ReplayReport replay_instance(ThreadPool& pool, const core::Instance& instance,
+                             const ReplayOptions& options) {
+  instance.validate();
+  if (!(options.ns_per_unit > 0.0))
+    throw std::invalid_argument("replay_instance: ns_per_unit <= 0");
+  if (!(options.arrival_scale > 0.0))
+    throw std::invalid_argument("replay_instance: arrival_scale <= 0");
+
+  const auto start = Clock::now();
+  for (core::JobId j : instance.arrival_order()) {
+    const core::JobSpec& job = instance.jobs[j];
+    const auto offset = std::chrono::nanoseconds(static_cast<std::int64_t>(
+        job.arrival * options.ns_per_unit * options.arrival_scale));
+    std::this_thread::sleep_until(start + offset);
+    submit_dag_spinning(pool, job.graph, options.ns_per_unit, job.weight);
+  }
+  pool.wait_all();
+  const auto end = Clock::now();
+
+  ReplayReport report;
+  report.flow_seconds = pool.recorder().summary();
+  report.max_weighted_flow_seconds =
+      pool.recorder().max_weighted_flow_seconds();
+  report.pool_stats = pool.stats();
+  report.wall_seconds = std::chrono::duration<double>(end - start).count();
+  return report;
+}
+
+}  // namespace pjsched::runtime

@@ -1,0 +1,38 @@
+// Replays a simulator Instance on the real threaded runtime: each job's
+// DAG is submitted (via dag_executor) at its arrival time translated to
+// wall-clock, with node work rendered as CPU spinning.  This is the
+// end-to-end analogue of the paper's testbed experiment — the same
+// workload object drives both the simulated comparison (Figure 2) and the
+// real runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/types.h"
+#include "src/metrics/stats.h"
+#include "src/runtime/thread_pool.h"
+
+namespace pjsched::runtime {
+
+struct ReplayOptions {
+  /// Wall-clock nanoseconds of spinning per simulated work unit.
+  double ns_per_unit = 1000.0;
+  /// Multiplier applied to arrival gaps when mapping simulated time to
+  /// wall-clock (1.0 = the same scale as ns_per_unit implies; larger
+  /// values stretch the arrival process, lowering load).
+  double arrival_scale = 1.0;
+};
+
+struct ReplayReport {
+  metrics::Summary flow_seconds;   ///< wall-clock flow-time summary
+  double max_weighted_flow_seconds = 0.0;
+  PoolStats pool_stats;
+  double wall_seconds = 0.0;       ///< total replay duration
+};
+
+/// Blocks until every job completes.  The pool must be freshly constructed
+/// (its recorder aggregates everything submitted since creation).
+ReplayReport replay_instance(ThreadPool& pool, const core::Instance& instance,
+                             const ReplayOptions& options);
+
+}  // namespace pjsched::runtime

@@ -1,0 +1,176 @@
+#include "src/runtime/thread_pool.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace pjsched::runtime {
+
+void TaskContext::spawn(TaskFn fn) {
+  job_->add_pending();
+  auto* task = new Task{job_, std::move(fn)};
+  pool_->workers_[worker_]->deque.push(task);
+}
+
+void TaskContext::spawn(TaskFn fn, WaitGroup& wg) {
+  wg.add();
+  spawn([fn = std::move(fn), &wg](TaskContext& ctx) {
+    fn(ctx);
+    wg.done();
+  });
+}
+
+void TaskContext::wait_help(WaitGroup& wg) {
+  unsigned spins = 0;
+  while (!wg.idle()) {
+    if (pool_->try_run_one(worker_, /*helping=*/true)) {
+      spins = 0;
+    } else if (++spins > 64) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+ThreadPool::ThreadPool(const PoolOptions& options)
+    : steal_k_(options.steal_k), admit_by_weight_(options.admit_by_weight) {
+  const unsigned n = options.workers == 0 ? 1 : options.workers;
+  sim::Rng root_rng(options.seed);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    auto state = std::make_unique<WorkerState>();
+    state->rng = root_rng.fork(i + 1);
+    workers_.push_back(std::move(state));
+  }
+  for (unsigned i = 0; i < n; ++i)
+    workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+JobHandle ThreadPool::submit(TaskFn root, double weight) {
+  if (!accepting_.load(std::memory_order_acquire))
+    throw std::logic_error("ThreadPool::submit: pool is shutting down");
+  auto job = std::make_shared<Job>(jobs_submitted_.fetch_add(1) + 1, weight);
+  job->mark_submitted();
+  job->add_pending();  // the root task
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    live_jobs_.push_back(job);
+  }
+  admission_.push(new Task{job.get(), std::move(root)});
+  idle_cv_.notify_one();
+  return job;
+}
+
+void ThreadPool::wait_all() {
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [this] {
+    return jobs_completed_.load(std::memory_order_acquire) ==
+           jobs_submitted_.load(std::memory_order_acquire);
+  });
+}
+
+void ThreadPool::shutdown() {
+  bool expected = true;
+  if (!accepting_.compare_exchange_strong(expected, false))
+    return;  // already shut down (or shutting down on another thread)
+  wait_all();
+  stop_.store(true, std::memory_order_release);
+  idle_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+  std::lock_guard<std::mutex> lock(done_mu_);
+  live_jobs_.clear();
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats total;
+  for (const auto& w : workers_) {
+    total.steal_attempts += w->stats.steal_attempts;
+    total.successful_steals += w->stats.successful_steals;
+    total.admissions += w->stats.admissions;
+    total.tasks_executed += w->stats.tasks_executed;
+  }
+  return total;
+}
+
+void ThreadPool::execute(Task* task, unsigned worker) {
+  Job* job = task->job;
+  {
+    TaskContext ctx(this, worker, job);
+    task->fn(ctx);
+  }
+  delete task;
+  ++workers_[worker]->stats.tasks_executed;
+  if (job->finish_one()) {
+    recorder_.record(*job);
+    jobs_completed_.fetch_add(1, std::memory_order_acq_rel);
+    done_cv_.notify_all();
+  }
+}
+
+Task* ThreadPool::try_steal(unsigned thief) {
+  const unsigned n = workers();
+  if (n <= 1) return nullptr;
+  WorkerState& me = *workers_[thief];
+  unsigned victim = static_cast<unsigned>(me.rng.uniform_int(n - 1));
+  if (victim >= thief) ++victim;
+  Task* task = nullptr;
+  if (workers_[victim]->deque.steal(task)) return task;
+  return nullptr;
+}
+
+bool ThreadPool::try_run_one(unsigned index, bool helping) {
+  WorkerState& w = *workers_[index];
+
+  Task* task = nullptr;
+  if (w.deque.pop(task)) {
+    w.fail_count = 0;
+    execute(task, index);
+    return true;
+  }
+
+  // Admission is policy-gated: only after k consecutive failed steals
+  // (immediately when k == 0).  Helpers joining a WaitGroup never admit —
+  // starting a brand-new job in the middle of a join would delay the join
+  // arbitrarily.
+  if (!helping && w.fail_count >= steal_k_) {
+    task = admit_by_weight_ ? admission_.try_pop_heaviest()
+                            : admission_.try_pop();
+    if (task != nullptr) {
+      ++w.stats.admissions;
+      w.fail_count = 0;
+      execute(task, index);
+      return true;
+    }
+  }
+
+  ++w.stats.steal_attempts;
+  task = try_steal(index);
+  if (task != nullptr) {
+    ++w.stats.successful_steals;
+    w.fail_count = 0;
+    execute(task, index);
+    return true;
+  }
+  ++w.fail_count;
+  return false;
+}
+
+void ThreadPool::worker_main(unsigned index) {
+  unsigned idle_spins = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (try_run_one(index, /*helping=*/false)) {
+      idle_spins = 0;
+      continue;
+    }
+    if (++idle_spins > 128) {
+      std::unique_lock<std::mutex> lock(idle_mu_);
+      idle_cv_.wait_for(lock, std::chrono::microseconds(500));
+      idle_spins = 0;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace pjsched::runtime

@@ -1,0 +1,171 @@
+// The TBB-style multiprogrammed work-stealing thread pool (paper Section 6:
+// "We extended TBB to schedule multiple jobs arriving online by adding a
+// global FIFO queue for admitting jobs and we implement both admit-first
+// and steal-k-first").
+//
+// Architecture:
+//   * one worker thread per configured slot, each owning a Chase–Lev deque;
+//   * a global FIFO AdmissionQueue of job root tasks;
+//   * workers run: local pop -> (policy-gated) admit -> random steal;
+//     under steal-k-first a worker admits only after k consecutive failed
+//     steal attempts, under admit-first (k = 0) it checks the global queue
+//     as soon as its deque is empty;
+//   * tasks spawn subtasks onto their worker's deque (TaskContext::spawn)
+//     and join with help-first waiting (TaskContext::wait_help), which
+//     executes other tasks instead of blocking the thread;
+//   * job flow times land in a FlowRecorder.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/admission_queue.h"
+#include "src/runtime/chase_lev_deque.h"
+#include "src/runtime/flow_recorder.h"
+#include "src/runtime/job.h"
+#include "src/sim/rng.h"
+
+namespace pjsched::runtime {
+
+struct PoolOptions {
+  unsigned workers = std::thread::hardware_concurrency();
+  /// Failed steal attempts before a worker may admit from the global queue
+  /// (0 = admit-first; the paper's empirical choice is 16).
+  unsigned steal_k = 0;
+  /// Extension: admit the heaviest queued job instead of the oldest
+  /// (mirrors the simulator's "-bwf" work-stealing variants).
+  bool admit_by_weight = false;
+  std::uint64_t seed = 1;
+};
+
+struct PoolStats {
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t successful_steals = 0;
+  std::uint64_t admissions = 0;
+  std::uint64_t tasks_executed = 0;
+};
+
+class ThreadPool;
+
+/// Handed to every executing task; the gateway for spawning subtasks.
+class TaskContext {
+ public:
+  /// Spawns a subtask of the current job onto this worker's deque.
+  void spawn(TaskFn fn);
+
+  /// Spawns a subtask that signals `wg` when it finishes.
+  void spawn(TaskFn fn, WaitGroup& wg);
+
+  /// Help-first join: executes queued/stolen tasks until wg.idle().
+  /// Never blocks the worker thread.
+  void wait_help(WaitGroup& wg);
+
+  /// The job this task belongs to.
+  Job& job() const { return *job_; }
+  /// Index of the executing worker.
+  unsigned worker_index() const { return worker_; }
+  ThreadPool& pool() const { return *pool_; }
+
+ private:
+  friend class ThreadPool;
+  TaskContext(ThreadPool* pool, unsigned worker, Job* job)
+      : pool_(pool), worker_(worker), job_(job) {}
+
+  ThreadPool* pool_;
+  unsigned worker_;
+  Job* job_;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(const PoolOptions& options);
+  /// Drains all submitted jobs, then stops and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Submits a job whose root task is `root`; returns immediately.
+  /// The submission time recorded for flow accounting is *now*.
+  JobHandle submit(TaskFn root, double weight = 1.0);
+
+  /// Blocks until every job submitted so far has completed.
+  void wait_all();
+
+  /// Stops accepting jobs, drains, and joins workers (idempotent; also run
+  /// by the destructor).
+  void shutdown();
+
+  unsigned workers() const { return static_cast<unsigned>(workers_.size()); }
+  FlowRecorder& recorder() { return recorder_; }
+  /// Aggregated across workers; safe to read when the pool is quiescent.
+  PoolStats stats() const;
+
+ private:
+  friend class TaskContext;
+
+  struct WorkerState {
+    ChaseLevDeque<Task*> deque;
+    sim::Rng rng{1};
+    unsigned fail_count = 0;
+    PoolStats stats;
+    std::thread thread;
+  };
+
+  void worker_main(unsigned index);
+  /// One acquire-execute round; returns true if a task was executed.
+  /// `helping` suppresses admission (a helper joining a WaitGroup must not
+  /// start brand-new jobs mid-join: it only drains existing work).
+  bool try_run_one(unsigned index, bool helping);
+  void execute(Task* task, unsigned worker);
+  Task* try_steal(unsigned thief);
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  AdmissionQueue admission_;
+  FlowRecorder recorder_;
+  const unsigned steal_k_;
+  const bool admit_by_weight_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> accepting_{true};
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  /// Keeps every submitted job alive until shutdown even if the caller
+  /// drops its handle (tasks hold raw Job pointers).
+  std::vector<JobHandle> live_jobs_;
+};
+
+/// Parallel-for over [begin, end): splits into chunks of at most `grain`
+/// consecutive indices, spawns one subtask per chunk, and help-joins.
+/// `body` receives (chunk_begin, chunk_end).  Must be called from inside a
+/// task (uses ctx.spawn / ctx.wait_help).
+template <typename Body>
+void parallel_for(TaskContext& ctx, std::size_t begin, std::size_t end,
+                  std::size_t grain, Body body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t count = end - begin;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+  WaitGroup wg;
+  // Keep the last chunk for ourselves; spawn the rest.
+  for (std::size_t c = 0; c + 1 < chunks; ++c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain;
+    ctx.spawn([lo, hi, &body](TaskContext&) { body(lo, hi); }, wg);
+  }
+  body(begin + (chunks - 1) * grain, end);
+  ctx.wait_help(wg);
+}
+
+}  // namespace pjsched::runtime

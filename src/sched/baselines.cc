@@ -1,0 +1,110 @@
+#include "src/sched/baselines.h"
+
+#include <algorithm>
+
+#include "src/sim/event_engine.h"
+
+namespace pjsched::sched {
+
+namespace {
+
+class LifoPolicy final : public sim::OrderPolicy {
+ public:
+  std::string name() const override { return "lifo"; }
+  void order(const sim::PolicyContext& ctx,
+             std::vector<core::JobId>& active) override {
+    std::stable_sort(active.begin(), active.end(),
+                     [&ctx](core::JobId a, core::JobId b) {
+                       return ctx.arrival(a) > ctx.arrival(b);
+                     });
+  }
+};
+
+class SjfPolicy final : public sim::OrderPolicy {
+ public:
+  std::string name() const override { return "sjf"; }
+  void order(const sim::PolicyContext& ctx,
+             std::vector<core::JobId>& active) override {
+    std::stable_sort(active.begin(), active.end(),
+                     [&ctx](core::JobId a, core::JobId b) {
+                       return ctx.remaining_work(a) < ctx.remaining_work(b);
+                     });
+  }
+};
+
+class RoundRobinPolicy final : public sim::OrderPolicy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  void order(const sim::PolicyContext&,
+             std::vector<core::JobId>& active) override {
+    // Rotate the base (arrival) order by one more position each decision
+    // point, so over time each active job gets priority in turn.
+    if (active.size() > 1)
+      std::rotate(active.begin(),
+                  active.begin() + (rotation_++ % active.size()),
+                  active.end());
+  }
+
+ private:
+  std::size_t rotation_ = 0;
+};
+
+class EquiPolicy final : public sim::OrderPolicy {
+ public:
+  std::string name() const override { return "equi"; }
+  void order(const sim::PolicyContext& ctx,
+             std::vector<core::JobId>& active) override {
+    // Share order is arrival order (deterministic); the equal split comes
+    // from processor_cap, and leftover redistribution keeps the machine
+    // work-conserving.
+    std::stable_sort(active.begin(), active.end(),
+                     [&ctx](core::JobId a, core::JobId b) {
+                       return ctx.arrival(a) < ctx.arrival(b);
+                     });
+  }
+  unsigned processor_cap(const sim::PolicyContext&, core::JobId,
+                         unsigned processors,
+                         std::size_t active_jobs) override {
+    const auto n = static_cast<unsigned>(active_jobs);
+    return n == 0 ? processors : (processors + n - 1) / n;
+  }
+};
+
+template <typename Policy>
+core::ScheduleResult run_with(const core::Instance& instance,
+                              const core::MachineConfig& machine,
+                              sim::Trace* trace) {
+  Policy policy;
+  sim::EventEngineOptions opt;
+  opt.machine = machine;
+  opt.trace = trace;
+  return sim::run_event_engine(instance, policy, opt);
+}
+
+}  // namespace
+
+core::ScheduleResult LifoScheduler::run(const core::Instance& instance,
+                                        const core::MachineConfig& machine,
+                                        sim::Trace* trace) {
+  return run_with<LifoPolicy>(instance, machine, trace);
+}
+
+core::ScheduleResult SjfScheduler::run(const core::Instance& instance,
+                                       const core::MachineConfig& machine,
+                                       sim::Trace* trace) {
+  return run_with<SjfPolicy>(instance, machine, trace);
+}
+
+core::ScheduleResult RoundRobinScheduler::run(const core::Instance& instance,
+                                              const core::MachineConfig& machine,
+                                              sim::Trace* trace) {
+  return run_with<RoundRobinPolicy>(instance, machine, trace);
+}
+
+core::ScheduleResult EquiScheduler::run(const core::Instance& instance,
+                                        const core::MachineConfig& machine,
+                                        sim::Trace* trace) {
+  return run_with<EquiPolicy>(instance, machine, trace);
+}
+
+}  // namespace pjsched::sched

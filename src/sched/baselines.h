@@ -1,0 +1,55 @@
+// Non-paper baseline schedulers, used by benches to contrast FIFO/BWF/work
+// stealing against policies known to be bad (or unrealistically clairvoyant)
+// for maximum flow time:
+//
+//  * LIFO           — newest job first.  Starves old jobs; max flow blows up
+//                     under load, illustrating why FIFO ordering matters.
+//  * SJF            — clairvoyant shortest-remaining-total-work first.
+//                     Great for mean flow, bad for max flow under skew.
+//  * RoundRobin     — rotates the job priority order at every decision
+//                     point (a crude processor-sharing approximation).
+//  * Equi           — dynamic equipartition: every active job is offered
+//                     ceil(m / #active) processors, leftovers redistributed
+//                     (work-conserving).  The canonical fair scheduler of
+//                     the speedup-curves literature the paper contrasts
+//                     against (Section 8 / Edmonds-Pruhs): strong for
+//                     average flow, weak for maximum flow.
+#pragma once
+
+#include "src/sched/scheduler.h"
+
+namespace pjsched::sched {
+
+class LifoScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "lifo"; }
+  core::ScheduleResult run(const core::Instance& instance,
+                           const core::MachineConfig& machine,
+                           sim::Trace* trace = nullptr) override;
+};
+
+class SjfScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "sjf"; }
+  core::ScheduleResult run(const core::Instance& instance,
+                           const core::MachineConfig& machine,
+                           sim::Trace* trace = nullptr) override;
+};
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+  core::ScheduleResult run(const core::Instance& instance,
+                           const core::MachineConfig& machine,
+                           sim::Trace* trace = nullptr) override;
+};
+
+class EquiScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "equi"; }
+  core::ScheduleResult run(const core::Instance& instance,
+                           const core::MachineConfig& machine,
+                           sim::Trace* trace = nullptr) override;
+};
+
+}  // namespace pjsched::sched

@@ -1,0 +1,35 @@
+#include "src/sched/bwf.h"
+
+#include <algorithm>
+
+#include "src/sim/event_engine.h"
+
+namespace pjsched::sched {
+
+namespace {
+class BwfPolicy final : public sim::OrderPolicy {
+ public:
+  std::string name() const override { return "bwf"; }
+  void order(const sim::PolicyContext& ctx,
+             std::vector<core::JobId>& active) override {
+    std::stable_sort(active.begin(), active.end(),
+                     [&ctx](core::JobId a, core::JobId b) {
+                       if (ctx.weight(a) != ctx.weight(b))
+                         return ctx.weight(a) > ctx.weight(b);
+                       return ctx.arrival(a) < ctx.arrival(b);
+                     });
+  }
+};
+}  // namespace
+
+core::ScheduleResult BwfScheduler::run(const core::Instance& instance,
+                                       const core::MachineConfig& machine,
+                                       sim::Trace* trace) {
+  BwfPolicy policy;
+  sim::EventEngineOptions opt;
+  opt.machine = machine;
+  opt.trace = trace;
+  return sim::run_event_engine(instance, policy, opt);
+}
+
+}  // namespace pjsched::sched

@@ -1,0 +1,22 @@
+// Biggest-Weight-First (paper Section 7).
+//
+// Identical machinery to FIFO, but active jobs are ordered by *decreasing
+// weight* (ties: earlier arrival, then job index).  Theorem 7.1: BWF is
+// (1+eps)-speed O(1/eps^2)-competitive for maximum weighted flow time — the
+// strongest result possible online given the Omega(W^0.4) lower bound
+// without resource augmentation.
+#pragma once
+
+#include "src/sched/scheduler.h"
+
+namespace pjsched::sched {
+
+class BwfScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "bwf"; }
+  core::ScheduleResult run(const core::Instance& instance,
+                           const core::MachineConfig& machine,
+                           sim::Trace* trace = nullptr) override;
+};
+
+}  // namespace pjsched::sched

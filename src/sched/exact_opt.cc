@@ -1,0 +1,180 @@
+#include "src/sched/exact_opt.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace pjsched::sched {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+struct FlatInstance {
+  unsigned m = 1;
+  std::size_t total_nodes = 0;
+  std::vector<std::uint32_t> job_of;          // global node -> job
+  std::vector<Mask> pred_mask;                // global node -> predecessor set
+  std::vector<Mask> job_mask;                 // job -> its nodes
+  std::vector<std::int64_t> arrival;          // job -> integer arrival
+  std::int64_t last_arrival = 0;
+};
+
+FlatInstance flatten(const core::Instance& instance, unsigned m) {
+  instance.validate();
+  if (m == 0) throw std::invalid_argument("exact_optimal_max_flow: m == 0");
+
+  FlatInstance flat;
+  flat.m = m;
+  for (const core::JobSpec& job : instance.jobs)
+    flat.total_nodes += job.graph.node_count();
+  if (flat.total_nodes > kMaxTotalNodes)
+    throw std::invalid_argument(
+        "exact_optimal_max_flow: instance too large (max " +
+        std::to_string(kMaxTotalNodes) + " total nodes)");
+
+  std::size_t offset = 0;
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    const core::JobSpec& job = instance.jobs[j];
+    const double r = job.arrival;
+    if (std::abs(r - std::llround(r)) > 1e-9)
+      throw std::invalid_argument(
+          "exact_optimal_max_flow: arrivals must be integers");
+    flat.arrival.push_back(std::llround(r));
+    flat.last_arrival = std::max(flat.last_arrival, flat.arrival.back());
+
+    Mask jmask = 0;
+    for (dag::NodeId v = 0; v < job.graph.node_count(); ++v) {
+      if (job.graph.work_of(v) != 1)
+        throw std::invalid_argument(
+            "exact_optimal_max_flow: nodes must have unit work");
+      Mask preds = 0;
+      for (dag::NodeId p : job.graph.predecessors(v))
+        preds |= Mask{1} << (offset + p);
+      flat.job_of.push_back(static_cast<std::uint32_t>(j));
+      flat.pred_mask.push_back(preds);
+      jmask |= Mask{1} << (offset + v);
+    }
+    flat.job_mask.push_back(jmask);
+    offset += job.graph.node_count();
+  }
+  return flat;
+}
+
+class Searcher {
+ public:
+  Searcher(const FlatInstance& flat, std::uint64_t state_limit)
+      : flat_(flat), state_limit_(state_limit) {}
+
+  double solve() { return dfs(0, 0); }
+  std::uint64_t states() const { return states_; }
+
+ private:
+  // Minimal achievable max flow over jobs not yet complete in `mask`,
+  // starting at integer time `t`.
+  double dfs(std::int64_t t, Mask mask) {
+    const Mask full = flat_.total_nodes == 32
+                          ? ~Mask{0}
+                          : (Mask{1} << flat_.total_nodes) - 1;
+    if (mask == full) return 0.0;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(t) << 32) | mask;
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+    if (++states_ > state_limit_)
+      throw std::runtime_error("exact_optimal_max_flow: state limit exceeded");
+
+    // Ready nodes at time t.  Local per frame: recursive dfs calls (via
+    // step_value) must not clobber the set we are still iterating.
+    std::vector<std::uint32_t> ready;
+    for (std::size_t v = 0; v < flat_.total_nodes; ++v) {
+      const Mask bit = Mask{1} << v;
+      if (mask & bit) continue;
+      if (flat_.arrival[flat_.job_of[v]] > t) continue;
+      if ((flat_.pred_mask[v] & mask) != flat_.pred_mask[v]) continue;
+      ready.push_back(static_cast<std::uint32_t>(v));
+    }
+
+    double best;
+    if (ready.empty()) {
+      // Nothing runnable: jump to the next arrival (one must exist, else
+      // the instance would already be complete).
+      std::int64_t next = -1;
+      for (std::size_t j = 0; j < flat_.arrival.size(); ++j)
+        if (flat_.arrival[j] > t &&
+            (flat_.job_mask[j] & ~mask) != 0 &&
+            (next < 0 || flat_.arrival[j] < next))
+          next = flat_.arrival[j];
+      if (next < 0)
+        throw std::logic_error("exact_optimal_max_flow: deadlocked state");
+      best = dfs(next, mask);
+    } else if (ready.size() <= flat_.m) {
+      // Running every ready node is weakly dominant (unit nodes, free
+      // preemption): single branch.
+      Mask add = 0;
+      for (std::uint32_t v : ready) add |= Mask{1} << v;
+      best = step_value(t, mask, add);
+    } else {
+      // Branch over all size-m subsets of the ready set.
+      best = std::numeric_limits<double>::infinity();
+      std::vector<std::uint32_t> chosen;
+      enumerate(t, mask, ready, 0, chosen, best);
+    }
+
+    memo_.emplace(key, best);
+    return best;
+  }
+
+  // Value of running exactly `add` during [t, t+1).
+  double step_value(std::int64_t t, Mask mask, Mask add) {
+    const Mask next_mask = mask | add;
+    double flows = 0.0;
+    for (std::size_t j = 0; j < flat_.job_mask.size(); ++j) {
+      const Mask jm = flat_.job_mask[j];
+      if ((mask & jm) != jm && (next_mask & jm) == jm)
+        flows = std::max(
+            flows, static_cast<double>(t + 1 - flat_.arrival[j]));
+    }
+    return std::max(flows, dfs(t + 1, next_mask));
+  }
+
+  void enumerate(std::int64_t t, Mask mask,
+                 const std::vector<std::uint32_t>& ready, std::size_t from,
+                 std::vector<std::uint32_t>& chosen, double& best) {
+    if (chosen.size() == flat_.m) {
+      Mask add = 0;
+      for (std::uint32_t v : chosen) add |= Mask{1} << v;
+      best = std::min(best, step_value(t, mask, add));
+      return;
+    }
+    // Not enough remaining candidates to fill the subset -> stop.
+    if (from + (flat_.m - chosen.size()) > ready.size()) return;
+    for (std::size_t i = from; i < ready.size(); ++i) {
+      chosen.push_back(ready[i]);
+      enumerate(t, mask, ready, i + 1, chosen, best);
+      chosen.pop_back();
+    }
+  }
+
+  const FlatInstance& flat_;
+  const std::uint64_t state_limit_;
+  std::unordered_map<std::uint64_t, double> memo_;
+  std::uint64_t states_ = 0;
+};
+
+}  // namespace
+
+ExactOptResult exact_optimal_max_flow(const core::Instance& instance,
+                                      unsigned m,
+                                      std::uint64_t state_limit) {
+  const FlatInstance flat = flatten(instance, m);
+  Searcher searcher(flat, state_limit);
+  ExactOptResult result;
+  result.max_flow = searcher.solve();
+  result.states_explored = searcher.states();
+  return result;
+}
+
+}  // namespace pjsched::sched

@@ -1,0 +1,33 @@
+#include "src/sched/fifo.h"
+
+#include <algorithm>
+
+#include "src/sim/event_engine.h"
+
+namespace pjsched::sched {
+
+namespace {
+class FifoPolicy final : public sim::OrderPolicy {
+ public:
+  std::string name() const override { return "fifo"; }
+  void order(const sim::PolicyContext& ctx,
+             std::vector<core::JobId>& active) override {
+    std::stable_sort(active.begin(), active.end(),
+                     [&ctx](core::JobId a, core::JobId b) {
+                       return ctx.arrival(a) < ctx.arrival(b);
+                     });
+  }
+};
+}  // namespace
+
+core::ScheduleResult FifoScheduler::run(const core::Instance& instance,
+                                        const core::MachineConfig& machine,
+                                        sim::Trace* trace) {
+  FifoPolicy policy;
+  sim::EventEngineOptions opt;
+  opt.machine = machine;
+  opt.trace = trace;
+  return sim::run_event_engine(instance, policy, opt);
+}
+
+}  // namespace pjsched::sched

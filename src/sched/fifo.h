@@ -1,0 +1,23 @@
+// The paper's idealized FIFO scheduler (Section 3).
+//
+// At every decision point the active jobs are ordered by arrival time
+// (ties: job index), and each job in order is granted one processor per
+// available node until processors run out.  FIFO preempts and reallocates
+// at every event, at zero cost — the paper's Theorem 3.1 shows this
+// idealized scheduler is (1+eps)-speed O(1/eps)-competitive for maximum
+// unweighted flow time.
+#pragma once
+
+#include "src/sched/scheduler.h"
+
+namespace pjsched::sched {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "fifo"; }
+  core::ScheduleResult run(const core::Instance& instance,
+                           const core::MachineConfig& machine,
+                           sim::Trace* trace = nullptr) override;
+};
+
+}  // namespace pjsched::sched

@@ -1,0 +1,34 @@
+#include "src/sched/opt_bound.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pjsched::sched {
+
+core::ScheduleResult OptLowerBound::run(const core::Instance& instance,
+                                        const core::MachineConfig& machine,
+                                        sim::Trace* /*trace*/) {
+  instance.validate();
+  if (machine.processors == 0)
+    throw std::invalid_argument("OptLowerBound: zero processors");
+
+  const double m = static_cast<double>(machine.processors);
+  const double s = use_machine_speed_ ? machine.speed : 1.0;
+
+  core::ScheduleResult result;
+  result.scheduler_name = name();
+  result.completion.assign(instance.size(), core::kNoTime);
+
+  // FIFO on a single machine where job i has processing time W_i / (m*s).
+  core::Time frontier = 0.0;
+  for (core::JobId j : instance.arrival_order()) {
+    const core::JobSpec& job = instance.jobs[j];
+    const double p = static_cast<double>(job.graph.total_work()) / (m * s);
+    frontier = std::max(frontier, job.arrival) + p;
+    result.completion[j] = frontier;
+  }
+  result.finalize(instance.jobs);
+  return result;
+}
+
+}  // namespace pjsched::sched

@@ -1,0 +1,42 @@
+// The paper's simulated-OPT lower bound (Section 6).
+//
+// Computing the true optimal max-flow schedule for online DAG jobs is
+// intractable, so the paper compares against a *lower bound*: assume every
+// job is fully parallelizable with zero overhead, i.e. behaves as a
+// sequential job of length W_i/m, and schedule these on a single machine by
+// FIFO — which is optimal for max flow time on one machine.  Every feasible
+// schedule of the real instance has max flow >= this bound, so a scheduler
+// that is close to it is close to OPT.
+//
+// OptLowerBound::run computes the bound analytically in O(n log n):
+//     c_i = max(r_i, c_prev) + W_i / m        (jobs in arrival order)
+// It deliberately ignores the machine's speed (OPT is always the 1-speed
+// adversary in the paper's resource-augmentation analyses); a flag lets
+// benches request a speed-scaled variant.
+#pragma once
+
+#include "src/sched/scheduler.h"
+
+namespace pjsched::sched {
+
+class OptLowerBound final : public Scheduler {
+ public:
+  /// If `use_machine_speed` is true the bound is computed for the machine's
+  /// own speed (jobs shrink to W_i/(m*s)); by default the adversary runs at
+  /// speed 1 regardless of the algorithm's augmentation, as in the paper.
+  explicit OptLowerBound(bool use_machine_speed = false)
+      : use_machine_speed_(use_machine_speed) {}
+
+  std::string name() const override { return "opt-lower-bound"; }
+
+  /// Analytic; `trace` is ignored (there is no machine-model execution to
+  /// audit — the bound is not a feasible schedule of the DAG instance).
+  core::ScheduleResult run(const core::Instance& instance,
+                           const core::MachineConfig& machine,
+                           sim::Trace* trace = nullptr) override;
+
+ private:
+  bool use_machine_speed_;
+};
+
+}  // namespace pjsched::sched

@@ -1,0 +1,30 @@
+// Common scheduler interface.  A Scheduler consumes a full online Instance
+// and produces the schedule outcome; implementations wrap one of the two
+// simulation engines (src/sim) with a policy, or — for OptLowerBound — an
+// analytic computation.  Schedulers are reusable: run() may be called on
+// many instances.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/types.h"
+#include "src/sim/trace.h"
+
+namespace pjsched::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable name ("fifo", "steal-16-first", ...).
+  virtual std::string name() const = 0;
+
+  /// Simulates the instance to completion on the given machine.  If `trace`
+  /// is non-null, records the execution for auditing.
+  virtual core::ScheduleResult run(const core::Instance& instance,
+                                   const core::MachineConfig& machine,
+                                   sim::Trace* trace = nullptr) = 0;
+};
+
+}  // namespace pjsched::sched

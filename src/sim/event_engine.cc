@@ -1,0 +1,212 @@
+#include "src/sim/event_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/dag/dag.h"
+
+namespace pjsched::sim {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct JobState {
+  explicit JobState(const dag::Dag& g) : tracker(g), remaining(g.node_count(), 0.0) {}
+
+  dag::ReadyTracker tracker;
+  // Nodes available for execution: ready, or started and preempted.
+  std::vector<dag::NodeId> available;
+  std::vector<double> remaining;  // work units left, per node
+  bool arrived = false;
+  bool finished = false;
+};
+
+// Claims every currently-ready node of the tracker into the available list.
+void absorb_ready(JobState& js) {
+  while (js.tracker.ready_count() > 0) {
+    const dag::NodeId v = js.tracker.ready().front();
+    js.tracker.claim(v);
+    js.remaining[v] = static_cast<double>(js.tracker.dag().work_of(v));
+    js.available.push_back(v);
+  }
+}
+
+class ContextImpl final : public PolicyContext {
+ public:
+  explicit ContextImpl(const core::Instance& inst) : inst_(inst) {}
+
+  core::Time now() const override { return now_; }
+  core::Time arrival(core::JobId j) const override { return inst_.jobs[j].arrival; }
+  double weight(core::JobId j) const override { return inst_.jobs[j].weight; }
+  double remaining_work(core::JobId j) const override {
+    return static_cast<double>(inst_.jobs[j].graph.total_work()) -
+           (*processed_)[j];
+  }
+
+  void set_now(core::Time t) { now_ = t; }
+  void set_processed(const std::vector<double>* p) { processed_ = p; }
+
+ private:
+  const core::Instance& inst_;
+  const std::vector<double>* processed_ = nullptr;
+  core::Time now_ = 0.0;
+};
+
+}  // namespace
+
+core::ScheduleResult run_event_engine(const core::Instance& instance,
+                                      OrderPolicy& policy,
+                                      const EventEngineOptions& options) {
+  instance.validate();
+  const unsigned m = options.machine.processors;
+  const double s = options.machine.speed;
+  if (m == 0) throw std::invalid_argument("run_event_engine: zero processors");
+  if (!(s > 0.0)) throw std::invalid_argument("run_event_engine: speed must be > 0");
+
+  const std::size_t n = instance.size();
+  std::vector<JobState> states;
+  states.reserve(n);
+  for (const core::JobSpec& j : instance.jobs) states.emplace_back(j.graph);
+
+  // Cumulative processed work per job, for clairvoyant policies.
+  std::vector<double> processed(n, 0.0);
+
+  const std::vector<core::JobId> by_arrival = instance.arrival_order();
+  std::size_t next_arrival_idx = 0;
+  std::size_t unfinished = n;
+
+  core::ScheduleResult result;
+  result.scheduler_name = policy.name();
+  result.completion.assign(n, core::kNoTime);
+
+  ContextImpl ctx(instance);
+  ctx.set_processed(&processed);
+
+  core::Time t = 0.0;
+  std::vector<core::JobId> active;
+  std::vector<std::pair<core::JobId, dag::NodeId>> assigned;
+
+  // Defensive cap: every slice either completes a node, admits an arrival,
+  // or both, so slices <= total nodes + n + 1.
+  std::uint64_t max_slices = static_cast<std::uint64_t>(n) + 1;
+  for (const core::JobSpec& j : instance.jobs)
+    max_slices += j.graph.node_count();
+  max_slices = max_slices * 2 + 16;
+
+  std::uint64_t slices = 0;
+  while (unfinished > 0) {
+    if (++slices > max_slices)
+      throw std::logic_error("run_event_engine: simulation failed to make progress");
+
+    // Admit arrivals at the current time.
+    while (next_arrival_idx < n &&
+           instance.jobs[by_arrival[next_arrival_idx]].arrival <= t + kEps) {
+      const core::JobId j = by_arrival[next_arrival_idx++];
+      states[j].arrived = true;
+      absorb_ready(states[j]);
+    }
+
+    // Collect active jobs (arrival order is the deterministic base order).
+    active.clear();
+    for (std::size_t k = 0; k < next_arrival_idx; ++k) {
+      const core::JobId j = by_arrival[k];
+      if (!states[j].finished) active.push_back(j);
+    }
+
+    if (active.empty()) {
+      // Idle until the next arrival.
+      if (next_arrival_idx >= n)
+        throw std::logic_error("run_event_engine: no active jobs but jobs unfinished");
+      const core::Time t_next = instance.jobs[by_arrival[next_arrival_idx]].arrival;
+      result.stats.idle_processor_time += static_cast<double>(m) * (t_next - t);
+      t = t_next;
+      continue;
+    }
+
+    // Ask the policy for a priority order and allocate greedily.
+    ctx.set_now(t);
+    policy.order(ctx, active);
+    ++result.stats.decision_points;
+
+    assigned.clear();
+    // Pass 1: each job in priority order receives up to its policy cap.
+    // Pass 2 (work conservation): leftover processors go to still-hungry
+    // jobs in the same order, ignoring caps.
+    std::vector<std::size_t> taken(active.size(), 0);
+    for (std::size_t rank = 0; rank < active.size(); ++rank) {
+      const core::JobId j = active[rank];
+      const JobState& js = states[j];
+      const unsigned cap = policy.processor_cap(ctx, j, m, active.size());
+      for (dag::NodeId v : js.available) {
+        if (assigned.size() >= m || taken[rank] >= cap) break;
+        assigned.emplace_back(j, v);
+        ++taken[rank];
+      }
+      if (assigned.size() >= m) break;
+    }
+    for (std::size_t rank = 0;
+         rank < active.size() && assigned.size() < m; ++rank) {
+      const core::JobId j = active[rank];
+      const JobState& js = states[j];
+      for (std::size_t vi = taken[rank];
+           vi < js.available.size() && assigned.size() < m; ++vi)
+        assigned.emplace_back(j, js.available[vi]);
+    }
+    if (assigned.empty())
+      throw std::logic_error("run_event_engine: active jobs but nothing to run");
+
+    // Time to the next event: the earliest assigned-node completion or the
+    // next arrival.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const auto& [j, v] : assigned)
+      dt = std::min(dt, states[j].remaining[v] / s);
+    if (next_arrival_idx < n) {
+      const core::Time t_next = instance.jobs[by_arrival[next_arrival_idx]].arrival;
+      dt = std::min(dt, t_next - t);
+    }
+    dt = std::max(dt, 0.0);
+
+    // Advance all assigned nodes by s * dt.
+    const core::Time t_end = t + dt;
+    unsigned proc = 0;
+    for (const auto& [j, v] : assigned) {
+      JobState& js = states[j];
+      js.remaining[v] -= s * dt;
+      processed[j] += s * dt;
+      if (options.trace != nullptr && dt > 0.0)
+        options.trace->add_interval({j, v, proc, t, t_end});
+      ++proc;
+    }
+    result.stats.idle_processor_time +=
+        static_cast<double>(m - assigned.size()) * dt;
+
+    // Process completions (remaining within tolerance of zero).
+    for (const auto& [j, v] : assigned) {
+      JobState& js = states[j];
+      if (js.finished) continue;  // (cannot happen: one completion per node)
+      if (js.remaining[v] <= kEps) {
+        js.remaining[v] = 0.0;
+        auto it = std::find(js.available.begin(), js.available.end(), v);
+        js.available.erase(it);
+        js.tracker.complete(v);
+        absorb_ready(js);
+        if (js.tracker.done()) {
+          js.finished = true;
+          result.completion[j] = t_end;
+          --unfinished;
+        }
+      }
+    }
+
+    t = t_end;
+  }
+
+  if (options.trace != nullptr) options.trace->coalesce();
+  result.finalize(instance.jobs);
+  return result;
+}
+
+}  // namespace pjsched::sim

@@ -1,0 +1,77 @@
+// Centralized, preemptive, event-driven m-processor simulation.
+//
+// This engine models the paper's *idealized* centralized schedulers (FIFO,
+// Section 3; BWF, Section 7; plus baselines): at every decision point the
+// scheduler orders the active jobs by its policy and greedily hands each
+// job's available nodes to unique processors until processors or nodes run
+// out.  Reallocation (including preemption of partially executed nodes, at
+// zero cost) happens at every event — job arrival or node completion —
+// which is exactly the set of instants at which such an allocation can
+// change, so the event-driven simulation is exact, not a discretization.
+//
+// Processors run at speed `s`: an assigned node's remaining work decreases
+// at rate s per unit time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/sim/trace.h"
+
+namespace pjsched::sim {
+
+/// Read-only view the ordering policy gets at each decision point.
+class PolicyContext {
+ public:
+  virtual ~PolicyContext() = default;
+  virtual core::Time now() const = 0;
+  virtual core::Time arrival(core::JobId j) const = 0;
+  virtual double weight(core::JobId j) const = 0;
+  /// Remaining unprocessed work of job j, in work units.  Only clairvoyant
+  /// policies (e.g. shortest-job-first baselines) may use this.
+  virtual double remaining_work(core::JobId j) const = 0;
+};
+
+/// Orders active jobs, highest priority first.  Implementations must be
+/// deterministic given their own state; they may keep state across calls
+/// (e.g. round robin) since the engine invokes order() exactly once per
+/// decision point in simulated-time order.
+class OrderPolicy {
+ public:
+  virtual ~OrderPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual void order(const PolicyContext& ctx,
+                     std::vector<core::JobId>& active) = 0;
+
+  /// Maximum processors the engine may hand to `job` at this decision
+  /// point (before any leftover redistribution: after every job in
+  /// priority order has been offered its cap, remaining processors are
+  /// re-offered cap-free in the same order, keeping the machine
+  /// work-conserving).  Default: unlimited — the greedy ordered allocation
+  /// of FIFO/BWF.  Equipartition-style policies override this.
+  virtual unsigned processor_cap(const PolicyContext& ctx, core::JobId job,
+                                 unsigned processors,
+                                 std::size_t active_jobs) {
+    (void)ctx;
+    (void)job;
+    (void)active_jobs;
+    return processors;
+  }
+};
+
+struct EventEngineOptions {
+  core::MachineConfig machine;
+  /// If non-null, the engine records per-slice work intervals into *trace
+  /// (coalesced at the end).
+  Trace* trace = nullptr;
+};
+
+/// Runs the instance to completion under the given policy.  Throws
+/// std::invalid_argument on invalid instances/options.
+core::ScheduleResult run_event_engine(const core::Instance& instance,
+                                      OrderPolicy& policy,
+                                      const EventEngineOptions& options);
+
+}  // namespace pjsched::sim

@@ -1,0 +1,64 @@
+// Deterministic random-number generation for the simulators.
+//
+// Every source of randomness in pjsched (victim selection in work stealing,
+// workload sampling, random DAG construction) flows from a single user seed
+// through xoshiro256** streams, so any experiment is reproducible
+// bit-for-bit from (seed, parameters) alone.  Independent streams are forked
+// with fork(), which derives a child seed through SplitMix64 — the
+// recommended seeding procedure for the xoshiro family.
+#pragma once
+
+#include <cstdint>
+
+namespace pjsched::sim {
+
+/// SplitMix64 step: used for seeding and for cheap stateless hashing of
+/// (seed, stream-id) pairs into independent stream seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain reference algorithm):
+/// fast, 256-bit state, passes BigCrush.  Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the four state words from SplitMix64(seed); a zero seed is valid.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound), bound >= 1.  Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t uniform_int(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random mantissa bits.
+  double uniform_double();
+
+  /// Standard normal deviate (Box–Muller; consumes two uniforms per pair,
+  /// caches the second).
+  double normal();
+
+  /// Exponential deviate with the given rate (mean 1/rate); rate > 0.
+  double exponential(double rate);
+
+  /// Log-normal deviate: exp(mu + sigma * N(0,1)).
+  double lognormal(double mu, double sigma);
+
+  /// Derives an independent child generator.  Children with distinct
+  /// `stream` values (under the same parent) have uncorrelated sequences;
+  /// forking does not perturb the parent's own sequence.
+  Rng fork(std::uint64_t stream) const;
+
+  /// `true` with the given probability p in [0, 1].
+  bool bernoulli(double p) { return uniform_double() < p; }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t base_seed_;  // for fork()
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace pjsched::sim

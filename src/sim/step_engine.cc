@@ -1,0 +1,241 @@
+#include "src/sim/step_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/dag/dag.h"
+
+namespace pjsched::sim {
+
+namespace {
+
+struct NodeRef {
+  core::JobId job;
+  dag::NodeId node;
+};
+
+struct Worker {
+  std::deque<NodeRef> deque;
+  NodeRef current{0, 0};
+  bool has_current = false;
+  dag::Work remaining = 0;         // work units left on current
+  unsigned fail_count = 0;         // consecutive failed steal attempts
+  std::uint64_t work_start = 0;    // step at which current's execution began
+};
+
+struct JobRun {
+  explicit JobRun(const dag::Dag& g) : tracker(g) {}
+  dag::ReadyTracker tracker;
+  bool finished = false;
+};
+
+}  // namespace
+
+core::ScheduleResult run_step_engine(const core::Instance& instance,
+                                     const StepEngineOptions& options) {
+  instance.validate();
+  const unsigned m = options.machine.processors;
+  const double s = options.machine.speed;
+  if (m == 0) throw std::invalid_argument("run_step_engine: zero processors");
+  if (!(s > 0.0)) throw std::invalid_argument("run_step_engine: speed must be > 0");
+  const unsigned k = options.steal_k;
+
+  const std::size_t n = instance.size();
+  std::vector<JobRun> jobs;
+  jobs.reserve(n);
+  for (const core::JobSpec& j : instance.jobs) jobs.emplace_back(j.graph);
+
+  // Step at which each job enters the global queue: the first step boundary
+  // at or after its arrival time (step T spans real time [T/s, (T+1)/s)).
+  const std::vector<core::JobId> by_arrival = instance.arrival_order();
+  std::vector<std::uint64_t> arrival_step(n);
+  for (core::JobId j = 0; j < n; ++j)
+    arrival_step[j] = static_cast<std::uint64_t>(
+        std::ceil(instance.jobs[j].arrival * s - 1e-9));
+
+  core::ScheduleResult result;
+  result.scheduler_name =
+      k == 0 ? "admit-first" : ("steal-" + std::to_string(k) + "-first");
+  if (options.admit_by_weight) result.scheduler_name += "-bwf";
+  if (options.steal_half) result.scheduler_name += "-half";
+  result.completion.assign(n, core::kNoTime);
+
+  Rng rng(options.seed);
+  std::vector<Worker> workers(m);
+  std::deque<core::JobId> global_queue;
+
+  std::uint64_t max_steps = options.max_steps;
+  if (max_steps == 0) {
+    const std::uint64_t last_arrival =
+        *std::max_element(arrival_step.begin(), arrival_step.end());
+    max_steps = last_arrival + instance.total_work() +
+                (static_cast<std::uint64_t>(n) + 1) * (k + m + 1) + 1024;
+    max_steps *= 4;
+  }
+
+  std::size_t next_arrival_idx = 0;
+  std::size_t unfinished = n;
+
+  std::vector<unsigned> perm(m);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<dag::NodeId> enabled;
+
+  // Claims all of a job's currently-ready nodes: the first becomes the
+  // worker's current node, the rest go to the bottom of its deque.
+  const auto take_ready = [&](Worker& w, core::JobId j, std::uint64_t step) {
+    JobRun& jr = jobs[j];
+    bool first = true;
+    while (jr.tracker.ready_count() > 0) {
+      const dag::NodeId v = jr.tracker.ready().front();
+      jr.tracker.claim(v);
+      if (first) {
+        w.current = {j, v};
+        w.has_current = true;
+        w.remaining = instance.jobs[j].graph.work_of(v);
+        w.work_start = step;
+        first = false;
+      } else {
+        w.deque.push_back({j, v});
+      }
+    }
+  };
+
+  std::uint64_t step = 0;
+  for (; unfinished > 0; ++step) {
+    if (step >= max_steps)
+      throw std::logic_error("run_step_engine: step budget exhausted");
+
+    // Release arrivals whose step has come.
+    while (next_arrival_idx < n &&
+           arrival_step[by_arrival[next_arrival_idx]] <= step)
+      global_queue.push_back(by_arrival[next_arrival_idx++]);
+
+    // Fast-forward across machine-wide idle gaps: if no worker holds work,
+    // all deques are empty, and no job is admissible, nothing can change
+    // until the next arrival.  The skipped steps are pure idling; a real
+    // machine would burn them on failed steals, so saturate fail counters.
+    if (global_queue.empty() && next_arrival_idx < n) {
+      bool any_work = false;
+      for (const Worker& w : workers)
+        if (w.has_current || !w.deque.empty()) {
+          any_work = true;
+          break;
+        }
+      if (!any_work) {
+        const std::uint64_t next = arrival_step[by_arrival[next_arrival_idx]];
+        if (next > step) {
+          const std::uint64_t skipped = next - step;
+          result.stats.idle_steps += skipped * m;
+          for (Worker& w : workers) w.fail_count = std::max(w.fail_count, k);
+          step = next - 1;  // ++step in the loop header lands on `next`
+          continue;
+        }
+      }
+    }
+
+    // Random worker order within the step (Fisher–Yates).
+    for (unsigned i = m - 1; i > 0; --i) {
+      const auto j = static_cast<unsigned>(rng.uniform_int(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+
+    for (unsigned wi = 0; wi < m; ++wi) {
+      Worker& w = workers[perm[wi]];
+      if (!w.has_current) {
+        if (!w.deque.empty()) {
+          // Local pop from the bottom: free.
+          const NodeRef r = w.deque.back();
+          w.deque.pop_back();
+          w.current = r;
+          w.has_current = true;
+          w.remaining = instance.jobs[r.job].graph.work_of(r.node);
+          w.work_start = step;
+        } else if (w.fail_count >= k && !global_queue.empty()) {
+          // Admit from the global queue: the FIFO head, or — under the
+          // weighted-admission extension — the heaviest queued job
+          // (ties: earliest queued).  Admission itself is free.
+          auto pick = global_queue.begin();
+          if (options.admit_by_weight) {
+            for (auto it = global_queue.begin(); it != global_queue.end(); ++it)
+              if (instance.jobs[*it].weight > instance.jobs[*pick].weight)
+                pick = it;
+          }
+          const core::JobId j = *pick;
+          global_queue.erase(pick);
+          ++result.stats.admissions;
+          if (options.trace != nullptr)
+            options.trace->add_admission({perm[wi], j, step});
+          w.fail_count = 0;
+          take_ready(w, j, step);
+        } else {
+          // Steal attempt: consumes the whole step.
+          ++result.stats.steal_attempts;
+          ++result.stats.idle_steps;
+          bool success = false;
+          unsigned victim = perm[wi];
+          if (m > 1) {
+            victim = static_cast<unsigned>(rng.uniform_int(m - 1));
+            if (victim >= perm[wi]) ++victim;  // uniform over the others
+            Worker& v = workers[victim];
+            if (!v.deque.empty()) {
+              // Steal from the top (the oldest work).  Under steal-half,
+              // take ceil(|deque|/2) nodes in one attempt.
+              const std::size_t grab =
+                  options.steal_half ? (v.deque.size() + 1) / 2 : 1;
+              const NodeRef r = v.deque.front();
+              v.deque.pop_front();
+              w.current = r;
+              w.has_current = true;
+              w.remaining = instance.jobs[r.job].graph.work_of(r.node);
+              w.work_start = step + 1;  // execution begins next step
+              for (std::size_t g = 1; g < grab; ++g) {
+                w.deque.push_back(v.deque.front());
+                v.deque.pop_front();
+              }
+              success = true;
+            }
+          }
+          if (options.trace != nullptr)
+            options.trace->add_steal({perm[wi], victim, success, step});
+          if (success)
+            ++result.stats.successful_steals, w.fail_count = 0;
+          else
+            ++w.fail_count;
+          continue;  // the step is spent; no work this step
+        }
+      }
+
+      // Execute one unit of work on the current node.
+      --w.remaining;
+      ++result.stats.work_steps;
+      if (w.remaining == 0) {
+        const core::JobId j = w.current.job;
+        const dag::NodeId v = w.current.node;
+        if (options.trace != nullptr)
+          options.trace->add_interval(
+              {j, v, perm[wi], static_cast<double>(w.work_start) / s,
+               static_cast<double>(step + 1) / s});
+        w.has_current = false;
+        JobRun& jr = jobs[j];
+        enabled.clear();
+        jr.tracker.complete(v, &enabled);
+        if (!enabled.empty()) take_ready(w, j, step + 1);
+        if (jr.tracker.done()) {
+          jr.finished = true;
+          result.completion[j] = static_cast<double>(step + 1) / s;
+          --unfinished;
+        }
+      }
+    }
+  }
+
+  if (options.trace != nullptr) options.trace->coalesce();
+  result.finalize(instance.jobs);
+  return result;
+}
+
+}  // namespace pjsched::sim

@@ -1,0 +1,63 @@
+// Synchronous step-level simulation of the paper's multiprogrammed
+// work-stealing machine (Section 4).
+//
+// The machine has m workers of speed s.  Time advances in *steps* of length
+// 1/s (one step = the time an s-speed processor needs for one unit of work).
+// In each step every worker either
+//   (a) executes one unit of work of its current node,
+//   (b) pops a node from the bottom of its own deque (a free local
+//       operation) and executes one unit of it,
+//   (c) admits the job at the head of the global FIFO queue (free, modelling
+//       the paper's accounting where only steals cost steps) and executes
+//       one unit of its first ready node, or
+//   (d) spends the whole step on one steal attempt at a uniformly random
+//       other worker, taking the *top* node of the victim's deque on
+//       success.
+// The steal-k-first policy gates (c): a worker may admit only after k
+// consecutive failed steal attempts (k = 0 — "admit-first" — admits whenever
+// the global queue is non-empty).  When a node completes and enables
+// successors, the worker continues with one of them and pushes the rest on
+// the *bottom* of its deque; an admitted job's ready sources are treated the
+// same way.  Jobs enter the global FIFO queue at (the first step boundary
+// at or after) their arrival time.
+//
+// Within one step, workers act in a uniformly random permutation; a steal
+// succeeds if the victim's deque is non-empty at the moment the thief acts.
+// All randomness comes from the seed in StepEngineOptions.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/types.h"
+#include "src/sim/rng.h"
+#include "src/sim/trace.h"
+
+namespace pjsched::sim {
+
+struct StepEngineOptions {
+  core::MachineConfig machine;
+  /// Number of consecutive failed steal attempts a worker needs before it
+  /// may admit from the global queue.  0 = admit-first.
+  unsigned steal_k = 0;
+  /// Extension (not in the paper): admit the *heaviest* queued job instead
+  /// of the oldest — a BWF-flavoured admission order for the weighted
+  /// objective.  FIFO admission when false (the paper's scheduler).
+  bool admit_by_weight = false;
+  /// Extension: on a successful steal, take *half* of the victim's deque
+  /// (rounded up, oldest half) instead of one node — the steal-half
+  /// variant common in runtime systems.  The stolen batch's first node
+  /// becomes the thief's current node; the rest land in its own deque.
+  bool steal_half = false;
+  std::uint64_t seed = 1;
+  Trace* trace = nullptr;
+  /// Defensive cap on simulated steps (0 = automatic: generous bound from
+  /// total work, arrival span, and job count).
+  std::uint64_t max_steps = 0;
+};
+
+/// Runs the instance to completion under steal-k-first work stealing and
+/// returns per-job completion times plus steal/admission counters.
+core::ScheduleResult run_step_engine(const core::Instance& instance,
+                                     const StepEngineOptions& options);
+
+}  // namespace pjsched::sim

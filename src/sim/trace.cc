@@ -1,0 +1,30 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+
+namespace pjsched::sim {
+
+void Trace::coalesce() {
+  if (intervals_.empty()) return;
+  std::stable_sort(intervals_.begin(), intervals_.end(),
+                   [](const WorkInterval& a, const WorkInterval& b) {
+                     if (a.proc != b.proc) return a.proc < b.proc;
+                     return a.start < b.start;
+                   });
+  std::vector<WorkInterval> merged;
+  merged.reserve(intervals_.size());
+  for (const WorkInterval& iv : intervals_) {
+    if (!merged.empty()) {
+      WorkInterval& last = merged.back();
+      if (last.proc == iv.proc && last.job == iv.job && last.node == iv.node &&
+          last.end == iv.start) {
+        last.end = iv.end;
+        continue;
+      }
+    }
+    merged.push_back(iv);
+  }
+  intervals_ = std::move(merged);
+}
+
+}  // namespace pjsched::sim

@@ -1,0 +1,71 @@
+// Execution traces: an optional, replayable record of which processor ran
+// which node of which job over which time interval, plus work-stealing
+// events.  Traces feed the audit layer (src/metrics/audit.h), which verifies
+// that a simulated schedule obeyed the machine model and the jobs'
+// precedence constraints.  Recording is off by default — traces for large
+// experiments are big — and turned on by tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/dag/dag.h"
+
+namespace pjsched::sim {
+
+/// A maximal interval during which `proc` continuously ran `node` of `job`.
+/// The amount of work performed equals (end - start) * speed.
+struct WorkInterval {
+  core::JobId job = 0;
+  dag::NodeId node = 0;
+  unsigned proc = 0;
+  core::Time start = 0.0;
+  core::Time end = 0.0;
+};
+
+/// One steal attempt in the step engine.
+struct StealEvent {
+  unsigned thief = 0;
+  unsigned victim = 0;
+  bool success = false;
+  std::uint64_t step = 0;  ///< step index at which the attempt happened
+};
+
+/// One admission of a job from the global FIFO queue.
+struct AdmissionEvent {
+  unsigned worker = 0;
+  core::JobId job = 0;
+  std::uint64_t step = 0;
+};
+
+class Trace {
+ public:
+  explicit Trace(bool record_steal_events = true)
+      : record_steal_events_(record_steal_events) {}
+
+  void add_interval(const WorkInterval& iv) { intervals_.push_back(iv); }
+  void add_steal(const StealEvent& ev) {
+    if (record_steal_events_) steals_.push_back(ev);
+  }
+  void add_admission(const AdmissionEvent& ev) {
+    if (record_steal_events_) admissions_.push_back(ev);
+  }
+
+  const std::vector<WorkInterval>& intervals() const { return intervals_; }
+  const std::vector<StealEvent>& steals() const { return steals_; }
+  const std::vector<AdmissionEvent>& admissions() const { return admissions_; }
+
+  /// Merges adjacent intervals with identical (job, node, proc) where one
+  /// ends exactly when the next begins; engines emit per-decision-slice
+  /// intervals and call this once at the end.
+  void coalesce();
+
+ private:
+  std::vector<WorkInterval> intervals_;
+  std::vector<StealEvent> steals_;
+  std::vector<AdmissionEvent> admissions_;
+  bool record_steal_events_;
+};
+
+}  // namespace pjsched::sim

@@ -1,0 +1,91 @@
+#include "src/workload/instance_io.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/dag/serialize.h"
+
+namespace pjsched::workload {
+
+void write_instance(std::ostream& os, const core::Instance& instance) {
+  instance.validate();
+  os << "instance " << instance.size() << '\n';
+  for (const core::JobSpec& job : instance.jobs) {
+    os << "job " << job.arrival << ' ' << job.weight << '\n';
+    dag::write_text(os, job.graph);
+  }
+  os << "endinstance\n";
+}
+
+std::string instance_to_text(const core::Instance& instance) {
+  std::ostringstream oss;
+  write_instance(oss, instance);
+  return oss.str();
+}
+
+namespace {
+
+bool next_token(std::istream& is, std::string& tok) {
+  while (is >> tok) {
+    if (tok[0] == '#') {
+      is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+double expect_double(std::istream& is, const char* what) {
+  std::string tok;
+  if (!next_token(is, tok))
+    throw std::invalid_argument(std::string("read_instance: missing ") + what);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(tok, &pos);
+    if (pos != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("read_instance: bad ") + what +
+                                " '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+core::Instance read_instance(std::istream& is) {
+  std::string tok;
+  if (!next_token(is, tok) || tok != "instance")
+    throw std::invalid_argument("read_instance: expected 'instance' header");
+  const double count_raw = expect_double(is, "job count");
+  if (count_raw < 1 || count_raw != static_cast<double>(
+                                        static_cast<std::size_t>(count_raw)))
+    throw std::invalid_argument("read_instance: bad job count");
+  const auto count = static_cast<std::size_t>(count_raw);
+
+  core::Instance inst;
+  inst.jobs.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    if (!next_token(is, tok) || tok != "job")
+      throw std::invalid_argument("read_instance: expected 'job' record");
+    core::JobSpec spec;
+    spec.arrival = expect_double(is, "arrival");
+    spec.weight = expect_double(is, "weight");
+    spec.graph = dag::read_text(is);
+    inst.jobs.push_back(std::move(spec));
+  }
+  if (!next_token(is, tok) || tok != "endinstance")
+    throw std::invalid_argument("read_instance: expected 'endinstance'");
+  inst.validate();
+  return inst;
+}
+
+core::Instance instance_from_text(const std::string& text) {
+  std::istringstream iss(text);
+  return read_instance(iss);
+}
+
+}  // namespace pjsched::workload

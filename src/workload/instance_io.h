@@ -1,0 +1,31 @@
+// Plain-text (de)serialization of full online instances, so generated
+// workloads can be saved, shared, and replayed bit-for-bit (and so the CLI
+// can operate on instance files).  Format:
+//
+//   instance <job_count>
+//   job <arrival> <weight>
+//   dag <node_count> <edge_count>     (the dag format of dag/serialize.h)
+//   node ...
+//   edge ...
+//   end
+//   ... one job record per job ...
+//   endinstance
+//
+// '#' comments and arbitrary whitespace are tolerated between tokens.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/types.h"
+
+namespace pjsched::workload {
+
+void write_instance(std::ostream& os, const core::Instance& instance);
+std::string instance_to_text(const core::Instance& instance);
+
+/// Throws std::invalid_argument on malformed input.
+core::Instance read_instance(std::istream& is);
+core::Instance instance_from_text(const std::string& text);
+
+}  // namespace pjsched::workload

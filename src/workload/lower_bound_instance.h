@@ -1,0 +1,41 @@
+// The Section 5 adversarial instance showing work stealing is
+// Omega(log n)-competitive even with constant speed augmentation.
+//
+// With m = log2(n) processors, the instance releases identical "star" jobs
+// (one unit-work root preceding m/10 independent unit-work tasks) at
+// multiples of 2m time.  OPT finishes each job in 2 steps; randomized work
+// stealing executes some job entirely sequentially with probability roughly
+// (1/2e)^(m/10) per job, so among 2^Theta(m) jobs some job takes
+// ~m/10 + 1 = Theta(log n) time with high probability.
+//
+// The paper's argument needs n = 2^Theta(m) jobs, which is infeasible to
+// simulate for interesting m; empirically the sequential-execution
+// probability is far larger than the proof's loose bound, so a few thousand
+// jobs per m suffice to observe max flow growing linearly in m (that is,
+// logarithmically in the n the proof envisions).  The bench
+// (bench/bench_lower_bound.cc) sweeps m and reports exactly that.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/types.h"
+
+namespace pjsched::workload {
+
+struct LowerBoundConfig {
+  unsigned m = 40;             ///< processors; the proof sets m = log2(n)
+  std::size_t num_jobs = 2000; ///< jobs actually generated
+  /// Children per star job; the paper uses m/10 (>= 1 enforced).
+  unsigned children = 0;       ///< 0 = use max(1, m/10)
+};
+
+/// Builds the instance.  Job j arrives at time 2*m*j; every job is
+/// star(children).
+core::Instance make_lower_bound_instance(const LowerBoundConfig& cfg);
+
+/// OPT's max flow on this instance with m processors: the root runs for one
+/// step, then all children run in parallel — 2 time units (assuming
+/// children <= m).
+double lower_bound_opt_flow();
+
+}  // namespace pjsched::workload

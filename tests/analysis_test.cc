@@ -1,0 +1,140 @@
+// Tests for DAG analysis (src/dag/analysis.h): topological order, oracle
+// recomputation of work/span, Brent bound, ASAP parallelism, stats.
+#include "src/dag/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/dag/builders.h"
+
+namespace pjsched::dag {
+namespace {
+
+Dag diamond() {
+  Dag d;
+  d.add_node(2);
+  d.add_node(3);
+  d.add_node(5);
+  d.add_node(1);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  d.seal();
+  return d;
+}
+
+TEST(TopologicalOrderTest, RespectsEdges) {
+  const Dag d = diamond();
+  const auto order = topological_order(d);
+  ASSERT_EQ(order.size(), d.node_count());
+  std::vector<std::size_t> pos(d.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId u = 0; u < d.node_count(); ++u)
+    for (NodeId v : d.successors(u)) EXPECT_LT(pos[u], pos[v]);
+}
+
+TEST(TopologicalOrderTest, DeterministicSmallestFirst) {
+  const Dag d = diamond();
+  EXPECT_EQ(topological_order(d), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(TopologicalOrderTest, CoversAllNodesOnce) {
+  sim::Rng rng(7);
+  RandomLayeredOptions opt;
+  opt.layers = 6;
+  opt.max_width = 5;
+  const Dag d = random_layered(rng, opt);
+  const auto order = topological_order(d);
+  std::unordered_set<NodeId> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), d.node_count());
+}
+
+TEST(OracleTest, MatchesSealCache) {
+  const Dag d = diamond();
+  EXPECT_EQ(compute_total_work(d), d.total_work());
+  EXPECT_EQ(compute_critical_path(d), d.critical_path());
+}
+
+TEST(BrentBoundTest, ChainAndWide) {
+  // Chain: W == P, so bound = W/m + W(m-1)/m = W for any m.
+  const Dag chain = serial_chain(10, 2);
+  EXPECT_DOUBLE_EQ(brent_bound(chain, 4), 20.0);
+  // Wide: 16 independent unit nodes, m=4: 16/4 + 1*3/4 = 4.75.
+  Dag wide;
+  for (int i = 0; i < 16; ++i) wide.add_node(1);
+  wide.seal();
+  EXPECT_DOUBLE_EQ(brent_bound(wide, 4), 4.75);
+}
+
+TEST(BrentBoundTest, ZeroProcessorsRejected) {
+  EXPECT_THROW(brent_bound(serial_chain(2, 1), 0), std::invalid_argument);
+}
+
+TEST(EarliestStartTest, Diamond) {
+  const Dag d = diamond();
+  const auto est = earliest_start_times(d);
+  EXPECT_EQ(est[0], 0u);
+  EXPECT_EQ(est[1], 2u);
+  EXPECT_EQ(est[2], 2u);
+  EXPECT_EQ(est[3], 7u);  // max(2+3, 2+5)
+}
+
+TEST(MaxParallelismTest, Shapes) {
+  EXPECT_EQ(max_parallelism_asap(serial_chain(5, 2)), 1u);
+  EXPECT_EQ(max_parallelism_asap(star(6)), 6u);
+  // Diamond: nodes 1 and 2 overlap in [2, 5) under ASAP.
+  EXPECT_EQ(max_parallelism_asap(diamond()), 2u);
+  // parallel-for: all grains overlap.
+  EXPECT_EQ(max_parallelism_asap(parallel_for_dag(12, 4)), 12u);
+}
+
+TEST(StatsTest, Diamond) {
+  const DagStats s = compute_stats(diamond());
+  EXPECT_EQ(s.nodes, 4u);
+  EXPECT_EQ(s.edges, 4u);
+  EXPECT_EQ(s.total_work, 11u);
+  EXPECT_EQ(s.critical_path, 8u);
+  EXPECT_EQ(s.sources, 1u);
+  EXPECT_EQ(s.sinks, 1u);
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_EQ(s.max_in_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.average_parallelism, 11.0 / 8.0);
+}
+
+TEST(AnalysisTest, UnsealedRejected) {
+  Dag d;
+  d.add_node(1);
+  EXPECT_THROW(topological_order(d), std::invalid_argument);
+  EXPECT_THROW(compute_total_work(d), std::invalid_argument);
+  EXPECT_THROW(compute_critical_path(d), std::invalid_argument);
+  EXPECT_THROW(earliest_start_times(d), std::invalid_argument);
+  EXPECT_THROW(max_parallelism_asap(d), std::invalid_argument);
+  EXPECT_THROW(compute_stats(d), std::invalid_argument);
+}
+
+// Property: parallelism bounds — 1 <= W/P <= ASAP width <= node count.
+class AnalysisProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalysisProperty, ParallelismBounds) {
+  sim::Rng rng(GetParam() * 31 + 5);
+  RandomLayeredOptions opt;
+  opt.layers = 1 + static_cast<std::size_t>(rng.uniform_int(5));
+  opt.max_width = 6;
+  opt.max_work = 7;
+  opt.edge_probability = 0.4;
+  const Dag d = random_layered(rng, opt);
+
+  EXPECT_GE(d.parallelism(), 1.0 - 1e-12);
+  EXPECT_LE(d.parallelism(),
+            static_cast<double>(max_parallelism_asap(d)) + 1e-12);
+  EXPECT_LE(max_parallelism_asap(d), d.node_count());
+  EXPECT_LE(d.critical_path(), d.total_work());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace pjsched::dag

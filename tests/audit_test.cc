@@ -1,0 +1,160 @@
+// Tests for the schedule auditor (src/metrics/audit.h): a clean trace
+// passes, and each class of violation is detected.
+#include "src/metrics/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dag/builders.h"
+#include "tests/test_util.h"
+
+namespace pjsched {
+namespace {
+
+using testutil::make_instance;
+
+// A correct 2-processor schedule of: job 0 = chain(2 nodes x 2 units),
+// job 1 = single node (3 units) arriving at t = 1.
+struct Fixture {
+  core::Instance inst = make_instance({
+      {0.0, dag::serial_chain(2, 2)},
+      {1.0, dag::single_node(3)},
+  });
+  core::MachineConfig machine{2, 1.0};
+  core::ScheduleResult result;
+  sim::Trace trace;
+
+  Fixture() {
+    trace.add_interval({0, 0, 0, 0.0, 2.0});
+    trace.add_interval({0, 1, 0, 2.0, 4.0});
+    trace.add_interval({1, 0, 1, 1.0, 4.0});
+    result.completion = {4.0, 4.0};
+    result.finalize(inst.jobs);
+  }
+};
+
+TEST(AuditTest, CleanSchedulePasses) {
+  Fixture f;
+  const auto report =
+      metrics::audit_schedule(f.inst, f.machine, f.trace, f.result);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_TRUE(report.to_string().empty());
+}
+
+TEST(AuditTest, DetectsProcessorOverlap) {
+  Fixture f;
+  sim::Trace bad;
+  bad.add_interval({0, 0, 0, 0.0, 2.0});
+  bad.add_interval({0, 1, 0, 1.0, 3.0});  // overlaps on proc 0
+  bad.add_interval({1, 0, 1, 1.0, 4.0});
+  core::ScheduleResult res;
+  res.completion = {3.0, 4.0};
+  res.finalize(f.inst.jobs);
+  const auto report = metrics::audit_schedule(f.inst, f.machine, bad, res);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("overlap"), std::string::npos);
+}
+
+TEST(AuditTest, DetectsPrecedenceViolation) {
+  Fixture f;
+  sim::Trace bad;
+  bad.add_interval({0, 1, 0, 0.0, 2.0});  // node 1 before node 0!
+  bad.add_interval({0, 0, 0, 2.0, 4.0});
+  bad.add_interval({1, 0, 1, 1.0, 4.0});
+  core::ScheduleResult res;
+  res.completion = {4.0, 4.0};
+  res.finalize(f.inst.jobs);
+  const auto report = metrics::audit_schedule(f.inst, f.machine, bad, res);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("precedence"), std::string::npos);
+}
+
+TEST(AuditTest, DetectsEarlyStart) {
+  Fixture f;
+  sim::Trace bad;
+  bad.add_interval({0, 0, 0, 0.0, 2.0});
+  bad.add_interval({0, 1, 0, 2.0, 4.0});
+  bad.add_interval({1, 0, 1, 0.5, 3.5});  // job 1 arrives at t = 1
+  core::ScheduleResult res;
+  res.completion = {4.0, 3.5};
+  res.finalize(f.inst.jobs);
+  const auto report = metrics::audit_schedule(f.inst, f.machine, bad, res);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("before arrival"), std::string::npos);
+}
+
+TEST(AuditTest, DetectsWrongWorkAmount) {
+  Fixture f;
+  sim::Trace bad;
+  bad.add_interval({0, 0, 0, 0.0, 2.0});
+  bad.add_interval({0, 1, 0, 2.0, 3.0});  // node 1 gets 1 unit, needs 2
+  bad.add_interval({1, 0, 1, 1.0, 4.0});
+  core::ScheduleResult res;
+  res.completion = {3.0, 4.0};
+  res.finalize(f.inst.jobs);
+  const auto report = metrics::audit_schedule(f.inst, f.machine, bad, res);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("work mismatch"), std::string::npos);
+}
+
+TEST(AuditTest, DetectsMissingNode) {
+  Fixture f;
+  sim::Trace bad;
+  bad.add_interval({0, 0, 0, 0.0, 2.0});
+  bad.add_interval({1, 0, 1, 1.0, 4.0});  // job 0 node 1 never runs
+  core::ScheduleResult res;
+  res.completion = {2.0, 4.0};
+  res.finalize(f.inst.jobs);
+  const auto report = metrics::audit_schedule(f.inst, f.machine, bad, res);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("never executed"), std::string::npos);
+}
+
+TEST(AuditTest, DetectsNodeSelfOverlapAcrossProcessors) {
+  auto inst = make_instance({{0.0, dag::single_node(4)}});
+  sim::Trace bad;
+  bad.add_interval({0, 0, 0, 0.0, 2.0});
+  bad.add_interval({0, 0, 1, 1.0, 3.0});  // same node on two procs at once
+  core::ScheduleResult res;
+  res.completion = {3.0};
+  res.finalize(inst.jobs);
+  const auto report = metrics::audit_schedule(inst, {2, 1.0}, bad, res);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("self-overlap"), std::string::npos);
+}
+
+TEST(AuditTest, DetectsCompletionMismatch) {
+  Fixture f;
+  core::ScheduleResult res;
+  res.completion = {4.0, 5.0};  // job 1 actually ends at 4
+  res.finalize(f.inst.jobs);
+  const auto report = metrics::audit_schedule(f.inst, f.machine, f.trace, res);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("completion"), std::string::npos);
+}
+
+TEST(AuditTest, DetectsOutOfRangeIds) {
+  Fixture f;
+  sim::Trace bad;
+  bad.add_interval({7, 0, 0, 0.0, 1.0});  // no job 7
+  core::ScheduleResult res;
+  res.completion = {4.0, 4.0};
+  res.finalize(f.inst.jobs);
+  const auto report = metrics::audit_schedule(f.inst, f.machine, bad, res);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(AuditTest, RespectsSpeedInWorkAccounting) {
+  // At speed 2, a 4-unit node runs for 2 time units.
+  auto inst = make_instance({{0.0, dag::single_node(4)}});
+  sim::Trace trace;
+  trace.add_interval({0, 0, 0, 0.0, 2.0});
+  core::ScheduleResult res;
+  res.completion = {2.0};
+  res.finalize(inst.jobs);
+  EXPECT_TRUE(metrics::audit_schedule(inst, {1, 2.0}, trace, res).ok);
+  // The same trace at speed 1 under-delivers.
+  EXPECT_FALSE(metrics::audit_schedule(inst, {1, 1.0}, trace, res).ok);
+}
+
+}  // namespace
+}  // namespace pjsched

@@ -1,0 +1,85 @@
+// Tests for the lower-bound calculators (src/core/bounds.h).
+#include "src/core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dag/builders.h"
+#include "src/sched/opt_bound.h"
+#include "tests/test_util.h"
+
+namespace pjsched {
+namespace {
+
+using testutil::make_instance;
+using testutil::make_weighted_instance;
+
+TEST(BoundsTest, SpanBound) {
+  auto inst = make_instance({
+      {0.0, dag::serial_chain(4, 3)},   // P = 12
+      {1.0, dag::parallel_for_dag(8, 5)},  // P = 7
+  });
+  EXPECT_DOUBLE_EQ(core::span_lower_bound(inst), 12.0);
+}
+
+TEST(BoundsTest, WorkBound) {
+  auto inst = make_instance({
+      {0.0, dag::single_node(40)},
+      {0.0, dag::single_node(12)},
+  });
+  EXPECT_DOUBLE_EQ(core::work_lower_bound(inst, 4), 10.0);
+}
+
+TEST(BoundsTest, OptSimBoundMatchesScheduler) {
+  for (std::uint64_t seed : {41u, 42u}) {
+    auto inst = testutil::random_instance(seed, 30, 30.0);
+    sched::OptLowerBound opt;
+    EXPECT_DOUBLE_EQ(core::opt_sim_lower_bound(inst, 3),
+                     opt.run(inst, {3, 1.0}).max_flow);
+  }
+}
+
+TEST(BoundsTest, OptSimDominatesWorkBound) {
+  auto inst = testutil::random_instance(43, 20, 25.0);
+  EXPECT_GE(core::opt_sim_lower_bound(inst, 2) + 1e-12,
+            core::work_lower_bound(inst, 2));
+}
+
+TEST(BoundsTest, CombinedIsMax) {
+  auto inst = make_instance({
+      {0.0, dag::serial_chain(10, 10)},  // P = 100 dominates
+      {0.0, dag::single_node(8)},
+  });
+  const double combined = core::combined_lower_bound(inst, 4);
+  EXPECT_DOUBLE_EQ(combined, 100.0);
+  EXPECT_GE(combined, core::span_lower_bound(inst));
+  EXPECT_GE(combined, core::work_lower_bound(inst, 4));
+  EXPECT_GE(combined, core::opt_sim_lower_bound(inst, 4));
+}
+
+TEST(BoundsTest, WeightedBounds) {
+  auto inst = make_weighted_instance({
+      {0.0, 2.0, dag::serial_chain(3, 4)},  // w*P = 24, w*W = 24
+      {0.0, 5.0, dag::single_node(6)},      // w*P = 30, w*W/m
+  });
+  EXPECT_DOUBLE_EQ(core::weighted_span_lower_bound(inst), 30.0);
+  EXPECT_DOUBLE_EQ(core::weighted_work_lower_bound(inst, 3), 10.0);
+  EXPECT_DOUBLE_EQ(core::weighted_combined_lower_bound(inst, 3), 30.0);
+}
+
+TEST(BoundsTest, UnweightedEqualsWeightedWhenAllOnes) {
+  auto inst = testutil::random_instance(44, 15, 20.0);
+  EXPECT_DOUBLE_EQ(core::span_lower_bound(inst),
+                   core::weighted_span_lower_bound(inst));
+  EXPECT_DOUBLE_EQ(core::work_lower_bound(inst, 2),
+                   core::weighted_work_lower_bound(inst, 2));
+}
+
+TEST(BoundsTest, ZeroProcessorsRejected) {
+  auto inst = make_instance({{0.0, dag::single_node(1)}});
+  EXPECT_THROW(core::work_lower_bound(inst, 0), std::invalid_argument);
+  EXPECT_THROW(core::opt_sim_lower_bound(inst, 0), std::invalid_argument);
+  EXPECT_THROW(core::weighted_work_lower_bound(inst, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pjsched

@@ -1,0 +1,98 @@
+// Tests for DAG composition combinators (src/dag/compose.h).
+#include "src/dag/compose.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dag/analysis.h"
+#include "src/dag/builders.h"
+
+namespace pjsched::dag {
+namespace {
+
+TEST(SequenceTest, WorkAndSpanAdd) {
+  const Dag a = parallel_for_dag(3, 4);  // W = 14, P = 6
+  const Dag b = serial_chain(2, 5);      // W = 10, P = 10
+  const Dag s = sequence(a, b);
+  EXPECT_EQ(s.node_count(), a.node_count() + b.node_count());
+  EXPECT_EQ(s.total_work(), a.total_work() + b.total_work());
+  EXPECT_EQ(s.critical_path(), a.critical_path() + b.critical_path());
+  // One source (a's root), one sink (b's tail).
+  const DagStats stats = compute_stats(s);
+  EXPECT_EQ(stats.sources, 1u);
+  EXPECT_EQ(stats.sinks, 1u);
+}
+
+TEST(SequenceTest, MultiSinkToMultiSource) {
+  // a = two independent nodes (2 sinks), b = two independent nodes
+  // (2 sources): sequence adds 4 cross edges.
+  Dag a;
+  a.add_node(1);
+  a.add_node(2);
+  a.seal();
+  Dag b;
+  b.add_node(3);
+  b.add_node(4);
+  b.seal();
+  const Dag s = sequence(a, b);
+  EXPECT_EQ(s.edge_count(), 4u);
+  EXPECT_EQ(s.critical_path(), 2u + 4u);
+}
+
+TEST(ParallelComposeTest, Independence) {
+  const Dag a = serial_chain(3, 2);  // P = 6
+  const Dag b = serial_chain(2, 5);  // P = 10
+  const Dag p = parallel_compose(a, b);
+  EXPECT_EQ(p.total_work(), a.total_work() + b.total_work());
+  EXPECT_EQ(p.critical_path(), 10u);
+  EXPECT_EQ(p.edge_count(), a.edge_count() + b.edge_count());
+  const DagStats stats = compute_stats(p);
+  EXPECT_EQ(stats.sources, 2u);
+  EXPECT_EQ(stats.sinks, 2u);
+}
+
+TEST(ComposeTest, UnsealedInputRejected) {
+  Dag a;
+  a.add_node(1);
+  const Dag b = single_node(1);
+  EXPECT_THROW(sequence(a, b), std::invalid_argument);
+  EXPECT_THROW(parallel_compose(b, a), std::invalid_argument);
+}
+
+TEST(MapReduceTest, Shape) {
+  const Dag d = map_reduce_dag(4, 10, 2, 6);
+  EXPECT_EQ(d.node_count(), 6u);
+  EXPECT_EQ(d.edge_count(), 8u);  // all-to-all shuffle
+  EXPECT_EQ(d.total_work(), 4u * 10 + 2u * 6);
+  EXPECT_EQ(d.critical_path(), 16u);
+  EXPECT_EQ(max_parallelism_asap(d), 4u);  // maps together, then reduces
+  EXPECT_THROW(map_reduce_dag(0, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(PipelineTest, Shape) {
+  const Dag d = pipeline_dag(3, 4, 2);
+  EXPECT_EQ(d.node_count(), 12u);
+  // Each non-final stage node has 2 successors (self + wrap neighbour).
+  EXPECT_EQ(d.edge_count(), 2u * 4u * 2u);
+  EXPECT_EQ(d.critical_path(), 6u);  // 3 stages of work 2
+  EXPECT_THROW(pipeline_dag(0, 1, 1), std::invalid_argument);
+}
+
+TEST(PipelineTest, WidthOneIsChain) {
+  const Dag d = pipeline_dag(5, 1, 3);
+  EXPECT_EQ(d.node_count(), 5u);
+  EXPECT_EQ(d.edge_count(), 4u);
+  EXPECT_EQ(d.critical_path(), 15u);
+}
+
+TEST(ComposeTest, NestedComposition) {
+  // (parallel_for ; map_reduce) || chain — composes and stays consistent.
+  const Dag left = sequence(parallel_for_dag(4, 3), map_reduce_dag(3, 2, 1, 4));
+  const Dag all = parallel_compose(left, serial_chain(6, 1));
+  EXPECT_EQ(all.total_work(),
+            parallel_for_dag(4, 3).total_work() +
+                map_reduce_dag(3, 2, 1, 4).total_work() + 6);
+  EXPECT_EQ(compute_critical_path(all), all.critical_path());
+}
+
+}  // namespace
+}  // namespace pjsched::dag

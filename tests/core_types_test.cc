@@ -1,0 +1,89 @@
+// Tests for the fundamental types (src/core/types.h), mirroring the
+// paper's Table 1 definitions: F_i = c_i - r_i, objective max_i w_i F_i.
+#include "src/core/types.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dag/builders.h"
+#include "tests/test_util.h"
+
+namespace pjsched {
+namespace {
+
+using testutil::make_instance;
+using testutil::make_weighted_instance;
+
+TEST(ScheduleResultTest, FinalizeComputesTableOneQuantities) {
+  auto inst = make_weighted_instance({
+      {0.0, 1.0, dag::single_node(1)},
+      {2.0, 3.0, dag::single_node(1)},
+      {5.0, 1.0, dag::single_node(1)},
+  });
+  core::ScheduleResult res;
+  res.completion = {4.0, 6.0, 9.0};
+  res.finalize(inst.jobs);
+  EXPECT_DOUBLE_EQ(res.flow[0], 4.0);
+  EXPECT_DOUBLE_EQ(res.flow[1], 4.0);
+  EXPECT_DOUBLE_EQ(res.flow[2], 4.0);
+  EXPECT_DOUBLE_EQ(res.max_flow, 4.0);
+  EXPECT_DOUBLE_EQ(res.max_weighted_flow, 12.0);  // job 1: w=3, F=4
+  EXPECT_EQ(res.argmax_flow, 1u);
+  EXPECT_DOUBLE_EQ(res.mean_flow, 4.0);
+  EXPECT_DOUBLE_EQ(res.makespan, 9.0);
+}
+
+TEST(ScheduleResultTest, FinalizeRejectsBadData) {
+  auto inst = make_instance({{5.0, dag::single_node(1)}});
+  core::ScheduleResult res;
+  res.completion = {};
+  EXPECT_THROW(res.finalize(inst.jobs), std::logic_error);  // size mismatch
+  res.completion = {4.0};  // completes before arrival
+  EXPECT_THROW(res.finalize(inst.jobs), std::logic_error);
+}
+
+TEST(InstanceTest, Aggregates) {
+  auto inst = make_instance({
+      {0.0, dag::serial_chain(3, 4)},       // W = 12, P = 12
+      {1.0, dag::parallel_for_dag(4, 5)},   // W = 22, P = 7
+  });
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_EQ(inst.total_work(), 34u);
+  EXPECT_EQ(inst.max_work(), 22u);
+  EXPECT_EQ(inst.max_critical_path(), 12u);
+}
+
+TEST(InstanceTest, ValidateCatchesBadJobs) {
+  core::Instance empty;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+  auto negative = make_instance({{0.0, dag::single_node(1)}});
+  negative.jobs[0].arrival = -1.0;
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+
+  auto bad_weight = make_instance({{0.0, dag::single_node(1)}});
+  bad_weight.jobs[0].weight = 0.0;
+  EXPECT_THROW(bad_weight.validate(), std::invalid_argument);
+
+  core::Instance unsealed;
+  unsealed.jobs.emplace_back();
+  unsealed.jobs[0].graph.add_node(1);
+  EXPECT_THROW(unsealed.validate(), std::invalid_argument);
+}
+
+TEST(InstanceTest, ArrivalOrderIsStable) {
+  auto inst = make_instance({
+      {5.0, dag::single_node(1)},
+      {1.0, dag::single_node(1)},
+      {5.0, dag::single_node(1)},
+      {0.0, dag::single_node(1)},
+  });
+  EXPECT_EQ(inst.arrival_order(), (std::vector<core::JobId>{3, 1, 0, 2}));
+}
+
+TEST(InstanceTest, ValidInstancePasses) {
+  auto inst = testutil::random_instance(55, 10, 20.0);
+  EXPECT_NO_THROW(inst.validate());
+}
+
+}  // namespace
+}  // namespace pjsched

@@ -1,0 +1,116 @@
+// Tests for the Figure-3 work distributions (src/workload/distributions.h).
+#include "src/workload/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pjsched::workload {
+namespace {
+
+TEST(DiscreteDistTest, NormalizesProbabilities) {
+  DiscreteWorkDistribution d("d", {{1.0, 2.0}, {3.0, 2.0}});
+  ASSERT_EQ(d.pmf().size(), 2u);
+  EXPECT_DOUBLE_EQ(d.pmf()[0], 0.5);
+  EXPECT_DOUBLE_EQ(d.pmf()[1], 0.5);
+  EXPECT_DOUBLE_EQ(d.mean_ms(), 2.0);
+}
+
+TEST(DiscreteDistTest, SamplesOnlyBinValues) {
+  DiscreteWorkDistribution d("d", {{2.0, 0.3}, {5.0, 0.5}, {9.0, 0.2}});
+  sim::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.sample_ms(rng);
+    EXPECT_TRUE(x == 2.0 || x == 5.0 || x == 9.0);
+  }
+}
+
+TEST(DiscreteDistTest, EmpiricalFrequenciesMatchPmf) {
+  DiscreteWorkDistribution d("d", {{2.0, 0.3}, {5.0, 0.5}, {9.0, 0.2}});
+  sim::Rng rng(2);
+  std::map<double, int> counts;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++counts[d.sample_ms(rng)];
+  EXPECT_NEAR(counts[2.0] / static_cast<double>(kN), 0.3, 0.01);
+  EXPECT_NEAR(counts[5.0] / static_cast<double>(kN), 0.5, 0.01);
+  EXPECT_NEAR(counts[9.0] / static_cast<double>(kN), 0.2, 0.01);
+}
+
+TEST(DiscreteDistTest, BadBinsRejected) {
+  EXPECT_THROW(DiscreteWorkDistribution("d", {}), std::invalid_argument);
+  EXPECT_THROW(DiscreteWorkDistribution("d", {{0.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscreteWorkDistribution("d", {{1.0, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(BingDistTest, ShapeMatchesFigure3a) {
+  const auto d = bing_distribution();
+  EXPECT_EQ(d.name(), "bing");
+  // Head-heavy: the 5 ms bin carries the most probability.
+  EXPECT_GT(d.pmf()[0], 0.5);
+  // Long tail out to 205 ms.
+  EXPECT_DOUBLE_EQ(d.bins().back().work_ms, 205.0);
+  EXPECT_LT(d.pmf().back(), 0.01);
+  // Calibrated near the paper's operating point (util ~50-70% at
+  // QPS 800-1200 on m = 16): mean in the 8-14 ms window.
+  EXPECT_GT(d.mean_ms(), 8.0);
+  EXPECT_LT(d.mean_ms(), 14.0);
+}
+
+TEST(FinanceDistTest, ShapeMatchesFigure3b) {
+  const auto d = finance_distribution();
+  EXPECT_EQ(d.name(), "finance");
+  EXPECT_DOUBLE_EQ(d.bins().front().work_ms, 4.0);
+  EXPECT_DOUBLE_EQ(d.bins().back().work_ms, 52.0);
+  // Bimodal: a local rise around 36 ms after the dip at 24-28 ms.
+  const auto& bins = d.bins();
+  double p24 = 0.0, p36 = 0.0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins[i].work_ms == 24.0) p24 = d.pmf()[i];
+    if (bins[i].work_ms == 36.0) p36 = d.pmf()[i];
+  }
+  EXPECT_GT(p36, p24);
+  EXPECT_GT(d.mean_ms(), 8.0);
+  EXPECT_LT(d.mean_ms(), 14.0);
+}
+
+TEST(LognormalDistTest, DefaultCalibration) {
+  const auto d = default_lognormal_distribution();
+  EXPECT_EQ(d.name(), "lognormal");
+  EXPECT_NEAR(d.mean_ms(), 10.0, 1e-9);
+  sim::Rng rng(3);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = d.sample_ms(rng);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 300.0);
+    sum += x;
+  }
+  // Truncation clips a little tail mass; stay within 10%.
+  EXPECT_NEAR(sum / kN, 10.0, 1.0);
+}
+
+TEST(LognormalDistTest, BadParamsRejected) {
+  EXPECT_THROW(LognormalWorkDistribution(0.0, 0.0, 1.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(LognormalWorkDistribution(0.0, 1.0, 5.0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(UtilizationTest, PaperOperatingPoints) {
+  // On m = 16, the Figure-2 QPS sweeps must land in roughly the paper's
+  // low/medium/high utilization bands and stay strictly stable (< 1).
+  const auto bing = bing_distribution();
+  const double lo = utilization(bing, 800, 16);
+  const double hi = utilization(bing, 1200, 16);
+  EXPECT_GT(lo, 0.35);
+  EXPECT_LT(lo, 0.7);
+  EXPECT_GT(hi, lo);
+  EXPECT_LT(hi, 1.0);
+  EXPECT_THROW(utilization(bing, 800, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pjsched::workload

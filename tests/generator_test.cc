@@ -1,0 +1,128 @@
+// Tests for online-instance generation (src/workload/generator.h).
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace pjsched::workload {
+namespace {
+
+TEST(ParallelForJobTest, ShapeAndWork) {
+  // 10 ms at 10 units/ms = 100 units: root 1 + bodies 98 + join 1.
+  const dag::Dag d = make_parallel_for_job(10.0, 8, 10.0);
+  EXPECT_EQ(d.total_work(), 100u);
+  EXPECT_EQ(d.node_count(), 10u);  // root + 8 grains + join
+  // Even split: 98 = 8*12 + 2, grains are 12 or 13.
+  EXPECT_EQ(d.critical_path(), 1u + 13u + 1u);
+}
+
+TEST(ParallelForJobTest, TinyJobsBecomeSingleNodes) {
+  const dag::Dag d = make_parallel_for_job(0.1, 8, 10.0);  // 1 unit
+  EXPECT_EQ(d.node_count(), 1u);
+  EXPECT_EQ(d.total_work(), 1u);
+}
+
+TEST(ParallelForJobTest, GrainsCappedByWork) {
+  // 5 units of body work cannot fill 32 grains; no zero-work nodes appear.
+  const dag::Dag d = make_parallel_for_job(0.7, 32, 10.0);  // 7 units
+  EXPECT_EQ(d.total_work(), 7u);
+  for (dag::NodeId v = 0; v < d.node_count(); ++v)
+    EXPECT_GE(d.work_of(v), 1u);
+}
+
+TEST(GeneratorTest, ProducesRequestedJobCount) {
+  const DiscreteWorkDistribution dist("d", {{5.0, 1.0}});
+  GeneratorConfig cfg;
+  cfg.num_jobs = 137;
+  const auto inst = generate_instance(dist, cfg);
+  EXPECT_EQ(inst.size(), 137u);
+  EXPECT_NO_THROW(inst.validate());
+}
+
+TEST(GeneratorTest, ArrivalsIncreaseAndScaleWithUnits) {
+  const DiscreteWorkDistribution dist("d", {{5.0, 1.0}});
+  GeneratorConfig cfg;
+  cfg.num_jobs = 50;
+  cfg.qps = 100.0;
+  cfg.units_per_ms = 10.0;
+  const auto inst = generate_instance(dist, cfg);
+  for (std::size_t i = 1; i < inst.jobs.size(); ++i)
+    EXPECT_GT(inst.jobs[i].arrival, inst.jobs[i - 1].arrival);
+  // Mean gap 10 ms = 100 units.
+  const double mean_gap =
+      inst.jobs.back().arrival / static_cast<double>(inst.size());
+  EXPECT_NEAR(mean_gap, 100.0, 30.0);
+}
+
+TEST(GeneratorTest, JobWorkMatchesDistribution) {
+  // Point distribution at 5 ms -> every job has exactly 50 units of work.
+  const DiscreteWorkDistribution dist("d", {{5.0, 1.0}});
+  GeneratorConfig cfg;
+  cfg.num_jobs = 20;
+  cfg.units_per_ms = 10.0;
+  const auto inst = generate_instance(dist, cfg);
+  for (const auto& job : inst.jobs) EXPECT_EQ(job.graph.total_work(), 50u);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  const auto dist = bing_distribution();
+  GeneratorConfig cfg;
+  cfg.num_jobs = 60;
+  cfg.seed = 123;
+  const auto a = generate_instance(dist, cfg);
+  const auto b = generate_instance(dist, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].arrival, b.jobs[i].arrival);
+    EXPECT_EQ(a.jobs[i].graph.total_work(), b.jobs[i].graph.total_work());
+  }
+}
+
+TEST(GeneratorTest, SeedChangesInstance) {
+  const auto dist = bing_distribution();
+  GeneratorConfig cfg;
+  cfg.num_jobs = 60;
+  cfg.seed = 1;
+  const auto a = generate_instance(dist, cfg);
+  cfg.seed = 2;
+  const auto b = generate_instance(dist, cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.jobs[i].arrival != b.jobs[i].arrival) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, WeightClassesSampled) {
+  const DiscreteWorkDistribution dist("d", {{5.0, 1.0}});
+  GeneratorConfig cfg;
+  cfg.num_jobs = 200;
+  cfg.weight_classes = {1.0, 4.0, 16.0};
+  const auto inst = generate_instance(dist, cfg);
+  std::set<double> seen;
+  for (const auto& job : inst.jobs) seen.insert(job.weight);
+  EXPECT_EQ(seen, (std::set<double>{1.0, 4.0, 16.0}));
+}
+
+TEST(GeneratorTest, BadConfigRejected) {
+  const DiscreteWorkDistribution dist("d", {{5.0, 1.0}});
+  GeneratorConfig cfg;
+  cfg.num_jobs = 0;
+  EXPECT_THROW(generate_instance(dist, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.units_per_ms = 0.0;
+  EXPECT_THROW(generate_instance(dist, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.weight_classes = {};
+  EXPECT_THROW(generate_instance(dist, cfg), std::invalid_argument);
+}
+
+TEST(TimeConversionTest, RoundTrip) {
+  GeneratorConfig cfg;
+  cfg.units_per_ms = 10.0;
+  EXPECT_DOUBLE_EQ(time_to_ms(250.0, cfg), 25.0);
+}
+
+}  // namespace
+}  // namespace pjsched::workload

@@ -1,0 +1,69 @@
+// Golden regression tests: exact end-to-end numbers for fixed seeds.
+// Every quantity here is fully determined by (seed, config) — the step
+// engine is integer-exact and the event engine's double arithmetic is
+// deterministic — so any drift signals a behavioural change in the
+// generator or an engine, not noise.  Update deliberately when semantics
+// change on purpose.
+#include <gtest/gtest.h>
+
+#include "src/core/run.h"
+#include "src/workload/distributions.h"
+#include "src/workload/generator.h"
+
+namespace pjsched {
+namespace {
+
+core::Instance golden_instance() {
+  const auto dist = workload::bing_distribution();
+  workload::GeneratorConfig gen;
+  gen.num_jobs = 100;
+  gen.qps = 800.0;
+  gen.units_per_ms = 100.0;
+  gen.grains = 32;
+  gen.seed = 5;
+  return workload::generate_instance(dist, gen);
+}
+
+TEST(GoldenTest, InstanceShapeIsPinned) {
+  const auto inst = golden_instance();
+  ASSERT_EQ(inst.size(), 100u);
+  EXPECT_EQ(inst.total_work(), 88500u);
+  EXPECT_EQ(inst.max_work(), 9500u);
+  EXPECT_EQ(inst.max_critical_path(), 299u);
+}
+
+TEST(GoldenTest, StepEngineValuesArePinned) {
+  const auto inst = golden_instance();
+  const core::MachineConfig machine{8, 1.0};
+
+  auto admit = core::parse_scheduler("admit-first");
+  admit.seed = 5;
+  const auto a = core::run_scheduler(inst, admit, machine);
+  // Step-engine completions are integer step counts; the flow subtracts
+  // the generator's real-valued arrival, pinned here to full precision.
+  EXPECT_DOUBLE_EQ(a.max_flow, 3199.0810171959474);
+  EXPECT_EQ(a.stats.steal_attempts, 9452u);
+  EXPECT_EQ(a.stats.admissions, 100u);
+  EXPECT_EQ(a.stats.work_steps, inst.total_work());
+
+  auto steal16 = core::parse_scheduler("steal-16-first");
+  steal16.seed = 5;
+  const auto s = core::run_scheduler(inst, steal16, machine);
+  EXPECT_DOUBLE_EQ(s.max_flow, 1726.0810171959474);
+  EXPECT_EQ(s.stats.steal_attempts, 14036u);
+}
+
+TEST(GoldenTest, EventEngineValuesArePinned) {
+  const auto inst = golden_instance();
+  const core::MachineConfig machine{8, 1.0};
+  const auto f =
+      core::run_scheduler(inst, core::parse_scheduler("fifo"), machine);
+  EXPECT_NEAR(f.max_flow, 1521.3297834668392, 1e-6);
+  EXPECT_NEAR(f.makespan, 15616.692065210333, 1e-6);
+  const auto o =
+      core::run_scheduler(inst, core::parse_scheduler("opt"), machine);
+  EXPECT_NEAR(o.max_flow, 1516.3297834668392, 1e-6);
+}
+
+}  // namespace
+}  // namespace pjsched

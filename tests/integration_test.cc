@@ -1,0 +1,111 @@
+// End-to-end integration tests: the full Figure-2 pipeline at reduced
+// scale (workload generation -> schedulers -> experiment rows), and the
+// experiment driver's table output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/experiment.h"
+#include "src/workload/distributions.h"
+#include "src/workload/generator.h"
+
+namespace pjsched {
+namespace {
+
+core::ExperimentConfig small_config() {
+  core::ExperimentConfig cfg;
+  cfg.processors = 8;
+  cfg.num_jobs = 400;
+  cfg.qps_values = {400.0, 600.0};
+  cfg.seed = 5;
+  core::SchedulerSpec opt;
+  opt.kind = core::SchedulerKind::kOptBound;
+  core::SchedulerSpec admit;
+  admit.kind = core::SchedulerKind::kAdmitFirst;
+  admit.seed = 5;
+  core::SchedulerSpec steal16;
+  steal16.kind = core::SchedulerKind::kStealKFirst;
+  steal16.steal_k = 16;
+  steal16.seed = 5;
+  core::SchedulerSpec fifo;
+  fifo.kind = core::SchedulerKind::kFifo;
+  cfg.schedulers = {opt, admit, steal16, fifo};
+  return cfg;
+}
+
+TEST(IntegrationTest, MiniFigure2PipelineBing) {
+  const auto dist = workload::bing_distribution();
+  const auto rows = core::run_experiment(dist, small_config());
+  ASSERT_EQ(rows.size(), 8u);  // 2 QPS x 4 schedulers
+
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.workload, "bing");
+    EXPECT_GT(row.max_flow_ms, 0.0);
+    EXPECT_GT(row.opt_bound_ms, 0.0);
+    EXPECT_GT(row.utilization, 0.0);
+    EXPECT_LT(row.utilization, 1.0);
+    EXPECT_GE(row.max_flow_ms, row.mean_flow_ms);
+    EXPECT_GE(row.p99_flow_ms, row.mean_flow_ms - 1e-9);
+    // Every scheduler (including OPT itself) is >= the OPT bound.
+    EXPECT_GE(row.ratio_to_opt, 1.0 - 1e-9) << row.scheduler;
+  }
+
+  // The OPT rows must be exactly ratio 1.
+  int opt_rows = 0;
+  for (const auto& row : rows)
+    if (row.scheduler == "opt-lower-bound") {
+      EXPECT_NEAR(row.ratio_to_opt, 1.0, 1e-9);
+      ++opt_rows;
+    }
+  EXPECT_EQ(opt_rows, 2);
+}
+
+TEST(IntegrationTest, HigherLoadNeverLowersOptBound) {
+  const auto dist = workload::finance_distribution();
+  auto cfg = small_config();
+  cfg.qps_values = {300.0, 900.0};
+  core::SchedulerSpec opt;
+  opt.kind = core::SchedulerKind::kOptBound;
+  cfg.schedulers = {opt};
+  const auto rows = core::run_experiment(dist, cfg);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_LE(rows[0].utilization, rows[1].utilization);
+}
+
+TEST(IntegrationTest, TableRendersAllRows) {
+  const auto dist = workload::default_lognormal_distribution();
+  auto cfg = small_config();
+  cfg.qps_values = {500.0};
+  const auto rows = core::run_experiment(dist, cfg);
+  const auto table = core::rows_to_table(rows);
+  EXPECT_EQ(table.rows(), rows.size());
+  std::ostringstream oss;
+  table.print(oss);
+  EXPECT_NE(oss.str().find("lognormal"), std::string::npos);
+  EXPECT_NE(oss.str().find("admit-first"), std::string::npos);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("max_flow_ms"), std::string::npos);
+}
+
+TEST(IntegrationTest, ConfigValidation) {
+  const auto dist = workload::bing_distribution();
+  core::ExperimentConfig cfg;
+  cfg.qps_values = {};
+  EXPECT_THROW(core::run_experiment(dist, cfg), std::invalid_argument);
+  cfg.qps_values = {100.0};
+  cfg.schedulers = {};
+  EXPECT_THROW(core::run_experiment(dist, cfg), std::invalid_argument);
+}
+
+TEST(IntegrationTest, PairedInstancesAcrossSchedulers) {
+  // All schedulers in one cell see the same instance: OPT bound is
+  // identical across rows of the same QPS.
+  const auto dist = workload::bing_distribution();
+  const auto rows = core::run_experiment(dist, small_config());
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(rows[i].opt_bound_ms, rows[0].opt_bound_ms);
+}
+
+}  // namespace
+}  // namespace pjsched

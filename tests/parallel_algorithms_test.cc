@@ -1,0 +1,132 @@
+// Tests for parallel_reduce / parallel_invoke
+// (src/runtime/parallel_algorithms.h).
+#include "src/runtime/parallel_algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+namespace pjsched::runtime {
+namespace {
+
+TEST(ParallelReduceTest, SumsCorrectly) {
+  ThreadPool pool({.workers = 3, .steal_k = 0, .seed = 1});
+  std::uint64_t result = 0;
+  auto job = pool.submit([&](TaskContext& ctx) {
+    result = parallel_reduce<std::uint64_t>(
+        ctx, 1, 10001, 128, 0,
+        [](std::size_t lo, std::size_t hi) {
+          std::uint64_t s = 0;
+          for (std::size_t i = lo; i < hi; ++i) s += i;
+          return s;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  });
+  job->wait();
+  EXPECT_EQ(result, 10000ull * 10001 / 2);
+}
+
+TEST(ParallelReduceTest, EmptyRangeGivesIdentity) {
+  ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 2});
+  int result = -1;
+  auto job = pool.submit([&](TaskContext& ctx) {
+    result = parallel_reduce<int>(
+        ctx, 5, 5, 4, 42, [](std::size_t, std::size_t) { return 7; },
+        [](int a, int b) { return a + b; });
+  });
+  job->wait();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(ParallelReduceTest, DeterministicFoldOrder) {
+  // Non-associative reduction (string concatenation): chunk order must be
+  // preserved regardless of which worker computed which chunk.
+  ThreadPool pool({.workers = 4, .steal_k = 0, .seed = 3});
+  std::string result;
+  auto job = pool.submit([&](TaskContext& ctx) {
+    result = parallel_reduce<std::string>(
+        ctx, 0, 8, 2, std::string(),
+        [](std::size_t lo, std::size_t) { return std::to_string(lo / 2); },
+        [](std::string a, std::string b) { return a + b; });
+  });
+  job->wait();
+  EXPECT_EQ(result, "0123");
+}
+
+TEST(ParallelReduceTest, SingleChunkInline) {
+  ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 4});
+  int result = 0;
+  auto job = pool.submit([&](TaskContext& ctx) {
+    result = parallel_reduce<int>(
+        ctx, 0, 3, 100, 5, [](std::size_t lo, std::size_t hi) {
+          return static_cast<int>(hi - lo);
+        },
+        [](int a, int b) { return a + b; });
+  });
+  job->wait();
+  EXPECT_EQ(result, 8);
+}
+
+TEST(ParallelInvokeTest, RunsAllBranches) {
+  ThreadPool pool({.workers = 3, .steal_k = 0, .seed = 5});
+  std::atomic<int> mask{0};
+  auto job = pool.submit([&](TaskContext& ctx) {
+    parallel_invoke(
+        ctx, [&](TaskContext&) { mask.fetch_or(1); },
+        [&](TaskContext&) { mask.fetch_or(2); },
+        [&](TaskContext&) { mask.fetch_or(4); },
+        [&](TaskContext&) { mask.fetch_or(8); });
+  });
+  job->wait();
+  EXPECT_EQ(mask.load(), 15);
+}
+
+TEST(ParallelInvokeTest, SingleBranchInline) {
+  ThreadPool pool({.workers = 1, .steal_k = 0, .seed = 6});
+  int ran = 0;
+  auto job = pool.submit([&](TaskContext& ctx) {
+    parallel_invoke(ctx, [&](TaskContext&) { ran = 1; });
+  });
+  job->wait();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ParallelInvokeTest, NestedInvokeQuicksortStyle) {
+  // Recursive parallel divide-and-conquer: sum an array via nested invokes.
+  ThreadPool pool({.workers = 3, .steal_k = 0, .seed = 7});
+  std::vector<int> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<int>(i % 7);
+  std::atomic<long long> total{0};
+
+  struct Summer {
+    static void sum(TaskContext& ctx, const std::vector<int>& d,
+                    std::size_t lo, std::size_t hi,
+                    std::atomic<long long>& out) {
+      if (hi - lo <= 256) {
+        long long s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += d[i];
+        out.fetch_add(s);
+        return;
+      }
+      const std::size_t mid = lo + (hi - lo) / 2;
+      // Each branch recurses through *its own* context (the spawned branch
+      // may run on another worker).
+      parallel_invoke(
+          ctx,
+          [&d, lo, mid, &out](TaskContext& inner) { sum(inner, d, lo, mid, out); },
+          [&d, mid, hi, &out](TaskContext& inner) { sum(inner, d, mid, hi, out); });
+    }
+  };
+
+  auto job = pool.submit([&](TaskContext& ctx) {
+    Summer::sum(ctx, data, 0, data.size(), total);
+  });
+  job->wait();
+  long long expect = 0;
+  for (int v : data) expect += v;
+  EXPECT_EQ(total.load(), expect);
+}
+
+}  // namespace
+}  // namespace pjsched::runtime

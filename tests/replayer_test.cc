@@ -1,0 +1,162 @@
+// Tests for the real-runtime instance replayer (src/runtime/replayer.h)
+// and the weighted-admission work-stealing extension.
+#include "src/runtime/replayer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/dag/builders.h"
+#include "src/sched/work_stealing.h"
+#include "tests/test_util.h"
+
+namespace pjsched {
+namespace {
+
+TEST(ReplayerTest, ReplaysEveryJob) {
+  runtime::ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 1});
+  auto inst = testutil::make_instance({
+      {0.0, dag::parallel_for_dag(4, 2)},
+      {5.0, dag::serial_chain(3, 2)},
+      {10.0, dag::star(3)},
+  });
+  runtime::ReplayOptions opts;
+  opts.ns_per_unit = 5000.0;  // 5 us per unit: fast but measurable
+  const auto report = runtime::replay_instance(pool, inst, opts);
+  EXPECT_EQ(report.flow_seconds.count, 3u);
+  EXPECT_GT(report.flow_seconds.max, 0.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_EQ(report.pool_stats.admissions, 3u);
+}
+
+TEST(ReplayerTest, FlowAtLeastSpanSpin) {
+  // Job with span P must spin at least P * ns_per_unit of wall time.
+  runtime::ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 2});
+  auto inst = testutil::make_instance({{0.0, dag::serial_chain(4, 25)}});
+  runtime::ReplayOptions opts;
+  opts.ns_per_unit = 10000.0;  // 100 units * 10 us = 1 ms minimum
+  const auto report = runtime::replay_instance(pool, inst, opts);
+  EXPECT_GE(report.flow_seconds.max, 0.0005);
+}
+
+TEST(ReplayerTest, WeightedFlowTracked) {
+  runtime::ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 3});
+  core::Instance inst;
+  inst.jobs.push_back({0.0, 8.0, dag::single_node(10)});
+  runtime::ReplayOptions opts;
+  opts.ns_per_unit = 1000.0;
+  const auto report = runtime::replay_instance(pool, inst, opts);
+  EXPECT_GE(report.max_weighted_flow_seconds,
+            report.flow_seconds.max * 7.99);
+}
+
+TEST(ReplayerTest, BadOptionsRejected) {
+  runtime::ThreadPool pool({.workers = 1, .steal_k = 0, .seed = 4});
+  auto inst = testutil::make_instance({{0.0, dag::single_node(1)}});
+  runtime::ReplayOptions opts;
+  opts.ns_per_unit = 0.0;
+  EXPECT_THROW(runtime::replay_instance(pool, inst, opts),
+               std::invalid_argument);
+  opts = {};
+  opts.arrival_scale = -1.0;
+  EXPECT_THROW(runtime::replay_instance(pool, inst, opts),
+               std::invalid_argument);
+}
+
+// --- Weighted-admission work stealing (extension) ---
+
+TEST(WeightedAdmissionTest, NameReflectsExtension) {
+  EXPECT_EQ(sched::WorkStealingScheduler(0, 1, true).name(),
+            "admit-first-bwf");
+  EXPECT_EQ(sched::WorkStealingScheduler(8, 1, true).name(),
+            "steal-8-first-bwf");
+}
+
+TEST(WeightedAdmissionTest, HeaviestQueuedJobAdmittedFirst) {
+  // One worker, three jobs queued at t=0 with distinct weights: the
+  // weighted variant admits heaviest-first, FIFO admits in order.
+  core::Instance inst;
+  inst.jobs.push_back({0.0, 1.0, dag::single_node(4)});
+  inst.jobs.push_back({0.0, 9.0, dag::single_node(4)});
+  inst.jobs.push_back({0.0, 3.0, dag::single_node(4)});
+
+  sched::WorkStealingScheduler weighted(0, 1, true);
+  const auto w = weighted.run(inst, {1, 1.0});
+  EXPECT_DOUBLE_EQ(w.completion[1], 4.0);   // weight 9 first
+  EXPECT_DOUBLE_EQ(w.completion[2], 8.0);   // weight 3 second
+  EXPECT_DOUBLE_EQ(w.completion[0], 12.0);  // weight 1 last
+
+  sched::WorkStealingScheduler fifo_adm(0, 1, false);
+  const auto f = fifo_adm.run(inst, {1, 1.0});
+  EXPECT_DOUBLE_EQ(f.completion[0], 4.0);
+  EXPECT_DOUBLE_EQ(f.completion[1], 8.0);
+  EXPECT_DOUBLE_EQ(f.completion[2], 12.0);
+}
+
+TEST(WeightedAdmissionTest, ImprovesWeightedObjectiveUnderBacklog) {
+  // Stream of light jobs plus a late heavy job: weighted admission pulls
+  // the heavy job ahead of the backlog.
+  core::Instance inst;
+  for (int i = 0; i < 30; ++i)
+    inst.jobs.push_back(
+        {static_cast<core::Time>(i), 1.0, dag::single_node(8)});
+  inst.jobs.push_back({30.0, 50.0, dag::single_node(8)});
+
+  sched::WorkStealingScheduler plain(0, 7, false);
+  sched::WorkStealingScheduler weighted(0, 7, true);
+  const auto p = plain.run(inst, {2, 1.0});
+  const auto w = weighted.run(inst, {2, 1.0});
+  EXPECT_LT(w.max_weighted_flow, p.max_weighted_flow);
+}
+
+TEST(WeightedAdmissionTest, EquivalentToFifoWhenWeightsEqual) {
+  auto inst = testutil::random_instance(17, 20, 30.0);
+  sched::WorkStealingScheduler plain(2, 5, false);
+  sched::WorkStealingScheduler weighted(2, 5, true);
+  const auto p = plain.run(inst, {3, 1.0});
+  const auto w = weighted.run(inst, {3, 1.0});
+  EXPECT_EQ(p.completion, w.completion);
+}
+
+TEST(WeightedAdmissionTest, RealRuntimeAdmitsHeaviestFirst) {
+  // Single worker, steal_k large so nothing is admitted until the queue
+  // holds all three jobs; then the heaviest goes first.
+  runtime::PoolOptions opts;
+  opts.workers = 1;
+  opts.steal_k = 0;
+  opts.admit_by_weight = true;
+  opts.seed = 5;
+  runtime::ThreadPool pool(opts);
+
+  std::mutex mu;
+  std::vector<int> order;
+  // Stuff the queue while the worker is busy on a long first job.
+  std::atomic<bool> release{false};
+  pool.submit([&](runtime::TaskContext&) {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  const auto enqueue = [&](int id, double weight) {
+    pool.submit(
+        [&, id](runtime::TaskContext&) {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(id);
+        },
+        weight);
+  };
+  enqueue(1, 1.0);
+  enqueue(9, 9.0);
+  enqueue(3, 3.0);
+  release.store(true, std::memory_order_release);
+  pool.wait_all();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 9);
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 1);
+}
+
+}  // namespace
+}  // namespace pjsched

@@ -1,0 +1,148 @@
+// Tests for the deterministic RNG (src/sim/rng.h).
+#include "src/sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pjsched::sim {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_int(7), 7u);
+    EXPECT_EQ(rng.uniform_int(1), 0u);
+  }
+  EXPECT_THROW(rng.uniform_int(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.uniform_range(3, 1), std::invalid_argument);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(29);
+  constexpr int kN = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(31);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(4.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, LognormalMean) {
+  Rng rng(37);
+  constexpr int kN = 100000;
+  const double mu = std::log(10.0) - 0.5;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.lognormal(mu, 1.0);
+  // E[lognormal(mu, 1)] = exp(mu + 1/2) = 10.
+  EXPECT_NEAR(sum / kN, 10.0, 0.5);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndStable) {
+  Rng parent(41);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  Rng c1_again = parent.fork(1);
+  // Same stream id -> same sequence; different ids -> different sequences.
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  Rng c1b = parent.fork(1);
+  c1b.next_u64();
+  EXPECT_NE(c1b.next_u64(), c2.next_u64());
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a(43), b(43);
+  (void)a.fork(9);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(53);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(SplitMixTest, KnownSequenceAdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+}
+
+}  // namespace
+}  // namespace pjsched::sim

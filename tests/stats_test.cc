@@ -1,0 +1,75 @@
+// Tests for summary statistics (src/metrics/stats.h).
+#include "src/metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace pjsched::metrics {
+namespace {
+
+TEST(SummaryTest, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(SummaryTest, KnownValues) {
+  const Summary s = summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+  // Population stddev of {1,2,3,4} = sqrt(1.25).
+  EXPECT_NEAR(s.stddev, 1.1180339887, 1e-9);
+}
+
+TEST(SummaryTest, SingleValue) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.125), 15.0);
+}
+
+TEST(QuantileTest, BadInputsRejected) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted({1.0}, -0.1), std::invalid_argument);
+}
+
+TEST(WeightedMaxTest, PicksWeightedArgmax) {
+  EXPECT_DOUBLE_EQ(weighted_max({5.0, 2.0}, {1.0, 10.0}), 20.0);
+  EXPECT_THROW(weighted_max({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[4], 2u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(HistogramTest, BadParamsRejected) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pjsched::metrics

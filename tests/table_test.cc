@@ -1,0 +1,49 @@
+// Tests for table formatting (src/metrics/table.h).
+#include "src/metrics/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pjsched::metrics {
+namespace {
+
+TEST(TableTest, AsciiAlignment) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream oss;
+  t.print(oss);
+  EXPECT_EQ(oss.str(),
+            "|  name | value |\n"
+            "|-------|-------|\n"
+            "| alpha |     1 |\n"
+            "|     b | 22222 |\n");
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "x"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(),
+            "a,b\n"
+            "plain,\"has,comma\"\n"
+            "\"has\"\"quote\",x\n");
+}
+
+TEST(TableTest, CellFormatting) {
+  EXPECT_EQ(Table::cell(1.5), "1.5000");
+  EXPECT_EQ(Table::cell(std::uint64_t{42}), "42");
+}
+
+TEST(TableTest, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace pjsched::metrics

@@ -1,0 +1,198 @@
+// Tests for the threaded TBB-style work-stealing pool
+// (src/runtime/thread_pool.h): job completion, spawn/sync, parallel_for
+// coverage, admission policies, and flow recording.
+#include "src/runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace pjsched::runtime {
+namespace {
+
+TEST(ThreadPoolTest, RunsASingleJob) {
+  ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 1});
+  std::atomic<int> ran{0};
+  auto job = pool.submit([&](TaskContext&) { ran.fetch_add(1); });
+  job->wait();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_TRUE(job->finished());
+  EXPECT_GE(job->flow_seconds(), 0.0);
+}
+
+TEST(ThreadPoolTest, RunsManyJobs) {
+  ThreadPool pool({.workers = 3, .steal_k = 0, .seed = 2});
+  std::atomic<int> ran{0};
+  constexpr int kJobs = 200;
+  for (int i = 0; i < kJobs; ++i)
+    pool.submit([&](TaskContext&) { ran.fetch_add(1); });
+  pool.wait_all();
+  EXPECT_EQ(ran.load(), kJobs);
+  EXPECT_EQ(pool.recorder().count(), static_cast<std::size_t>(kJobs));
+}
+
+TEST(ThreadPoolTest, SpawnedSubtasksCountTowardCompletion) {
+  ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 3});
+  std::atomic<int> subtasks{0};
+  auto job = pool.submit([&](TaskContext& ctx) {
+    for (int i = 0; i < 50; ++i)
+      ctx.spawn([&](TaskContext&) { subtasks.fetch_add(1); });
+  });
+  job->wait();
+  EXPECT_EQ(subtasks.load(), 50);
+}
+
+TEST(ThreadPoolTest, NestedSpawns) {
+  ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 4});
+  std::atomic<int> leaves{0};
+  auto job = pool.submit([&](TaskContext& ctx) {
+    for (int i = 0; i < 8; ++i)
+      ctx.spawn([&](TaskContext& inner) {
+        for (int j = 0; j < 8; ++j)
+          inner.spawn([&](TaskContext&) { leaves.fetch_add(1); });
+      });
+  });
+  job->wait();
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitGroupJoin) {
+  ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 5});
+  std::atomic<int> before{0};
+  std::atomic<bool> saw_all_before_sync{false};
+  auto job = pool.submit([&](TaskContext& ctx) {
+    WaitGroup wg;
+    for (int i = 0; i < 16; ++i)
+      ctx.spawn([&](TaskContext&) { before.fetch_add(1); }, wg);
+    ctx.wait_help(wg);
+    saw_all_before_sync.store(before.load() == 16);
+  });
+  job->wait();
+  EXPECT_TRUE(saw_all_before_sync.load());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool({.workers = 4, .steal_k = 0, .seed = 6});
+  constexpr std::size_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  auto job = pool.submit([&](TaskContext& ctx) {
+    parallel_for(ctx, 0, kN, 64, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+  });
+  job->wait();
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForEdgeCases) {
+  ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 7});
+  std::atomic<int> total{0};
+  auto job = pool.submit([&](TaskContext& ctx) {
+    parallel_for(ctx, 5, 5, 4, [&](std::size_t, std::size_t) {
+      total.fetch_add(1000);  // empty range: must not run
+    });
+    parallel_for(ctx, 0, 3, 0, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));  // grain 0 -> clamped to 1
+    });
+    parallel_for(ctx, 0, 10, 100, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));  // single chunk
+    });
+  });
+  job->wait();
+  EXPECT_EQ(total.load(), 13);
+}
+
+TEST(ThreadPoolTest, ParallelForComputesCorrectSum) {
+  ThreadPool pool({.workers = 4, .steal_k = 0, .seed = 8});
+  constexpr std::size_t kN = 100000;
+  std::vector<std::uint64_t> data(kN);
+  std::iota(data.begin(), data.end(), 1);
+  std::atomic<std::uint64_t> sum{0};
+  auto job = pool.submit([&](TaskContext& ctx) {
+    parallel_for(ctx, 0, kN, 1024, [&](std::size_t lo, std::size_t hi) {
+      std::uint64_t local = 0;
+      for (std::size_t i = lo; i < hi; ++i) local += data[i];
+      sum.fetch_add(local);
+    });
+  });
+  job->wait();
+  EXPECT_EQ(sum.load(), kN * (kN + 1) / 2);
+}
+
+TEST(ThreadPoolTest, StealKPolicyStillCompletesEverything) {
+  ThreadPool pool({.workers = 3, .steal_k = 16, .seed = 9});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&](TaskContext& ctx) {
+      parallel_for(ctx, 0, 64, 8,
+                   [&](std::size_t lo, std::size_t hi) {
+                     ran.fetch_add(static_cast<int>(hi - lo));
+                   });
+    });
+  pool.wait_all();
+  EXPECT_EQ(ran.load(), 6400);
+  EXPECT_EQ(pool.stats().admissions, 100u);
+}
+
+TEST(ThreadPoolTest, FlowRecorderSeesEveryJob) {
+  ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 10});
+  for (int i = 0; i < 50; ++i) pool.submit([](TaskContext&) {});
+  pool.wait_all();
+  const auto flows = pool.recorder().flows_seconds();
+  ASSERT_EQ(flows.size(), 50u);
+  for (double f : flows) EXPECT_GE(f, 0.0);
+  EXPECT_GE(pool.recorder().max_flow_seconds(), 0.0);
+  const auto summary = pool.recorder().summary();
+  EXPECT_EQ(summary.count, 50u);
+}
+
+TEST(ThreadPoolTest, WeightedFlowRecorded) {
+  ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 11});
+  pool.submit([](TaskContext&) {}, /*weight=*/10.0);
+  pool.wait_all();
+  EXPECT_GE(pool.recorder().max_weighted_flow_seconds(),
+            pool.recorder().max_flow_seconds());
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRejected) {
+  ThreadPool pool({.workers = 1, .steal_k = 0, .seed = 12});
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([](TaskContext&) {}), std::logic_error);
+}
+
+TEST(ThreadPoolTest, StatsAccountTasks) {
+  ThreadPool pool({.workers = 2, .steal_k = 0, .seed = 13});
+  auto job = pool.submit([](TaskContext& ctx) {
+    for (int i = 0; i < 10; ++i) ctx.spawn([](TaskContext&) {});
+  });
+  job->wait();
+  pool.shutdown();
+  EXPECT_EQ(pool.stats().tasks_executed, 11u);  // root + 10 spawns
+  EXPECT_EQ(pool.stats().admissions, 1u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolWorks) {
+  ThreadPool pool({.workers = 1, .steal_k = 0, .seed = 14});
+  std::atomic<int> ran{0};
+  auto job = pool.submit([&](TaskContext& ctx) {
+    parallel_for(ctx, 0, 100, 10,
+                 [&](std::size_t lo, std::size_t hi) {
+                   ran.fetch_add(static_cast<int>(hi - lo));
+                 });
+  });
+  job->wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampedToOne) {
+  ThreadPool pool({.workers = 0, .steal_k = 0, .seed = 15});
+  EXPECT_EQ(pool.workers(), 1u);
+  auto job = pool.submit([](TaskContext&) {});
+  job->wait();
+  EXPECT_TRUE(job->finished());
+}
+
+}  // namespace
+}  // namespace pjsched::runtime

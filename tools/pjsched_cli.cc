@@ -1,0 +1,12 @@
+// Thin main for the pjsched command-line tool; all logic lives in
+// src/cli/cli.h so it is unit-testable in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return pjsched::cli::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Plot a Figure-2-style CSV produced by the bench harness.
+
+Usage:
+    build/bench/bench_fig2_bing --csv > bing.csv
+    python3 tools/plot_fig2.py bing.csv [out.png]
+
+Draws one line per scheduler: max flow time (seconds) vs QPS — the exact
+presentation of the paper's Figure 2.  Requires matplotlib.
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else None
+
+    series = defaultdict(list)  # scheduler -> [(qps, max_flow_sec)]
+    workload = "?"
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            workload = row["workload"]
+            series[row["scheduler"]].append(
+                (float(row["qps"]), float(row["max_flow_ms"]) / 1000.0)
+            )
+
+    try:
+        import matplotlib
+
+        if out:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; printing the series instead:\n")
+        for name, pts in sorted(series.items()):
+            print(f"{name}:")
+            for qps, flow in sorted(pts):
+                print(f"  QPS {qps:7.0f}  max flow {flow:.4f} s")
+        return 0
+
+    fig, ax = plt.subplots(figsize=(5, 4))
+    markers = {"opt-lower-bound": "o", "steal-16-first": "s",
+               "admit-first": "^", "fifo": "d"}
+    for name, pts in sorted(series.items()):
+        pts.sort()
+        ax.plot([q for q, _ in pts], [v for _, v in pts],
+                marker=markers.get(name, "x"), label=name)
+    ax.set_xlabel("QPS")
+    ax.set_ylabel("Max flow time (sec)")
+    ax.set_title(f"{workload} workload")
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    if out:
+        fig.savefig(out, dpi=150)
+        print(f"wrote {out}")
+    else:
+        plt.show()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
