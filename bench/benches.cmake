@@ -19,6 +19,7 @@ pjsched_add_bench(bench_fifo_competitive)
 pjsched_add_bench(bench_ws_competitive)
 pjsched_add_bench(bench_bwf_weighted)
 pjsched_add_bench(bench_steal_k_ablation)
+pjsched_add_bench(bench_fault_degradation)
 
 # google-benchmark micro-benches.
 pjsched_add_bench(bench_runtime_micro)

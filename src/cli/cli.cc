@@ -38,7 +38,19 @@ struct Options {
   bool csv = false;
   std::vector<double> weight_classes = {1.0};
   std::size_t trials = 1;
+  /// Machine-degradation events (--degrade).  Events whose speed was not
+  /// given carry the sentinel speed < 0 and inherit --speed at use time.
+  std::vector<core::MachineEvent> degradation;
 };
+
+/// Resolves the machine config for a run: base (m, speed) plus any
+/// --degrade events, with unspecified event speeds inheriting --speed.
+core::MachineConfig make_machine(const Options& opt) {
+  core::MachineConfig machine{opt.m, opt.speed, opt.degradation};
+  for (core::MachineEvent& e : machine.degradation)
+    if (e.speed < 0.0) e.speed = opt.speed;
+  return machine;
+}
 
 [[noreturn]] void usage_error(const std::string& message) {
   throw std::invalid_argument(message);
@@ -104,6 +116,28 @@ Options parse(const std::vector<std::string>& args) {
       } else if (consume(arg, "trials", &v)) {
         opt.trials = std::stoull(v);
         if (opt.trials == 0) usage_error("--trials must be >= 1");
+      } else if (consume(arg, "degrade", &v)) {
+        // Comma-separated machine events "t:m[:s]": at simulated time t the
+        // machine drops (or recovers) to m processors, optionally changing
+        // speed to s.  Work-stealing (step-engine) schedulers reject speed
+        // changes — their step length is fixed at 1/s.
+        std::istringstream events(v);
+        std::string tok;
+        while (std::getline(events, tok, ',')) {
+          std::istringstream fields(tok);
+          std::string t_str, m_str, s_str;
+          if (!std::getline(fields, t_str, ':') ||
+              !std::getline(fields, m_str, ':'))
+            usage_error("--degrade events are t:m[:s], got '" + tok + "'");
+          core::MachineEvent e;
+          e.time = std::stod(t_str);
+          e.processors = static_cast<unsigned>(std::stoul(m_str));
+          e.speed = std::getline(fields, s_str, ':') ? std::stod(s_str)
+                                                     : -1.0;  // inherit
+          opt.degradation.push_back(e);
+        }
+        if (opt.degradation.empty())
+          usage_error("--degrade needs at least one t:m[:s] event");
       } else {
         usage_error("unknown flag '" + arg + "'");
       }
@@ -161,7 +195,7 @@ int cmd_run_trials(const Options& opt, std::ostream& out) {
   cfg.generator.grains = opt.grains;
   cfg.generator.units_per_ms = opt.units_per_ms;
   cfg.generator.weight_classes = opt.weight_classes;
-  cfg.machine = {opt.m, opt.speed};
+  cfg.machine = make_machine(opt);
   cfg.scheduler = core::parse_scheduler(opt.scheduler);
   cfg.scheduler.seed = opt.seed;
   const auto res = core::run_trials(*dist, cfg);
@@ -218,7 +252,7 @@ int cmd_run(const Options& opt, std::ostream& out) {
                           !opt.chrome_trace_file.empty() ||
                           opt.utilization_buckets.has_value();
   sim::Trace trace;
-  const core::MachineConfig machine{opt.m, opt.speed};
+  const core::MachineConfig machine = make_machine(opt);
   const auto res = core::run_scheduler(inst, spec, machine,
                                        want_trace ? &trace : nullptr);
 
@@ -240,7 +274,10 @@ int cmd_run(const Options& opt, std::ostream& out) {
   } else {
     out << "scheduler:        " << res.scheduler_name << "\n"
         << "jobs:             " << inst.size() << "\n"
-        << "machine:          m=" << opt.m << ", speed " << opt.speed << "\n"
+        << "machine:          m=" << opt.m << ", speed " << opt.speed;
+    for (const core::MachineEvent& e : machine.degradation)
+      out << ", @" << e.time << "->m=" << e.processors << "/s=" << e.speed;
+    out << "\n"
         << "max flow:         " << res.max_flow / opt.units_per_ms
         << " ms (job " << res.argmax_flow << ")\n"
         << "mean flow:        " << res.mean_flow / opt.units_per_ms << " ms\n"
@@ -297,7 +334,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
            "       [--m=M] [--speed=S] [--seed=S] [--grains=G]\n"
            "       [--units-per-ms=U] [--load=FILE] [--gantt[=W]]\n"
            "       [--chrome-trace=FILE] [--utilization=B] [--csv]\n"
-           "       [--weights=w1,w2,...] [--trials=R]\n";
+           "       [--weights=w1,w2,...] [--trials=R]\n"
+           "       [--degrade=t:m[:s],...]  (machine loses/recovers "
+           "processors at time t;\n"
+           "        work-stealing schedulers reject speed changes)\n";
     return 2;
   }
 }

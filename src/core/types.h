@@ -35,12 +35,28 @@ struct JobSpec {
   dag::Dag graph;
 };
 
+/// A scheduled change to the machine: at `time`, the processor count and
+/// speed become (`processors`, `speed`).  Processor loss models fail-stop
+/// worker failure; speed < 1 models machine-wide slowdown — both are the
+/// adversarial inverse of the paper's speed augmentation, the regime where
+/// max-flow-time guarantees are stressed.
+struct MachineEvent {
+  Time time = 0.0;
+  unsigned processors = 1;  ///< new m (>= 1)
+  double speed = 1.0;       ///< new s (> 0)
+};
+
 /// The machine the scheduler runs on.  `speed` is the resource-augmentation
 /// factor s: the paper compares an s-speed algorithm against a 1-speed
 /// optimum.
 struct MachineConfig {
   unsigned processors = 1;  ///< m
   double speed = 1.0;       ///< s >= 1 in all of the paper's analyses
+  /// Optional degradation timeline, applied in time order by the engines.
+  /// Empty (the default) reproduces the paper's fault-free machine.  The
+  /// step engine supports processor changes only (its step length is tied
+  /// to the configured speed; see step_engine.h).
+  std::vector<MachineEvent> degradation;
 };
 
 /// Aggregate engine counters, populated where meaningful.

@@ -2,28 +2,61 @@
 
 namespace pjsched::runtime {
 
-void AdmissionQueue::push(Task* task) {
-  std::lock_guard<std::mutex> lock(mu_);
+AdmissionQueue::PushResult AdmissionQueue::push(Task* task, Task** evicted) {
+  *evicted = nullptr;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return PushResult::kRejected;
+  if (full_locked()) {
+    switch (policy_) {
+      case BackpressurePolicy::kBlock:
+        space_cv_.wait(lock, [this] { return !full_locked() || closed_; });
+        if (closed_) return PushResult::kRejected;
+        break;
+      case BackpressurePolicy::kRejectNewest:
+        return PushResult::kRejected;
+      case BackpressurePolicy::kShedOldest:
+        *evicted = queue_.front();
+        queue_.pop_front();
+        break;
+    }
+  }
   queue_.push_back(task);
+  return PushResult::kAccepted;
 }
 
 Task* AdmissionQueue::try_pop() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (queue_.empty()) return nullptr;
-  Task* t = queue_.front();
-  queue_.pop_front();
+  Task* t = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return nullptr;
+    t = queue_.front();
+    queue_.pop_front();
+  }
+  space_cv_.notify_one();
   return t;
 }
 
 Task* AdmissionQueue::try_pop_heaviest() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (queue_.empty()) return nullptr;
-  auto best = queue_.begin();
-  for (auto it = queue_.begin(); it != queue_.end(); ++it)
-    if ((*it)->job->weight() > (*best)->job->weight()) best = it;
-  Task* t = *best;
-  queue_.erase(best);
+  Task* t = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return nullptr;
+    auto best = queue_.begin();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it)
+      if ((*it)->job->weight() > (*best)->job->weight()) best = it;
+    t = *best;
+    queue_.erase(best);
+  }
+  space_cv_.notify_one();
   return t;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  space_cv_.notify_all();
 }
 
 std::size_t AdmissionQueue::size() const {

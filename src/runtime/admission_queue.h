@@ -4,8 +4,15 @@
 // gated by the admission policy (admit-first / steal-k-first) in the worker
 // loop.  Mutex-protected: admissions happen at job granularity, far too
 // rarely for the lock to matter, and FIFO order must be exact.
+//
+// The queue may be bounded (capacity > 0), in which case a full queue
+// triggers the configured BackpressurePolicy instead of unbounded growth:
+// overload then degrades gracefully (bounded memory, bounded queueing
+// delay for admitted jobs) instead of OOMing — the ThreadPool records what
+// was dropped.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
@@ -14,14 +21,47 @@
 
 namespace pjsched::runtime {
 
+/// What a full bounded queue does with a new submission.
+enum class BackpressurePolicy {
+  kBlock,         ///< the submitter blocks until a worker admits a job
+  kRejectNewest,  ///< the new job is rejected (recorded as Shed)
+  kShedOldest,    ///< the oldest queued job is dropped to make room
+};
+
+inline const char* to_string(BackpressurePolicy p) {
+  switch (p) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kRejectNewest: return "reject-newest";
+    case BackpressurePolicy::kShedOldest: return "shed-oldest";
+  }
+  return "?";
+}
+
 class AdmissionQueue {
  public:
-  AdmissionQueue() = default;
+  enum class PushResult {
+    kAccepted,  ///< task enqueued (possibly after evicting the oldest)
+    kRejected,  ///< task not enqueued; caller keeps ownership
+  };
+
+  /// capacity == 0 means unbounded (the policy is then never consulted).
+  explicit AdmissionQueue(std::size_t capacity = 0,
+                          BackpressurePolicy policy = BackpressurePolicy::kBlock)
+      : capacity_(capacity), policy_(policy) {}
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
-  /// Appends a job's root task at the tail.
-  void push(Task* task);
+  /// Appends a job's root task at the tail, applying the backpressure
+  /// policy when the queue is full:
+  ///   * kBlock — waits until space frees up (or the queue is closed, in
+  ///     which case kRejected is returned);
+  ///   * kRejectNewest — returns kRejected, caller keeps ownership of
+  ///     `task`;
+  ///   * kShedOldest — evicts the head into *evicted (caller takes
+  ///     ownership of the evicted task) and accepts `task`.
+  /// `evicted` must be non-null; it is set to nullptr unless an eviction
+  /// happened.
+  PushResult push(Task* task, Task** evicted);
 
   /// Pops the head task, or returns nullptr when empty.
   Task* try_pop();
@@ -30,11 +70,27 @@ class AdmissionQueue {
   /// returns nullptr when empty — the weighted-admission extension.
   Task* try_pop_heaviest();
 
+  /// Wakes all blocked pushers with kRejected and makes every future push
+  /// (any policy) return kRejected — the shutdown barrier that guarantees
+  /// a task can never slip into a queue nobody will drain.  Queued tasks
+  /// stay poppable (shutdown drains them).
+  void close();
+
   std::size_t size() const;
   bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return capacity_; }
+  BackpressurePolicy policy() const { return policy_; }
 
  private:
+  bool full_locked() const {
+    return capacity_ != 0 && queue_.size() >= capacity_;
+  }
+
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
   mutable std::mutex mu_;
+  std::condition_variable space_cv_;
+  bool closed_ = false;
   std::deque<Task*> queue_;
 };
 

@@ -40,6 +40,11 @@ struct DagRun {
 
 void run_node(TaskContext& ctx, const std::shared_ptr<DagRun>& run,
               dag::NodeId v) {
+  // Cooperative cancellation: once the job is cancelled (failure, deadline,
+  // shedding), remaining nodes are skipped rather than executed.  Successor
+  // resolution is skipped too — the job can never complete, and the pool
+  // drains the already-spawned tasks the same way.
+  if (ctx.cancelled()) return;
   run->body(v, run->graph.work_of(v));
   for (dag::NodeId w : run->graph.successors(v)) {
     if (run->pending[w].fetch_sub(1, std::memory_order_acq_rel) == 1) {

@@ -1,0 +1,49 @@
+#include "src/runtime/fault_injection.h"
+
+#include <algorithm>
+
+#include "src/sim/rng.h"
+
+namespace pjsched::runtime {
+
+FaultInjector::FaultInjector(FaultPlan plan, unsigned workers)
+    : plan_(std::move(plan)) {
+  if (plan_.task_failure_probability < 0.0 ||
+      plan_.task_failure_probability > 1.0)
+    throw std::invalid_argument(
+        "FaultInjector: task_failure_probability must be in [0, 1]");
+  stalls_.assign(workers, std::chrono::microseconds{0});
+  for (const FaultPlan::WorkerStall& ws : plan_.worker_stalls) {
+    if (ws.worker >= workers)
+      throw std::invalid_argument("FaultInjector: stall for worker " +
+                                  std::to_string(ws.worker) + " but pool has " +
+                                  std::to_string(workers) + " workers");
+    stalls_[ws.worker] = std::max(stalls_[ws.worker], ws.stall);
+  }
+  std::sort(plan_.fail_task_indices.begin(), plan_.fail_task_indices.end());
+}
+
+bool FaultInjector::would_fail(std::uint64_t task_index) const {
+  if (std::binary_search(plan_.fail_task_indices.begin(),
+                         plan_.fail_task_indices.end(), task_index))
+    return true;
+  if (plan_.task_failure_probability <= 0.0) return false;
+  // Counter-based draw: hash (seed, index) through SplitMix64 into a
+  // uniform double.  Stateless, so the decision for index i never depends
+  // on which thread asked or in what order.
+  std::uint64_t state = plan_.seed ^ (task_index * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t bits = sim::splitmix64(state);
+  const double u =
+      static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+  return u < plan_.task_failure_probability;
+}
+
+std::optional<std::uint64_t> FaultInjector::next_task_fault() {
+  const std::uint64_t index =
+      next_index_.fetch_add(1, std::memory_order_relaxed);
+  if (!would_fail(index)) return std::nullopt;
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace pjsched::runtime

@@ -1,0 +1,121 @@
+// Deterministic fault injection for the threaded runtime.
+//
+// A FaultPlan describes, from a single seed, which faults the ThreadPool
+// should experience: task bodies that throw, workers that stall before
+// every task (degraded machines), and a fixed delay on every admission
+// from the global queue.  The point is to make the overload / degraded
+// regimes — exactly where the paper's max-flow-time guarantees are
+// stressed — reproducible enough to test and benchmark against.
+//
+// Determinism contract: the decision for the i-th fault query of each kind
+// is a pure function of (plan, i).  Which *task* receives the i-th query
+// still depends on thread interleaving (that is inherent to a real
+// runtime), but the decision sequence itself — and therefore the total
+// number of injected faults — is bit-for-bit reproducible, and explicit
+// `fail_task_indices` pin individual executions for tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace pjsched::runtime {
+
+/// Thrown by the pool inside a task body when the plan injects a failure;
+/// derives from std::runtime_error so it flows through the same
+/// exception-containment path as user faults.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(std::uint64_t task_index)
+      : std::runtime_error("injected fault at task execution #" +
+                           std::to_string(task_index)),
+        task_index_(task_index) {}
+
+  std::uint64_t task_index() const { return task_index_; }
+
+ private:
+  std::uint64_t task_index_;
+};
+
+/// Declarative description of the faults to inject.  Default-constructed =
+/// no faults.
+struct FaultPlan {
+  /// Seeds the Bernoulli failure sequence (see task_failure_probability).
+  std::uint64_t seed = 1;
+
+  /// Each task execution fails with this probability, decided by a seeded
+  /// counter-based hash (deterministic sequence; see header comment).
+  double task_failure_probability = 0.0;
+
+  /// Explicit global task-execution indices (0-based, in order of
+  /// execution across the whole pool) that must fail — the deterministic
+  /// knob for tests ("the first task ever executed throws").
+  std::vector<std::uint64_t> fail_task_indices;
+
+  /// A degraded worker sleeps `stall` before executing each task —
+  /// modelling a slow machine; a large stall approximates a hung worker.
+  struct WorkerStall {
+    unsigned worker = 0;
+    std::chrono::microseconds stall{0};
+  };
+  std::vector<WorkerStall> worker_stalls;
+
+  /// Sleep applied by a worker right before executing a task it admitted
+  /// from the global queue (models slow admission under contention).
+  std::chrono::microseconds admission_delay{0};
+
+  /// True when the plan injects nothing (the pool then skips the
+  /// per-task bookkeeping entirely).
+  bool empty() const {
+    return task_failure_probability <= 0.0 && fail_task_indices.empty() &&
+           worker_stalls.empty() && admission_delay.count() == 0;
+  }
+};
+
+/// Runtime engine for a FaultPlan: hands out decisions to the pool.
+/// Thread-safe; one instance per ThreadPool.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, unsigned workers);
+
+  /// Claims the next global task-execution index; returns that index when
+  /// the execution must fail (counted in faults_injected()), nullopt
+  /// otherwise.
+  std::optional<std::uint64_t> next_task_fault();
+
+  /// Stall to apply before the given worker executes any task (zero for
+  /// healthy workers).
+  std::chrono::microseconds worker_stall(unsigned worker) const {
+    return worker < stalls_.size() ? stalls_[worker]
+                                   : std::chrono::microseconds{0};
+  }
+
+  std::chrono::microseconds admission_delay() const {
+    return plan_.admission_delay;
+  }
+
+  /// Number of task executions failed so far.
+  std::uint64_t faults_injected() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of task executions queried so far.
+  std::uint64_t tasks_seen() const {
+    return next_index_.load(std::memory_order_relaxed);
+  }
+
+  /// Pure decision function: would task-execution index i fail under this
+  /// plan?  (Exposed for tests of the determinism contract.)
+  bool would_fail(std::uint64_t task_index) const;
+
+ private:
+  FaultPlan plan_;
+  std::vector<std::chrono::microseconds> stalls_;  // indexed by worker
+  std::atomic<std::uint64_t> next_index_{0};
+  std::atomic<std::uint64_t> faults_{0};
+};
+
+}  // namespace pjsched::runtime

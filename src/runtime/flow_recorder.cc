@@ -5,15 +5,39 @@
 namespace pjsched::runtime {
 
 void FlowRecorder::record(const Job& job) {
-  const double flow = job.flow_seconds();
+  record(job.flow_seconds(), job.weight(), job.outcome());
+}
+
+void FlowRecorder::record(double flow_seconds, double weight,
+                          JobOutcome outcome) {
   std::lock_guard<std::mutex> lock(mu_);
-  flows_.push_back(flow);
-  weights_.push_back(job.weight());
+  switch (outcome) {
+    case JobOutcome::kRunning:  // defensive: treat as completed
+    case JobOutcome::kCompleted:
+      ++counts_.completed;
+      flows_.push_back(flow_seconds);
+      weights_.push_back(weight);
+      break;
+    case JobOutcome::kFailed:
+      ++counts_.failed;
+      break;
+    case JobOutcome::kDeadlineExpired:
+      ++counts_.deadline_expired;
+      break;
+    case JobOutcome::kShed:
+      ++counts_.shed;
+      break;
+  }
 }
 
 std::size_t FlowRecorder::count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return flows_.size();
+  return static_cast<std::size_t>(counts_.total());
+}
+
+FlowRecorder::OutcomeCounts FlowRecorder::outcome_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
 }
 
 std::vector<double> FlowRecorder::flows_seconds() const {

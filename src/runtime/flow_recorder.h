@@ -2,6 +2,12 @@
 // completion wall-clock timestamps, and summary statistics matching the
 // quantities the paper's Figure 2 reports (max flow time; we add mean and
 // weighted max).
+//
+// Every job lands here with its terminal outcome.  Flow-time statistics
+// (max / weighted max / summary) cover *completed* jobs only — a failed,
+// deadline-expired, or shed job has no meaningful flow time and must not
+// contaminate the objective — but every outcome is counted and visible
+// through outcome_counts(), so degraded runs are auditable.
 #pragma once
 
 #include <cstdint>
@@ -15,24 +21,46 @@ namespace pjsched::runtime {
 
 class FlowRecorder {
  public:
-  /// Registers a completed job's flow time (thread-safe; called by workers).
+  /// Per-terminal-outcome job counts.
+  struct OutcomeCounts {
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t shed = 0;
+
+    std::uint64_t total() const {
+      return completed + failed + deadline_expired + shed;
+    }
+  };
+
+  /// Registers a finished job (thread-safe; called by workers).  The
+  /// outcome is read from the job; only kCompleted jobs contribute to the
+  /// flow statistics.
   void record(const Job& job);
 
+  /// Testing/embedding hook: record a terminal outcome directly.
+  void record(double flow_seconds, double weight, JobOutcome outcome);
+
+  /// Jobs recorded so far, any outcome.
   std::size_t count() const;
 
-  /// Snapshot of all flow times so far, in seconds.
+  OutcomeCounts outcome_counts() const;
+
+  /// Snapshot of completed jobs' flow times so far, in seconds.
   std::vector<double> flows_seconds() const;
 
-  /// max_i F_i over recorded jobs, seconds.
+  /// max_i F_i over completed jobs, seconds.
   double max_flow_seconds() const;
-  /// max_i w_i F_i over recorded jobs, seconds.
+  /// max_i w_i F_i over completed jobs, seconds.
   double max_weighted_flow_seconds() const;
+  /// Flow summary over completed jobs.
   metrics::Summary summary() const;
 
  private:
   mutable std::mutex mu_;
-  std::vector<double> flows_;
-  std::vector<double> weights_;
+  std::vector<double> flows_;    // completed jobs only
+  std::vector<double> weights_;  // parallel to flows_
+  OutcomeCounts counts_;
 };
 
 }  // namespace pjsched::runtime

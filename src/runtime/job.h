@@ -5,6 +5,15 @@
 // finished.  Completion is tracked with a pending-task counter: the root
 // task counts 1, every spawn increments, every task-exit decrements; zero
 // means done.  Flow time = completion - submission.
+//
+// Fault model: a job ends in exactly one terminal outcome.  `Completed` is
+// the fault-free path; `Failed` (a task body threw), `DeadlineExpired`
+// (the per-job deadline passed before the job finished), and `Shed` (the
+// bounded admission queue dropped the job under overload) are the degraded
+// paths.  Cancellation is cooperative and monotone: the first cause wins
+// (try_cancel is a single CAS), every not-yet-started task of a cancelled
+// job is skipped instead of executed, and the pending counter still drains
+// to zero so waiters always wake.
 #pragma once
 
 #include <atomic>
@@ -14,6 +23,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 
 namespace pjsched::runtime {
 
@@ -21,6 +32,35 @@ class TaskContext;
 
 using TaskFn = std::function<void(TaskContext&)>;
 using Clock = std::chrono::steady_clock;
+
+/// Terminal state of a job.  `kRunning` is the only non-terminal value.
+enum class JobOutcome : std::uint8_t {
+  kRunning,
+  kCompleted,        ///< every task finished without fault
+  kFailed,           ///< a task body threw; remaining tasks were cancelled
+  kDeadlineExpired,  ///< the per-job deadline passed; remaining tasks cancelled
+  kShed,             ///< dropped by admission backpressure; never executed
+};
+
+inline const char* to_string(JobOutcome o) {
+  switch (o) {
+    case JobOutcome::kRunning: return "running";
+    case JobOutcome::kCompleted: return "completed";
+    case JobOutcome::kFailed: return "failed";
+    case JobOutcome::kDeadlineExpired: return "deadline-expired";
+    case JobOutcome::kShed: return "shed";
+  }
+  return "?";
+}
+
+/// Thrown out of TaskContext::wait_help when the surrounding job is
+/// cancelled mid-join: the join can never be satisfied (cancelled subtasks
+/// are skipped, so they never signal the WaitGroup), so the task body must
+/// unwind.  The pool catches it at the task boundary.
+class JobCancelledError : public std::runtime_error {
+ public:
+  JobCancelledError() : std::runtime_error("job cancelled") {}
+};
 
 class Job {
  public:
@@ -34,7 +74,30 @@ class Job {
 
   bool finished() const { return finished_.load(std::memory_order_acquire); }
 
-  /// Blocks until the job completes.
+  /// Terminal outcome; kRunning until the job reaches one.
+  JobOutcome outcome() const {
+    return outcome_.load(std::memory_order_acquire);
+  }
+
+  /// True once the job has a degraded outcome (Failed / DeadlineExpired /
+  /// Shed): remaining tasks will be skipped.  Long-running task bodies
+  /// should poll TaskContext::cancelled() to stop early.
+  bool cancelled() const {
+    const JobOutcome o = outcome();
+    return o != JobOutcome::kRunning && o != JobOutcome::kCompleted;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// What went wrong (first failure wins); empty for fault-free jobs.
+  std::string error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return error_;
+  }
+
+  /// Blocks until the job reaches a terminal outcome (any of them: a
+  /// cancelled job still "finishes" once its queued tasks have drained).
   void wait() const {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return finished_.load(std::memory_order_acquire); });
@@ -52,14 +115,44 @@ class Job {
 
   void mark_submitted() { submit_time_ = Clock::now(); }
 
+  void set_deadline(Clock::time_point d) {
+    deadline_ = d;
+    has_deadline_ = true;
+  }
+
+  bool deadline_passed(Clock::time_point now) const {
+    return has_deadline_ && now > deadline_;
+  }
+
+  /// Moves the job to a degraded terminal outcome; the first cause wins.
+  /// Returns true iff this call performed the transition.
+  bool try_cancel(JobOutcome reason) {
+    JobOutcome expected = JobOutcome::kRunning;
+    return outcome_.compare_exchange_strong(expected, reason,
+                                            std::memory_order_acq_rel);
+  }
+
+  void set_error(std::string message) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_.empty()) error_ = std::move(message);
+  }
+
   void add_pending(std::uint64_t n = 1) {
     pending_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
   }
 
   /// Returns true if this decrement completed the job.
   bool finish_one() {
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       completion_time_ = Clock::now();
+      // Fault-free drain => Completed; a cancelled job keeps its reason.
+      JobOutcome expected = JobOutcome::kRunning;
+      outcome_.compare_exchange_strong(expected, JobOutcome::kCompleted,
+                                       std::memory_order_acq_rel);
       {
         std::lock_guard<std::mutex> lock(mu_);
         finished_.store(true, std::memory_order_release);
@@ -74,10 +167,14 @@ class Job {
   const double weight_;
   std::atomic<std::uint64_t> pending_{0};
   std::atomic<bool> finished_{false};
+  std::atomic<JobOutcome> outcome_{JobOutcome::kRunning};
   Clock::time_point submit_time_{};
   Clock::time_point completion_time_{};
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;  // written before the job is visible to workers
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
+  std::string error_;  // guarded by mu_
 };
 
 using JobHandle = std::shared_ptr<Job>;

@@ -31,6 +31,7 @@ ReplayReport replay_instance(ThreadPool& pool, const core::Instance& instance,
   report.flow_seconds = pool.recorder().summary();
   report.max_weighted_flow_seconds =
       pool.recorder().max_weighted_flow_seconds();
+  report.outcomes = pool.recorder().outcome_counts();
   report.pool_stats = pool.stats();
   report.wall_seconds = std::chrono::duration<double>(end - start).count();
   return report;

@@ -1,6 +1,8 @@
 #include "src/runtime/thread_pool.h"
 
 #include <chrono>
+#include <iostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace pjsched::runtime {
@@ -22,6 +24,9 @@ void TaskContext::spawn(TaskFn fn, WaitGroup& wg) {
 void TaskContext::wait_help(WaitGroup& wg) {
   unsigned spins = 0;
   while (!wg.idle()) {
+    // A cancelled job's remaining subtasks are skipped and never signal
+    // the WaitGroup; unwind instead of spinning forever.
+    if (job_->cancelled()) throw JobCancelledError();
     if (pool_->try_run_one(worker_, /*helping=*/true)) {
       spins = 0;
     } else if (++spins > 64) {
@@ -31,8 +36,13 @@ void TaskContext::wait_help(WaitGroup& wg) {
 }
 
 ThreadPool::ThreadPool(const PoolOptions& options)
-    : steal_k_(options.steal_k), admit_by_weight_(options.admit_by_weight) {
+    : admission_(options.admission_capacity, options.backpressure),
+      steal_k_(options.steal_k),
+      admit_by_weight_(options.admit_by_weight),
+      watchdog_sink_(options.watchdog_sink) {
   const unsigned n = options.workers == 0 ? 1 : options.workers;
+  if (!options.fault_plan.empty())
+    injector_ = std::make_unique<FaultInjector>(options.fault_plan, n);
   sim::Rng root_rng(options.seed);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
@@ -42,23 +52,68 @@ ThreadPool::ThreadPool(const PoolOptions& options)
   }
   for (unsigned i = 0; i < n; ++i)
     workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+  if (options.watchdog_interval.count() > 0) {
+    watchdog_ = std::thread(
+        [this, interval = options.watchdog_interval] { watchdog_main(interval); });
+  }
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
 JobHandle ThreadPool::submit(TaskFn root, double weight) {
+  SubmitOptions options;
+  options.weight = weight;
+  return submit(std::move(root), options);
+}
+
+JobHandle ThreadPool::submit(TaskFn root, const SubmitOptions& options) {
   if (!accepting_.load(std::memory_order_acquire))
-    throw std::logic_error("ThreadPool::submit: pool is shutting down");
-  auto job = std::make_shared<Job>(jobs_submitted_.fetch_add(1) + 1, weight);
+    throw std::logic_error(
+        "ThreadPool::submit: pool is shut down; submissions after shutdown() "
+        "are a caller error");
+  auto job =
+      std::make_shared<Job>(jobs_submitted_.fetch_add(1) + 1, options.weight);
   job->mark_submitted();
+  if (options.deadline.has_value())
+    job->set_deadline(job->submit_time() + *options.deadline);
   job->add_pending();  // the root task
   {
     std::lock_guard<std::mutex> lock(done_mu_);
     live_jobs_.push_back(job);
   }
-  admission_.push(new Task{job.get(), std::move(root)});
+  auto* task = new Task{job.get(), std::move(root)};
+  Task* evicted = nullptr;
+  const AdmissionQueue::PushResult result = admission_.push(task, &evicted);
+  if (evicted != nullptr) terminate_unadmitted(evicted, /*rejected=*/false);
+  if (result == AdmissionQueue::PushResult::kRejected)
+    terminate_unadmitted(task, /*rejected=*/true);
   idle_cv_.notify_one();
   return job;
+}
+
+void ThreadPool::terminate_unadmitted(Task* task, bool rejected) {
+  Job* job = task->job;
+  if (job->try_cancel(JobOutcome::kShed)) {
+    if (rejected)
+      jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
+    else
+      jobs_shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  delete task;
+  finish_job(job);  // the root never ran; drain its pending count
+}
+
+void ThreadPool::finish_job(Job* job) {
+  if (job->finish_one()) {
+    recorder_.record(*job);
+    {
+      // Increment under the lock so wait_all() cannot miss the wakeup
+      // between checking its predicate and blocking.
+      std::lock_guard<std::mutex> lock(done_mu_);
+      jobs_completed_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    done_cv_.notify_all();
+  }
 }
 
 void ThreadPool::wait_all() {
@@ -75,9 +130,22 @@ void ThreadPool::shutdown() {
     return;  // already shut down (or shutting down on another thread)
   wait_all();
   stop_.store(true, std::memory_order_release);
+  admission_.close();  // unblock submitters stuck on a full bounded queue
   idle_cv_.notify_all();
   for (auto& w : workers_)
     if (w->thread.joinable()) w->thread.join();
+  // A submit() racing shutdown() may have enqueued a task after the final
+  // drain; record such jobs as Shed rather than leaking them.
+  while (Task* leftover = admission_.try_pop())
+    terminate_unadmitted(leftover, /*rejected=*/false);
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
   std::lock_guard<std::mutex> lock(done_mu_);
   live_jobs_.clear();
 }
@@ -85,27 +153,147 @@ void ThreadPool::shutdown() {
 PoolStats ThreadPool::stats() const {
   PoolStats total;
   for (const auto& w : workers_) {
-    total.steal_attempts += w->stats.steal_attempts;
-    total.successful_steals += w->stats.successful_steals;
-    total.admissions += w->stats.admissions;
-    total.tasks_executed += w->stats.tasks_executed;
+    total.steal_attempts +=
+        w->counters.steal_attempts.load(std::memory_order_relaxed);
+    total.successful_steals +=
+        w->counters.successful_steals.load(std::memory_order_relaxed);
+    total.admissions += w->counters.admissions.load(std::memory_order_relaxed);
+    total.tasks_executed +=
+        w->counters.tasks_executed.load(std::memory_order_relaxed);
+    total.tasks_cancelled +=
+        w->counters.tasks_cancelled.load(std::memory_order_relaxed);
   }
+  total.faults_injected = injector_ ? injector_->faults_injected() : 0;
+  total.jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
+  total.jobs_deadline_expired =
+      jobs_deadline_expired_.load(std::memory_order_relaxed);
+  total.jobs_shed = jobs_shed_.load(std::memory_order_relaxed);
+  total.jobs_rejected = jobs_rejected_.load(std::memory_order_relaxed);
+  total.watchdog_dumps = watchdog_dumps_.load(std::memory_order_relaxed);
   return total;
+}
+
+std::uint64_t ThreadPool::total_tasks_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_)
+    total += w->counters.tasks_executed.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::string ThreadPool::dump_state() const {
+  std::ostringstream out;
+  const std::uint64_t submitted = jobs_submitted_.load(std::memory_order_acquire);
+  const std::uint64_t completed = jobs_completed_.load(std::memory_order_acquire);
+  out << "ThreadPool diagnostic dump\n"
+      << "  jobs: submitted=" << submitted << " terminal=" << completed
+      << " pending=" << submitted - completed << "\n"
+      << "  admission queue: depth=" << admission_.size()
+      << " capacity=" << admission_.capacity() << " ("
+      << to_string(admission_.policy()) << ")\n";
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerCounters& c = workers_[i]->counters;
+    out << "  worker " << i << ": deque~=" << workers_[i]->deque.size_hint()
+        << " tasks=" << c.tasks_executed.load(std::memory_order_relaxed)
+        << " cancelled=" << c.tasks_cancelled.load(std::memory_order_relaxed)
+        << " steals=" << c.successful_steals.load(std::memory_order_relaxed)
+        << "/" << c.steal_attempts.load(std::memory_order_relaxed)
+        << " admissions=" << c.admissions.load(std::memory_order_relaxed)
+        << "\n";
+  }
+  constexpr std::size_t kMaxJobsListed = 16;
+  std::size_t listed = 0, unfinished = 0;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    for (const JobHandle& job : live_jobs_) {
+      if (job->finished()) continue;
+      ++unfinished;
+      if (listed >= kMaxJobsListed) continue;
+      ++listed;
+      out << "  job " << job->id() << ": outcome="
+          << to_string(job->outcome()) << " pending=" << job->pending()
+          << " age="
+          << std::chrono::duration<double>(Clock::now() - job->submit_time())
+                 .count()
+          << "s";
+      if (job->has_deadline())
+        out << " deadline_in="
+            << std::chrono::duration<double>(job->deadline() - Clock::now())
+                   .count()
+            << "s";
+      out << "\n";
+    }
+  }
+  if (unfinished > listed)
+    out << "  ... and " << unfinished - listed << " more unfinished job(s)\n";
+  return out.str();
+}
+
+void ThreadPool::watchdog_main(std::chrono::milliseconds interval) {
+  std::uint64_t last_tasks = total_tasks_executed();
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    if (watchdog_cv_.wait_for(lock, interval,
+                              [this] { return watchdog_stop_; }))
+      break;
+    const std::uint64_t tasks = total_tasks_executed();
+    const bool pending = jobs_completed_.load(std::memory_order_acquire) <
+                         jobs_submitted_.load(std::memory_order_acquire);
+    if (pending && tasks == last_tasks) {
+      watchdog_dumps_.fetch_add(1, std::memory_order_relaxed);
+      std::ostringstream header;
+      header << "pjsched watchdog: no task executed for "
+             << interval.count() << " ms with pending jobs\n";
+      const std::string report = header.str() + dump_state();
+      lock.unlock();  // never hold our mutex across the user callback
+      if (watchdog_sink_)
+        watchdog_sink_(report);
+      else
+        std::cerr << report;
+      lock.lock();
+    }
+    last_tasks = tasks;
+  }
 }
 
 void ThreadPool::execute(Task* task, unsigned worker) {
   Job* job = task->job;
-  {
-    TaskContext ctx(this, worker, job);
-    task->fn(ctx);
+  WorkerState& w = *workers_[worker];
+  if (injector_) {
+    const auto stall = injector_->worker_stall(worker);
+    if (stall.count() > 0) std::this_thread::sleep_for(stall);
+  }
+  if (!job->cancelled() && job->deadline_passed(Clock::now()) &&
+      job->try_cancel(JobOutcome::kDeadlineExpired))
+    jobs_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  if (job->cancelled()) {
+    // Skip the body; just drain the pending count below.
+    w.counters.tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    try {
+      if (injector_) {
+        if (const auto fault = injector_->next_task_fault())
+          throw FaultInjectedError(*fault);
+      }
+      TaskContext ctx(this, worker, job);
+      task->fn(ctx);
+    } catch (const JobCancelledError&) {
+      // wait_help unwound the body because the job was already cancelled;
+      // the cancellation cause is recorded elsewhere.
+    } catch (const std::exception& e) {
+      if (job->try_cancel(JobOutcome::kFailed)) {
+        job->set_error(e.what());
+        jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (...) {
+      if (job->try_cancel(JobOutcome::kFailed)) {
+        job->set_error("task body threw a non-std::exception");
+        jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
   delete task;
-  ++workers_[worker]->stats.tasks_executed;
-  if (job->finish_one()) {
-    recorder_.record(*job);
-    jobs_completed_.fetch_add(1, std::memory_order_acq_rel);
-    done_cv_.notify_all();
-  }
+  w.counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  finish_job(job);
 }
 
 Task* ThreadPool::try_steal(unsigned thief) {
@@ -137,17 +325,21 @@ bool ThreadPool::try_run_one(unsigned index, bool helping) {
     task = admit_by_weight_ ? admission_.try_pop_heaviest()
                             : admission_.try_pop();
     if (task != nullptr) {
-      ++w.stats.admissions;
+      w.counters.admissions.fetch_add(1, std::memory_order_relaxed);
       w.fail_count = 0;
+      if (injector_) {
+        const auto delay = injector_->admission_delay();
+        if (delay.count() > 0) std::this_thread::sleep_for(delay);
+      }
       execute(task, index);
       return true;
     }
   }
 
-  ++w.stats.steal_attempts;
+  w.counters.steal_attempts.fetch_add(1, std::memory_order_relaxed);
   task = try_steal(index);
   if (task != nullptr) {
-    ++w.stats.successful_steals;
+    w.counters.successful_steals.fetch_add(1, std::memory_order_relaxed);
     w.fail_count = 0;
     execute(task, index);
     return true;

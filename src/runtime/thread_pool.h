@@ -5,7 +5,9 @@
 //
 // Architecture:
 //   * one worker thread per configured slot, each owning a Chase–Lev deque;
-//   * a global FIFO AdmissionQueue of job root tasks;
+//   * a global FIFO AdmissionQueue of job root tasks — optionally bounded,
+//     with a backpressure policy (block / reject-newest / shed-oldest) so
+//     overload degrades gracefully instead of growing without bound;
 //   * workers run: local pop -> (policy-gated) admit -> random steal;
 //     under steal-k-first a worker admits only after k consecutive failed
 //     steal attempts, under admit-first (k = 0) it checks the global queue
@@ -13,17 +15,34 @@
 //   * tasks spawn subtasks onto their worker's deque (TaskContext::spawn)
 //     and join with help-first waiting (TaskContext::wait_help), which
 //     executes other tasks instead of blocking the thread;
-//   * job flow times land in a FlowRecorder.
+//   * job flow times and terminal outcomes land in a FlowRecorder.
+//
+// Fault tolerance (see docs/runtime.md, "Failure model"):
+//   * an exception escaping a task body is contained at the task boundary:
+//     the job is marked Failed, its not-yet-started tasks are skipped, and
+//     the pool keeps scheduling every other job;
+//   * submit() accepts an optional per-job deadline; once it passes, the
+//     job is cancelled and recorded as DeadlineExpired;
+//   * a seeded FaultPlan can inject task failures, per-worker stalls, and
+//     admission delays for reproducible robustness experiments;
+//   * an opt-in watchdog thread detects lack of progress (pending jobs but
+//     no task executions across an interval) and emits a diagnostic dump
+//     instead of hanging silently.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/runtime/admission_queue.h"
 #include "src/runtime/chase_lev_deque.h"
+#include "src/runtime/fault_injection.h"
 #include "src/runtime/flow_recorder.h"
 #include "src/runtime/job.h"
 #include "src/sim/rng.h"
@@ -39,6 +58,21 @@ struct PoolOptions {
   /// (mirrors the simulator's "-bwf" work-stealing variants).
   bool admit_by_weight = false;
   std::uint64_t seed = 1;
+
+  /// Admission-queue bound; 0 = unbounded (the seed behavior).
+  std::size_t admission_capacity = 0;
+  /// What a full bounded queue does with a new submission.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// Faults to inject (empty plan = none; see fault_injection.h).
+  FaultPlan fault_plan;
+
+  /// If > 0, a watchdog thread checks every interval whether the pool has
+  /// pending jobs but executed no task since the previous check, and emits
+  /// a diagnostic dump (dump_state()) when so.
+  std::chrono::milliseconds watchdog_interval{0};
+  /// Where watchdog dumps go; nullptr = std::cerr.
+  std::function<void(const std::string&)> watchdog_sink;
 };
 
 struct PoolStats {
@@ -46,6 +80,26 @@ struct PoolStats {
   std::uint64_t successful_steals = 0;
   std::uint64_t admissions = 0;
   std::uint64_t tasks_executed = 0;
+
+  // Fault-tolerance counters.
+  std::uint64_t tasks_cancelled = 0;  ///< tasks skipped: their job was cancelled
+  std::uint64_t faults_injected = 0;  ///< task failures injected by the plan
+  std::uint64_t jobs_failed = 0;      ///< jobs ended Failed
+  std::uint64_t jobs_deadline_expired = 0;
+  std::uint64_t jobs_shed = 0;        ///< queued jobs dropped by shed-oldest
+  std::uint64_t jobs_rejected = 0;    ///< submissions rejected (reject-newest
+                                      ///< or a closed blocking queue)
+  std::uint64_t watchdog_dumps = 0;
+};
+
+/// Per-job submission parameters.
+struct SubmitOptions {
+  double weight = 1.0;
+  /// If set, the job must finish within this duration of submission;
+  /// afterwards it is cancelled and recorded as DeadlineExpired.
+  /// Enforcement is cooperative: checked before every task of the job
+  /// executes (long task bodies should poll TaskContext::cancelled()).
+  std::optional<Clock::duration> deadline;
 };
 
 class ThreadPool;
@@ -60,8 +114,15 @@ class TaskContext {
   void spawn(TaskFn fn, WaitGroup& wg);
 
   /// Help-first join: executes queued/stolen tasks until wg.idle().
-  /// Never blocks the worker thread.
+  /// Never blocks the worker thread.  Throws JobCancelledError when the
+  /// surrounding job is cancelled mid-join (skipped subtasks never signal
+  /// the WaitGroup, so the join could otherwise spin forever); the pool
+  /// catches it at the task boundary.
   void wait_help(WaitGroup& wg);
+
+  /// True once this task's job has been cancelled (failure, deadline, or
+  /// shedding).  Long-running bodies should poll this and return early.
+  bool cancelled() const { return job_->cancelled(); }
 
   /// The job this task belongs to.
   Job& job() const { return *job_; }
@@ -88,11 +149,26 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Submits a job whose root task is `root`; returns immediately.
+  /// Submits a job whose root task is `root`; returns immediately unless
+  /// the admission queue is bounded with the kBlock policy and full.
   /// The submission time recorded for flow accounting is *now*.
+  ///
+  /// Under a bounded queue the returned handle may already be terminal:
+  /// outcome() == kShed when this submission was rejected (reject-newest)
+  /// — and a *different* job's handle becomes kShed when shed-oldest
+  /// evicts it.  Callers that care must check the handle, not assume
+  /// eventual execution.
+  ///
+  /// Calling submit() after shutdown() fails loudly: it throws
+  /// std::logic_error and the job is not enqueued.  (A submit racing
+  /// shutdown() either throws, runs to completion, or — if it slips into
+  /// the closing queue — is recorded as Shed; it is never silently
+  /// dropped.)
+  JobHandle submit(TaskFn root, const SubmitOptions& options);
   JobHandle submit(TaskFn root, double weight = 1.0);
 
-  /// Blocks until every job submitted so far has completed.
+  /// Blocks until every job submitted so far has reached a terminal
+  /// outcome (completed, failed, deadline-expired, or shed).
   void wait_all();
 
   /// Stops accepting jobs, drains, and joins workers (idempotent; also run
@@ -100,46 +176,82 @@ class ThreadPool {
   void shutdown();
 
   unsigned workers() const { return static_cast<unsigned>(workers_.size()); }
+  /// Note: Job::wait() returns just before the job lands in the recorder;
+  /// wait_all() is the barrier after which the recorder covers every
+  /// submitted job.
   FlowRecorder& recorder() { return recorder_; }
-  /// Aggregated across workers; safe to read when the pool is quiescent.
+  /// Aggregated across workers; counters are updated with relaxed atomics,
+  /// so a snapshot taken while the pool is busy may be slightly stale but
+  /// is race-free.
   PoolStats stats() const;
+
+  /// Human-readable snapshot of pool state: job counters, admission-queue
+  /// depth, per-worker deque depths and counters, and the first unfinished
+  /// jobs.  This is what the watchdog emits on a stall.
+  std::string dump_state() const;
 
  private:
   friend class TaskContext;
+
+  struct WorkerCounters {
+    std::atomic<std::uint64_t> steal_attempts{0};
+    std::atomic<std::uint64_t> successful_steals{0};
+    std::atomic<std::uint64_t> admissions{0};
+    std::atomic<std::uint64_t> tasks_executed{0};
+    std::atomic<std::uint64_t> tasks_cancelled{0};
+  };
 
   struct WorkerState {
     ChaseLevDeque<Task*> deque;
     sim::Rng rng{1};
     unsigned fail_count = 0;
-    PoolStats stats;
+    WorkerCounters counters;
     std::thread thread;
   };
 
   void worker_main(unsigned index);
+  void watchdog_main(std::chrono::milliseconds interval);
   /// One acquire-execute round; returns true if a task was executed.
   /// `helping` suppresses admission (a helper joining a WaitGroup must not
   /// start brand-new jobs mid-join: it only drains existing work).
   bool try_run_one(unsigned index, bool helping);
   void execute(Task* task, unsigned worker);
   Task* try_steal(unsigned thief);
+  /// Terminates a job whose root task never ran (shed / rejected): marks
+  /// it kShed, records it, and releases the task.
+  void terminate_unadmitted(Task* task, bool rejected);
+  void finish_job(Job* job);
+  std::uint64_t total_tasks_executed() const;
 
   std::vector<std::unique_ptr<WorkerState>> workers_;
   AdmissionQueue admission_;
   FlowRecorder recorder_;
   const unsigned steal_k_;
   const bool admit_by_weight_;
+  std::unique_ptr<FaultInjector> injector_;  // null when the plan is empty
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> accepting_{true};
   std::atomic<std::uint64_t> jobs_submitted_{0};
   std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
+  std::atomic<std::uint64_t> jobs_deadline_expired_{0};
+  std::atomic<std::uint64_t> jobs_shed_{0};
+  std::atomic<std::uint64_t> jobs_rejected_{0};
+  std::atomic<std::uint64_t> watchdog_dumps_{0};
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
-  std::mutex done_mu_;
+  mutable std::mutex done_mu_;  // dump_state() is const and snapshots jobs
   std::condition_variable done_cv_;
   /// Keeps every submitted job alive until shutdown even if the caller
   /// drops its handle (tasks hold raw Job pointers).
   std::vector<JobHandle> live_jobs_;
+
+  std::function<void(const std::string&)> watchdog_sink_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by watchdog_mu_
+  std::thread watchdog_;
 };
 
 /// Parallel-for over [begin, end): splits into chunks of at most `grain`

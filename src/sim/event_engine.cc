@@ -61,10 +61,27 @@ core::ScheduleResult run_event_engine(const core::Instance& instance,
                                       OrderPolicy& policy,
                                       const EventEngineOptions& options) {
   instance.validate();
-  const unsigned m = options.machine.processors;
-  const double s = options.machine.speed;
+  unsigned m = options.machine.processors;
+  double s = options.machine.speed;
   if (m == 0) throw std::invalid_argument("run_event_engine: zero processors");
   if (!(s > 0.0)) throw std::invalid_argument("run_event_engine: speed must be > 0");
+
+  // Degradation timeline: machine events are decision points like arrivals
+  // and completions; (m, s) are piecewise constant between them.
+  std::vector<core::MachineEvent> machine_events = options.machine.degradation;
+  for (const core::MachineEvent& e : machine_events) {
+    if (e.processors == 0)
+      throw std::invalid_argument("run_event_engine: machine event with zero processors");
+    if (!(e.speed > 0.0))
+      throw std::invalid_argument("run_event_engine: machine event speed must be > 0");
+    if (e.time < 0.0)
+      throw std::invalid_argument("run_event_engine: machine event before time 0");
+  }
+  std::stable_sort(machine_events.begin(), machine_events.end(),
+                   [](const core::MachineEvent& a, const core::MachineEvent& b) {
+                     return a.time < b.time;
+                   });
+  std::size_t next_machine_event = 0;
 
   const std::size_t n = instance.size();
   std::vector<JobState> states;
@@ -90,8 +107,10 @@ core::ScheduleResult run_event_engine(const core::Instance& instance,
   std::vector<std::pair<core::JobId, dag::NodeId>> assigned;
 
   // Defensive cap: every slice either completes a node, admits an arrival,
-  // or both, so slices <= total nodes + n + 1.
-  std::uint64_t max_slices = static_cast<std::uint64_t>(n) + 1;
+  // applies a machine event, or some combination, so slices <= total nodes
+  // + n + machine events + 1.
+  std::uint64_t max_slices =
+      static_cast<std::uint64_t>(n) + machine_events.size() + 1;
   for (const core::JobSpec& j : instance.jobs)
     max_slices += j.graph.node_count();
   max_slices = max_slices * 2 + 16;
@@ -100,6 +119,14 @@ core::ScheduleResult run_event_engine(const core::Instance& instance,
   while (unfinished > 0) {
     if (++slices > max_slices)
       throw std::logic_error("run_event_engine: simulation failed to make progress");
+
+    // Apply machine events whose time has come.
+    while (next_machine_event < machine_events.size() &&
+           machine_events[next_machine_event].time <= t + kEps) {
+      m = machine_events[next_machine_event].processors;
+      s = machine_events[next_machine_event].speed;
+      ++next_machine_event;
+    }
 
     // Admit arrivals at the current time.
     while (next_arrival_idx < n &&
@@ -117,10 +144,14 @@ core::ScheduleResult run_event_engine(const core::Instance& instance,
     }
 
     if (active.empty()) {
-      // Idle until the next arrival.
+      // Idle until the next arrival (but not across a machine event: m may
+      // change, which alters the idle-time accounting).
       if (next_arrival_idx >= n)
         throw std::logic_error("run_event_engine: no active jobs but jobs unfinished");
-      const core::Time t_next = instance.jobs[by_arrival[next_arrival_idx]].arrival;
+      core::Time t_next = instance.jobs[by_arrival[next_arrival_idx]].arrival;
+      if (next_machine_event < machine_events.size())
+        t_next = std::min(t_next, machine_events[next_machine_event].time);
+      t_next = std::max(t_next, t);
       result.stats.idle_processor_time += static_cast<double>(m) * (t_next - t);
       t = t_next;
       continue;
@@ -158,8 +189,8 @@ core::ScheduleResult run_event_engine(const core::Instance& instance,
     if (assigned.empty())
       throw std::logic_error("run_event_engine: active jobs but nothing to run");
 
-    // Time to the next event: the earliest assigned-node completion or the
-    // next arrival.
+    // Time to the next event: the earliest assigned-node completion, the
+    // next arrival, or the next machine event.
     double dt = std::numeric_limits<double>::infinity();
     for (const auto& [j, v] : assigned)
       dt = std::min(dt, states[j].remaining[v] / s);
@@ -167,6 +198,8 @@ core::ScheduleResult run_event_engine(const core::Instance& instance,
       const core::Time t_next = instance.jobs[by_arrival[next_arrival_idx]].arrival;
       dt = std::min(dt, t_next - t);
     }
+    if (next_machine_event < machine_events.size())
+      dt = std::min(dt, machine_events[next_machine_event].time - t);
     dt = std::max(dt, 0.0);
 
     // Advance all assigned nodes by s * dt.

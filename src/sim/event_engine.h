@@ -62,6 +62,10 @@ class OrderPolicy {
 };
 
 struct EventEngineOptions {
+  /// Machine to simulate.  `machine.degradation` events are honored exactly:
+  /// each event is a decision point at which (m, s) change, so processor
+  /// loss/restore and slowdown/recovery are simulated without
+  /// discretization error.
   core::MachineConfig machine;
   /// If non-null, the engine records per-slice work intervals into *trace
   /// (coalesced at the end).

@@ -44,6 +44,27 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
   if (!(s > 0.0)) throw std::invalid_argument("run_step_engine: speed must be > 0");
   const unsigned k = options.steal_k;
 
+  // Degradation events (processor count changes only; the step length is
+  // tied to the configured speed, so speed changes are rejected).
+  std::vector<core::MachineEvent> machine_events = options.machine.degradation;
+  for (const core::MachineEvent& e : machine_events) {
+    if (e.processors == 0)
+      throw std::invalid_argument("run_step_engine: machine event with zero workers");
+    if (e.time < 0.0)
+      throw std::invalid_argument("run_step_engine: machine event before time 0");
+    if (e.speed != s)
+      throw std::invalid_argument(
+          "run_step_engine: speed changes are not supported (step length is 1/s)");
+  }
+  std::stable_sort(machine_events.begin(), machine_events.end(),
+                   [](const core::MachineEvent& a, const core::MachineEvent& b) {
+                     return a.time < b.time;
+                   });
+  // Total worker slots ever needed (dead workers keep their deques).
+  unsigned total_workers = m;
+  for (const core::MachineEvent& e : machine_events)
+    total_workers = std::max(total_workers, e.processors);
+
   const std::size_t n = instance.size();
   std::vector<JobRun> jobs;
   jobs.reserve(n);
@@ -65,22 +86,36 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
   result.completion.assign(n, core::kNoTime);
 
   Rng rng(options.seed);
-  std::vector<Worker> workers(m);
+  std::vector<Worker> workers(total_workers);
+  // Worker w is live iff w < live_count: lowest-index workers survive a
+  // degradation event (deterministic fail-stop).
+  unsigned live_count = m;
+  std::vector<std::uint64_t> machine_event_step(machine_events.size());
+  for (std::size_t e = 0; e < machine_events.size(); ++e)
+    machine_event_step[e] = static_cast<std::uint64_t>(
+        std::ceil(machine_events[e].time * s - 1e-9));
+  std::size_t next_machine_event = 0;
   std::deque<core::JobId> global_queue;
 
   std::uint64_t max_steps = options.max_steps;
   if (max_steps == 0) {
     const std::uint64_t last_arrival =
         *std::max_element(arrival_step.begin(), arrival_step.end());
-    max_steps = last_arrival + instance.total_work() +
-                (static_cast<std::uint64_t>(n) + 1) * (k + m + 1) + 1024;
+    // Each failure event can discard one in-flight node's progress, so
+    // budget one extra total_work per event.
+    max_steps = last_arrival +
+                instance.total_work() * (machine_events.size() + 1) +
+                (static_cast<std::uint64_t>(n) + 1) * (k + total_workers + 1) +
+                1024;
+    if (!machine_event_step.empty())
+      max_steps += machine_event_step.back();
     max_steps *= 4;
   }
 
   std::size_t next_arrival_idx = 0;
   std::size_t unfinished = n;
 
-  std::vector<unsigned> perm(m);
+  std::vector<unsigned> perm(total_workers);
   std::iota(perm.begin(), perm.end(), 0);
   std::vector<dag::NodeId> enabled;
 
@@ -109,6 +144,25 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
     if (step >= max_steps)
       throw std::logic_error("run_step_engine: step budget exhausted");
 
+    // Apply machine events whose step has come.  Workers at or above the
+    // new count fail stop: the in-flight node loses its progress and
+    // returns to the front of the failed worker's deque, where it stays
+    // stealable; workers below the count (re)start fresh.
+    while (next_machine_event < machine_events.size() &&
+           machine_event_step[next_machine_event] <= step) {
+      const unsigned new_count = machine_events[next_machine_event].processors;
+      for (unsigned wi = new_count; wi < live_count; ++wi) {
+        Worker& w = workers[wi];
+        if (w.has_current) {
+          w.deque.push_front(w.current);
+          w.has_current = false;
+          w.remaining = 0;
+        }
+      }
+      live_count = new_count;
+      ++next_machine_event;
+    }
+
     // Release arrivals whose step has come.
     while (next_arrival_idx < n &&
            arrival_step[by_arrival[next_arrival_idx]] <= step)
@@ -126,10 +180,13 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
           break;
         }
       if (!any_work) {
-        const std::uint64_t next = arrival_step[by_arrival[next_arrival_idx]];
+        std::uint64_t next = arrival_step[by_arrival[next_arrival_idx]];
+        // Never skip across a machine event: the live set changes there.
+        if (next_machine_event < machine_events.size())
+          next = std::min(next, machine_event_step[next_machine_event]);
         if (next > step) {
           const std::uint64_t skipped = next - step;
-          result.stats.idle_steps += skipped * m;
+          result.stats.idle_steps += skipped * live_count;
           for (Worker& w : workers) w.fail_count = std::max(w.fail_count, k);
           step = next - 1;  // ++step in the loop header lands on `next`
           continue;
@@ -138,12 +195,13 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
     }
 
     // Random worker order within the step (Fisher–Yates).
-    for (unsigned i = m - 1; i > 0; --i) {
+    for (unsigned i = total_workers - 1; i > 0; --i) {
       const auto j = static_cast<unsigned>(rng.uniform_int(i + 1));
       std::swap(perm[i], perm[j]);
     }
 
-    for (unsigned wi = 0; wi < m; ++wi) {
+    for (unsigned wi = 0; wi < total_workers; ++wi) {
+      if (perm[wi] >= live_count) continue;  // failed worker: takes no steps
       Worker& w = workers[perm[wi]];
       if (!w.has_current) {
         if (!w.deque.empty()) {
@@ -177,8 +235,11 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
           ++result.stats.idle_steps;
           bool success = false;
           unsigned victim = perm[wi];
-          if (m > 1) {
-            victim = static_cast<unsigned>(rng.uniform_int(m - 1));
+          if (total_workers > 1) {
+            // Victims include failed workers: their deques survive the
+            // failure, and stealing from them is exactly how queued work is
+            // recovered.
+            victim = static_cast<unsigned>(rng.uniform_int(total_workers - 1));
             if (victim >= perm[wi]) ++victim;  // uniform over the others
             Worker& v = workers[victim];
             if (!v.deque.empty()) {

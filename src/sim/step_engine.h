@@ -35,6 +35,15 @@
 namespace pjsched::sim {
 
 struct StepEngineOptions {
+  /// Machine to simulate.  `machine.degradation` events model fail-stop
+  /// worker failure and recovery: at each event the live worker set becomes
+  /// workers [0, processors) (lowest indices survive — deterministic).  A
+  /// failing worker loses the progress on its in-flight node, which is
+  /// returned to the front of its deque and restarts from scratch when a
+  /// live worker steals it; its deque stays stealable (fail-stop with work
+  /// recovery through stealing).  Speed changes are not supported — the
+  /// step length is 1/s for the configured speed — and throw
+  /// std::invalid_argument.
   core::MachineConfig machine;
   /// Number of consecutive failed steal attempts a worker needs before it
   /// may admit from the global queue.  0 = admit-first.

@@ -1,0 +1,171 @@
+// Tests for deterministic fault injection (src/runtime/fault_injection.h)
+// and the ThreadPool's containment of injected failures: the pool must
+// survive task-body exceptions, record the jobs as Failed, and keep
+// scheduling everything else.
+#include "src/runtime/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "src/runtime/thread_pool.h"
+
+namespace pjsched::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(FaultInjectorTest, DecisionsAreDeterministic) {
+  FaultPlan plan;
+  plan.seed = 123;
+  plan.task_failure_probability = 0.5;
+  const FaultInjector a(plan, 2);
+  const FaultInjector b(plan, 4);  // worker count must not affect decisions
+  int fails = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.would_fail(i), b.would_fail(i)) << i;
+    fails += a.would_fail(i) ? 1 : 0;
+  }
+  // p = 0.5 over 1000 draws: both outcomes must occur, roughly balanced.
+  EXPECT_GT(fails, 400);
+  EXPECT_LT(fails, 600);
+}
+
+TEST(FaultInjectorTest, SeedChangesTheSequence) {
+  FaultPlan a_plan, b_plan;
+  a_plan.task_failure_probability = b_plan.task_failure_probability = 0.5;
+  a_plan.seed = 1;
+  b_plan.seed = 2;
+  const FaultInjector a(a_plan, 1), b(b_plan, 1);
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 256; ++i)
+    differing += a.would_fail(i) != b.would_fail(i) ? 1 : 0;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, ExplicitIndicesFailExactly) {
+  FaultPlan plan;
+  plan.fail_task_indices = {2, 0};  // unsorted on purpose
+  FaultInjector inj(plan, 1);
+  EXPECT_TRUE(inj.next_task_fault().has_value());   // index 0
+  EXPECT_FALSE(inj.next_task_fault().has_value());  // index 1
+  const auto third = inj.next_task_fault();         // index 2
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(*third, 2u);
+  EXPECT_FALSE(inj.next_task_fault().has_value());  // index 3
+  EXPECT_EQ(inj.faults_injected(), 2u);
+  EXPECT_EQ(inj.tasks_seen(), 4u);
+}
+
+TEST(FaultInjectorTest, InvalidPlansThrow) {
+  FaultPlan bad_p;
+  bad_p.task_failure_probability = 1.5;
+  EXPECT_THROW(FaultInjector(bad_p, 1), std::invalid_argument);
+
+  FaultPlan bad_worker;
+  bad_worker.worker_stalls = {{/*worker=*/3, /*stall=*/1ms}};
+  EXPECT_THROW(FaultInjector(bad_worker, 2), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, EmptyPlanDetection) {
+  EXPECT_TRUE(FaultPlan{}.empty());
+  FaultPlan p;
+  p.task_failure_probability = 0.1;
+  EXPECT_FALSE(p.empty());
+  FaultPlan q;
+  q.admission_delay = 1us;
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(FaultInjectionPoolTest, FirstTaskFailureMarksJobFailed) {
+  PoolOptions options;
+  options.workers = 1;
+  options.seed = 1;
+  options.fault_plan.fail_task_indices = {0};
+  ThreadPool pool(options);
+  std::atomic<bool> body_ran{false};
+  auto job = pool.submit([&](TaskContext&) { body_ran.store(true); });
+  job->wait();
+  EXPECT_EQ(job->outcome(), JobOutcome::kFailed);
+  EXPECT_FALSE(body_ran.load());  // the fault preempts the body
+  EXPECT_NE(job->error().find("injected fault"), std::string::npos);
+  EXPECT_EQ(pool.stats().faults_injected, 1u);
+}
+
+TEST(FaultInjectionPoolTest, PoolSurvivesEveryTaskFailing) {
+  PoolOptions options;
+  options.workers = 2;
+  options.seed = 2;
+  options.fault_plan.task_failure_probability = 1.0;
+  ThreadPool pool(options);
+  constexpr int kJobs = 30;
+  for (int i = 0; i < kJobs; ++i)
+    pool.submit([](TaskContext& ctx) {
+      ctx.spawn([](TaskContext&) {});  // never reached: root faults first
+    });
+  pool.wait_all();
+  const auto counts = pool.recorder().outcome_counts();
+  EXPECT_EQ(counts.failed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(counts.completed, 0u);
+  EXPECT_EQ(pool.recorder().max_flow_seconds(), 0.0);  // no completed jobs
+  pool.shutdown();  // must not hang or crash
+}
+
+TEST(FaultInjectionPoolTest, PartialFailuresLeaveOtherJobsIntact) {
+  PoolOptions options;
+  options.workers = 1;  // deterministic execution order
+  options.seed = 3;
+  options.fault_plan.fail_task_indices = {0};  // only the first job's root
+  ThreadPool pool(options);
+  std::atomic<int> ran{0};
+  auto doomed = pool.submit([&](TaskContext&) { ran.fetch_add(1); });
+  doomed->wait();  // pin execution-index 0 to this job
+  constexpr int kHealthy = 20;
+  for (int i = 0; i < kHealthy; ++i)
+    pool.submit([&](TaskContext&) { ran.fetch_add(1); });
+  pool.wait_all();
+  EXPECT_EQ(doomed->outcome(), JobOutcome::kFailed);
+  EXPECT_EQ(ran.load(), kHealthy);
+  const auto counts = pool.recorder().outcome_counts();
+  EXPECT_EQ(counts.failed, 1u);
+  EXPECT_EQ(counts.completed, static_cast<std::uint64_t>(kHealthy));
+}
+
+TEST(FaultInjectionPoolTest, StallsAndAdmissionDelayOnlySlowThingsDown) {
+  PoolOptions options;
+  options.workers = 2;
+  options.seed = 4;
+  options.fault_plan.worker_stalls = {{/*worker=*/0, /*stall=*/100us},
+                                      {/*worker=*/1, /*stall=*/50us}};
+  options.fault_plan.admission_delay = 50us;
+  ThreadPool pool(options);
+  std::atomic<int> ran{0};
+  constexpr int kJobs = 10;
+  for (int i = 0; i < kJobs; ++i)
+    pool.submit([&](TaskContext&) { ran.fetch_add(1); });
+  pool.wait_all();
+  EXPECT_EQ(ran.load(), kJobs);
+  EXPECT_EQ(pool.recorder().outcome_counts().completed,
+            static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(pool.stats().faults_injected, 0u);
+}
+
+TEST(FaultInjectionPoolTest, FaultDuringParallelForUnwindsTheJoin) {
+  // The fault hits some task of the job; wait_help must unwind (via
+  // JobCancelledError) instead of spinning on subtasks that were skipped.
+  PoolOptions options;
+  options.workers = 2;
+  options.seed = 5;
+  options.fault_plan.fail_task_indices = {3};
+  ThreadPool pool(options);
+  auto job = pool.submit([](TaskContext& ctx) {
+    parallel_for(ctx, 0, 64, 4, [](std::size_t, std::size_t) {});
+  });
+  job->wait();
+  EXPECT_EQ(job->outcome(), JobOutcome::kFailed);
+  pool.shutdown();
+}
+
+}  // namespace
+}  // namespace pjsched::runtime
