@@ -157,6 +157,7 @@ void run_real_runtime(const Args& args) {
   table.add_row(
       {"deadline-expired", metrics::Table::cell(counts.deadline_expired)});
   table.add_row({"shed", metrics::Table::cell(counts.shed)});
+  table.add_row({"rejected", metrics::Table::cell(counts.rejected)});
   if (args.csv)
     table.print_csv(std::cout);
   else

@@ -1,8 +1,12 @@
 // Chase–Lev lock-free work-stealing deque (Chase & Lev, SPAA 2005), in the
 // C11-memory-model formulation of Lê, Pop, Cohen & Zappa Nardelli (PPoPP
-// 2013).  This is the per-worker deque at the heart of the TBB-style
-// runtime: the owner pushes and pops at the *bottom* with no synchronization
-// in the common case; thieves steal from the *top* with a single CAS.
+// 2013), with one deviation: the slot handoff between push() and steal()
+// is an explicit release/acquire pair instead of relying solely on the
+// paper's release fence, so ThreadSanitizer (which does not model
+// standalone fences) sees the edge — see the comment in push().  This is
+// the per-worker deque at the heart of the TBB-style runtime: the owner
+// pushes and pops at the *bottom* with no synchronization in the common
+// case; thieves steal from the *top* with a single CAS.
 //
 // Semantics:
 //   * exactly one owner thread may call push()/pop();
@@ -51,7 +55,14 @@ class ChaseLevDeque {
     if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
       buf = grow(buf, t, b);
     }
-    buf->put(b, item);
+    // The slot store is release (not relaxed as in the PPoPP'13 paper): it
+    // pairs with the acquire slot load in steal() to carry the *pointee's*
+    // initialization to the thief.  The paper gets that edge from the
+    // release fence below, which is equally correct under C11 but
+    // invisible to ThreadSanitizer (TSan does not model standalone
+    // fences); the explicit pair keeps TSan exact at no cost on x86 and
+    // one stlr on ARM.
+    buf->put(b, item, std::memory_order_release);
     // Publish the element before publishing the new bottom.
     std::atomic_thread_fence(std::memory_order_release);
     bottom_.store(b + 1, std::memory_order_relaxed);
@@ -89,8 +100,10 @@ class ChaseLevDeque {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return false;
-    Buffer* buf = buffer_.load(std::memory_order_consume);
-    out = buf->get(t);
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    // Acquire pairs with the release slot store in push() (and the release
+    // buffer_ publication in grow()) — see the comment in push().
+    out = buf->get(t, std::memory_order_acquire);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed))
       return false;  // lost the race to another thief or the owner
@@ -112,13 +125,13 @@ class ChaseLevDeque {
         : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
     ~Buffer() { delete[] slots; }
 
-    T get(std::int64_t i) const {
-      return slots[static_cast<std::size_t>(i) & mask].load(
-          std::memory_order_relaxed);
+    T get(std::int64_t i,
+          std::memory_order mo = std::memory_order_relaxed) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(mo);
     }
-    void put(std::int64_t i, T v) {
-      slots[static_cast<std::size_t>(i) & mask].store(
-          v, std::memory_order_relaxed);
+    void put(std::int64_t i, T v,
+             std::memory_order mo = std::memory_order_relaxed) {
+      slots[static_cast<std::size_t>(i) & mask].store(v, mo);
     }
 
     const std::size_t capacity;

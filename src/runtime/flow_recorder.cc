@@ -27,6 +27,9 @@ void FlowRecorder::record(double flow_seconds, double weight,
     case JobOutcome::kShed:
       ++counts_.shed;
       break;
+    case JobOutcome::kRejected:
+      ++counts_.rejected;
+      break;
   }
 }
 

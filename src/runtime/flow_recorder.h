@@ -5,8 +5,8 @@
 //
 // Every job lands here with its terminal outcome.  Flow-time statistics
 // (max / weighted max / summary) cover *completed* jobs only — a failed,
-// deadline-expired, or shed job has no meaningful flow time and must not
-// contaminate the objective — but every outcome is counted and visible
+// deadline-expired, shed, or rejected job has no meaningful flow time and
+// must not contaminate the objective — but every outcome is counted and visible
 // through outcome_counts(), so degraded runs are auditable.
 #pragma once
 
@@ -21,15 +21,17 @@ namespace pjsched::runtime {
 
 class FlowRecorder {
  public:
-  /// Per-terminal-outcome job counts.
+  /// Per-terminal-outcome job counts.  `shed` and `rejected` mirror
+  /// PoolStats::jobs_shed and PoolStats::jobs_rejected one-to-one.
   struct OutcomeCounts {
     std::uint64_t completed = 0;
     std::uint64_t failed = 0;
     std::uint64_t deadline_expired = 0;
-    std::uint64_t shed = 0;
+    std::uint64_t shed = 0;      ///< queued jobs dropped (kShed)
+    std::uint64_t rejected = 0;  ///< submissions refused (kRejected)
 
     std::uint64_t total() const {
-      return completed + failed + deadline_expired + shed;
+      return completed + failed + deadline_expired + shed + rejected;
     }
   };
 

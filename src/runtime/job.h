@@ -12,8 +12,9 @@
 // bounded admission queue dropped the job under overload) are the degraded
 // paths.  Cancellation is cooperative and monotone: the first cause wins
 // (try_cancel is a single CAS), every not-yet-started task of a cancelled
-// job is skipped instead of executed, and the pending counter still drains
-// to zero so waiters always wake.
+// job is skipped instead of executed, and a skipped task still drains the
+// pending counter *and* signals its WaitGroup, so joins and waiters always
+// wake.
 #pragma once
 
 #include <atomic>
@@ -39,7 +40,10 @@ enum class JobOutcome : std::uint8_t {
   kCompleted,        ///< every task finished without fault
   kFailed,           ///< a task body threw; remaining tasks were cancelled
   kDeadlineExpired,  ///< the per-job deadline passed; remaining tasks cancelled
-  kShed,             ///< dropped by admission backpressure; never executed
+  kShed,             ///< a queued job dropped by shed-oldest (or a shutdown
+                     ///< drain); never executed
+  kRejected,         ///< the submission itself was refused (reject-newest on
+                     ///< a full queue, or the queue closed mid-submit)
 };
 
 inline const char* to_string(JobOutcome o) {
@@ -49,14 +53,18 @@ inline const char* to_string(JobOutcome o) {
     case JobOutcome::kFailed: return "failed";
     case JobOutcome::kDeadlineExpired: return "deadline-expired";
     case JobOutcome::kShed: return "shed";
+    case JobOutcome::kRejected: return "rejected";
   }
   return "?";
 }
 
-/// Thrown out of TaskContext::wait_help when the surrounding job is
-/// cancelled mid-join: the join can never be satisfied (cancelled subtasks
-/// are skipped, so they never signal the WaitGroup), so the task body must
-/// unwind.  The pool catches it at the task boundary.
+/// Thrown out of TaskContext::wait_help when the surrounding job was
+/// cancelled during the join: the remaining subtasks were skipped, so
+/// continuing the body is pointless and it must unwind.  Thrown only once
+/// the WaitGroup has fully drained — every subtask, skipped or executed,
+/// still signals its WaitGroup — so no in-flight sibling can touch the
+/// waiter's stack after the unwind.  The pool catches it at the task
+/// boundary.
 class JobCancelledError : public std::runtime_error {
  public:
   JobCancelledError() : std::runtime_error("job cancelled") {}
@@ -80,8 +88,8 @@ class Job {
   }
 
   /// True once the job has a degraded outcome (Failed / DeadlineExpired /
-  /// Shed): remaining tasks will be skipped.  Long-running task bodies
-  /// should poll TaskContext::cancelled() to stop early.
+  /// Shed / Rejected): remaining tasks will be skipped.  Long-running task
+  /// bodies should poll TaskContext::cancelled() to stop early.
   bool cancelled() const {
     const JobOutcome o = outcome();
     return o != JobOutcome::kRunning && o != JobOutcome::kCompleted;
@@ -179,12 +187,21 @@ class Job {
 
 using JobHandle = std::shared_ptr<Job>;
 
+class WaitGroup;
+
 /// A schedulable unit: one task of one job.  Owned by whoever holds the
 /// pointer (deques and the admission queue hold raw pointers; the executing
 /// worker deletes after running).
 struct Task {
   Job* job = nullptr;
   TaskFn fn;
+  /// The join this task reports to, or nullptr.  Kept outside the body on
+  /// purpose: the pool signals it on *every* path out of execute() — body
+  /// ran, body threw, or the task was skipped because its job was
+  /// cancelled — so a WaitGroup always drains and a waiter never unwinds
+  /// (destroying the stack-allocated WaitGroup) while a sibling still
+  /// holds a pointer to it.
+  WaitGroup* wg = nullptr;
 };
 
 /// Counts outstanding spawned subtasks for a fork-join "sync": the spawner

@@ -7,6 +7,12 @@
 
 namespace pjsched::runtime {
 
+namespace {
+// Set for the lifetime of each worker thread; lets submit() detect a call
+// from inside a task body of the same pool (see the kBlock guard there).
+thread_local const ThreadPool* t_worker_of_pool = nullptr;
+}  // namespace
+
 void TaskContext::spawn(TaskFn fn) {
   job_->add_pending();
   auto* task = new Task{job_, std::move(fn)};
@@ -15,24 +21,30 @@ void TaskContext::spawn(TaskFn fn) {
 
 void TaskContext::spawn(TaskFn fn, WaitGroup& wg) {
   wg.add();
-  spawn([fn = std::move(fn), &wg](TaskContext& ctx) {
-    fn(ctx);
-    wg.done();
-  });
+  job_->add_pending();
+  // The WaitGroup rides on the Task, not inside the body: execute() signals
+  // it on every exit path (ran / threw / skipped-as-cancelled), which is
+  // what lets wait_help guarantee a full drain before unwinding.
+  auto* task = new Task{job_, std::move(fn), &wg};
+  pool_->workers_[worker_]->deque.push(task);
 }
 
 void TaskContext::wait_help(WaitGroup& wg) {
   unsigned spins = 0;
   while (!wg.idle()) {
-    // A cancelled job's remaining subtasks are skipped and never signal
-    // the WaitGroup; unwind instead of spinning forever.
-    if (job_->cancelled()) throw JobCancelledError();
     if (pool_->try_run_one(worker_, /*helping=*/true)) {
       spins = 0;
     } else if (++spins > 64) {
       std::this_thread::yield();
     }
   }
+  // Unwind cancelled bodies only *after* the join has drained: a sibling
+  // subtask that slipped past the cancellation check may still be running
+  // on another worker, holding a pointer to `wg` — which lives on this
+  // task's stack and dies with the unwind.  Skipped subtasks signal the
+  // WaitGroup too (execute() runs Task::wg on every path), so the drain
+  // always terminates.
+  if (job_->cancelled()) throw JobCancelledError();
 }
 
 ThreadPool::ThreadPool(const PoolOptions& options)
@@ -71,6 +83,17 @@ JobHandle ThreadPool::submit(TaskFn root, const SubmitOptions& options) {
     throw std::logic_error(
         "ThreadPool::submit: pool is shut down; submissions after shutdown() "
         "are a caller error");
+  // A worker blocking in admission_.push can never drain the queue it is
+  // waiting on; with every worker stuck the pool deadlocks.  Fail loudly
+  // and deterministically (not just when the queue happens to be full).
+  if (t_worker_of_pool == this && admission_.capacity() > 0 &&
+      admission_.policy() == BackpressurePolicy::kBlock)
+    throw std::logic_error(
+        "ThreadPool::submit: called from a task body of this pool while the "
+        "admission queue is bounded with BackpressurePolicy::kBlock; a "
+        "blocked worker cannot drain the queue it waits on (deadlock). "
+        "Submit from an external thread, use TaskContext::spawn, or pick a "
+        "non-blocking backpressure policy");
   auto job =
       std::make_shared<Job>(jobs_submitted_.fetch_add(1) + 1, options.weight);
   job->mark_submitted();
@@ -93,7 +116,13 @@ JobHandle ThreadPool::submit(TaskFn root, const SubmitOptions& options) {
 
 void ThreadPool::terminate_unadmitted(Task* task, bool rejected) {
   Job* job = task->job;
-  if (job->try_cancel(JobOutcome::kShed)) {
+  // A job whose deadline already passed while it sat in the queue expired,
+  // it was not shed — prefer the more informative outcome.
+  if (job->deadline_passed(Clock::now()) &&
+      job->try_cancel(JobOutcome::kDeadlineExpired)) {
+    jobs_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  } else if (job->try_cancel(rejected ? JobOutcome::kRejected
+                                      : JobOutcome::kShed)) {
     if (rejected)
       jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
     else
@@ -291,6 +320,10 @@ void ThreadPool::execute(Task* task, unsigned worker) {
       }
     }
   }
+  // Always signal the task's join — on the skip path and the throw paths
+  // too — so a WaitGroup drains even under cancellation and wait_help can
+  // safely unwind only once no sibling references it (see Task::wg).
+  if (task->wg != nullptr) task->wg->done();
   delete task;
   w.counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
   finish_job(job);
@@ -349,6 +382,7 @@ bool ThreadPool::try_run_one(unsigned index, bool helping) {
 }
 
 void ThreadPool::worker_main(unsigned index) {
+  t_worker_of_pool = this;
   unsigned idle_spins = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     if (try_run_one(index, /*helping=*/false)) {

@@ -87,8 +87,10 @@ struct PoolStats {
   std::uint64_t jobs_failed = 0;      ///< jobs ended Failed
   std::uint64_t jobs_deadline_expired = 0;
   std::uint64_t jobs_shed = 0;        ///< queued jobs dropped by shed-oldest
-  std::uint64_t jobs_rejected = 0;    ///< submissions rejected (reject-newest
-                                      ///< or a closed blocking queue)
+                                      ///< or a shutdown drain (outcome kShed)
+  std::uint64_t jobs_rejected = 0;    ///< submissions rejected: reject-newest
+                                      ///< or a closed queue (outcome
+                                      ///< kRejected)
   std::uint64_t watchdog_dumps = 0;
 };
 
@@ -114,10 +116,12 @@ class TaskContext {
   void spawn(TaskFn fn, WaitGroup& wg);
 
   /// Help-first join: executes queued/stolen tasks until wg.idle().
-  /// Never blocks the worker thread.  Throws JobCancelledError when the
-  /// surrounding job is cancelled mid-join (skipped subtasks never signal
-  /// the WaitGroup, so the join could otherwise spin forever); the pool
-  /// catches it at the task boundary.
+  /// Never blocks the worker thread.  If the surrounding job is cancelled
+  /// during the join, wait_help still drains the WaitGroup completely
+  /// (skipped subtasks signal it too — see Task::wg) and only then throws
+  /// JobCancelledError, so no in-flight sibling can touch the WaitGroup's
+  /// stack frame after the unwind; the pool catches the exception at the
+  /// task boundary.
   void wait_help(WaitGroup& wg);
 
   /// True once this task's job has been cancelled (failure, deadline, or
@@ -154,16 +158,24 @@ class ThreadPool {
   /// The submission time recorded for flow accounting is *now*.
   ///
   /// Under a bounded queue the returned handle may already be terminal:
-  /// outcome() == kShed when this submission was rejected (reject-newest)
-  /// — and a *different* job's handle becomes kShed when shed-oldest
-  /// evicts it.  Callers that care must check the handle, not assume
-  /// eventual execution.
+  /// outcome() == kRejected when this submission was refused
+  /// (reject-newest) — and a *different* job's handle becomes kShed when
+  /// shed-oldest evicts it.  A dropped job whose deadline had already
+  /// passed in the queue is recorded as kDeadlineExpired instead.  Callers
+  /// that care must check the handle, not assume eventual execution.
   ///
   /// Calling submit() after shutdown() fails loudly: it throws
   /// std::logic_error and the job is not enqueued.  (A submit racing
   /// shutdown() either throws, runs to completion, or — if it slips into
-  /// the closing queue — is recorded as Shed; it is never silently
-  /// dropped.)
+  /// the closing queue — is recorded as Rejected or Shed; it is never
+  /// silently dropped.)
+  ///
+  /// submit() must not be called from inside a task body of this pool when
+  /// the admission queue is bounded with BackpressurePolicy::kBlock: a
+  /// worker blocking on a full queue cannot drain it, and with every
+  /// worker blocked the pool deadlocks.  Such calls throw std::logic_error
+  /// deterministically (full queue or not); use TaskContext::spawn or a
+  /// non-blocking policy instead.
   JobHandle submit(TaskFn root, const SubmitOptions& options);
   JobHandle submit(TaskFn root, double weight = 1.0);
 
@@ -217,8 +229,10 @@ class ThreadPool {
   bool try_run_one(unsigned index, bool helping);
   void execute(Task* task, unsigned worker);
   Task* try_steal(unsigned thief);
-  /// Terminates a job whose root task never ran (shed / rejected): marks
-  /// it kShed, records it, and releases the task.
+  /// Terminates a job whose root task never ran: marks it kRejected (the
+  /// submission was refused) or kShed (a queued job was dropped) — or
+  /// kDeadlineExpired when its deadline already passed — records it, and
+  /// releases the task.
   void terminate_unadmitted(Task* task, bool rejected);
   void finish_job(Job* job);
   std::uint64_t total_tasks_executed() const;

@@ -152,8 +152,9 @@ TEST(FaultInjectionPoolTest, StallsAndAdmissionDelayOnlySlowThingsDown) {
 }
 
 TEST(FaultInjectionPoolTest, FaultDuringParallelForUnwindsTheJoin) {
-  // The fault hits some task of the job; wait_help must unwind (via
-  // JobCancelledError) instead of spinning on subtasks that were skipped.
+  // The fault hits some task of the job; wait_help must finish draining
+  // the join (skipped subtasks still signal the WaitGroup) and then unwind
+  // via JobCancelledError instead of spinning forever.
   PoolOptions options;
   options.workers = 2;
   options.seed = 5;

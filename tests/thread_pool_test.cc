@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -315,7 +316,7 @@ TEST(ThreadPoolFaultTest, RejectNewestPolicy) {
   // Rejection is synchronous: the handle is already terminal.
   for (const auto& job : rejected) {
     EXPECT_TRUE(job->finished());
-    EXPECT_EQ(job->outcome(), JobOutcome::kShed);
+    EXPECT_EQ(job->outcome(), JobOutcome::kRejected);
   }
   gate.release.store(true);
   pool.wait_all();
@@ -323,7 +324,9 @@ TEST(ThreadPoolFaultTest, RejectNewestPolicy) {
     EXPECT_EQ(job->outcome(), JobOutcome::kCompleted);
   EXPECT_EQ(pool.stats().jobs_rejected, 3u);
   const auto counts = pool.recorder().outcome_counts();
-  EXPECT_EQ(counts.shed, 3u);
+  // Recorder and PoolStats agree: rejected is its own bucket, not shed.
+  EXPECT_EQ(counts.rejected, 3u);
+  EXPECT_EQ(counts.shed, 0u);
   EXPECT_EQ(counts.completed, 3u);  // gate + 2 accepted
 }
 
@@ -348,6 +351,7 @@ TEST(ThreadPoolFaultTest, ShedOldestPolicy) {
   EXPECT_EQ(d->outcome(), JobOutcome::kCompleted);
   EXPECT_EQ(pool.stats().jobs_shed, 2u);
   EXPECT_EQ(pool.recorder().outcome_counts().shed, 2u);
+  EXPECT_EQ(pool.recorder().outcome_counts().rejected, 0u);
 }
 
 TEST(ThreadPoolFaultTest, BlockPolicyCompletesEverything) {
@@ -423,6 +427,91 @@ TEST(ThreadPoolFaultTest, DumpStateIsReadableAnyTime) {
   EXPECT_NE(pool.dump_state().find("submitted=1"), std::string::npos);
 }
 
+TEST(ThreadPoolFaultTest, CancellationMidJoinDrainsBeforeUnwinding) {
+  // Regression for a use-after-free: a sibling subtask that slipped past
+  // the cancellation check keeps running while the joining parent is told
+  // its job is cancelled.  The parent must stay in wait_help (keeping its
+  // stack frame — the WaitGroup and `scratch` — alive) until every
+  // sibling has signalled; only then may it unwind.  Under ASan/TSan the
+  // old unwind-early join turns the `scratch` writes into stack
+  // use-after-scope.
+  ThreadPool pool({.workers = 4, .steal_k = 0, .seed = 31});
+  for (int round = 0; round < 10; ++round) {
+    auto job = pool.submit([](TaskContext& ctx) {
+      WaitGroup wg;
+      std::array<std::uint8_t, 16> scratch{};  // dies with this frame
+      for (std::size_t i = 0; i < scratch.size(); ++i)
+        ctx.spawn(
+            [&scratch, i](TaskContext&) {
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+              scratch[i] = 1;  // in-flight write racing the cancel
+            },
+            wg);
+      ctx.spawn([](TaskContext&) { throw std::runtime_error("sibling"); },
+                wg);
+      ctx.wait_help(wg);  // throws JobCancelledError, but only once drained
+    });
+    job->wait();
+    EXPECT_EQ(job->outcome(), JobOutcome::kFailed);
+  }
+  // The pool is intact: later jobs still run to completion.
+  auto after = pool.submit([](TaskContext&) {});
+  after->wait();
+  EXPECT_EQ(after->outcome(), JobOutcome::kCompleted);
+}
+
+TEST(ThreadPoolFaultTest, SubmitFromWorkerUnderBlockPolicyThrows) {
+  // A worker blocking in submit() on a full kBlock queue could never drain
+  // it — the call must fail loudly (and deterministically) instead.
+  PoolOptions options;
+  options.workers = 1;
+  options.seed = 32;
+  options.admission_capacity = 4;
+  options.backpressure = BackpressurePolicy::kBlock;
+  ThreadPool pool(options);
+  std::atomic<bool> threw{false};
+  auto job = pool.submit([&](TaskContext&) {
+    try {
+      pool.submit([](TaskContext&) {});
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  job->wait();
+  EXPECT_TRUE(threw.load());
+  EXPECT_EQ(job->outcome(), JobOutcome::kCompleted);
+  // External threads are unaffected.
+  auto external = pool.submit([](TaskContext&) {});
+  external->wait();
+  EXPECT_EQ(external->outcome(), JobOutcome::kCompleted);
+}
+
+TEST(ThreadPoolFaultTest, ExpiredQueuedJobRecordsDeadlineNotShed) {
+  // A job evicted from the queue after its deadline passed expired — the
+  // eviction must not relabel it as Shed.
+  PoolOptions options;
+  options.workers = 1;
+  options.seed = 33;
+  options.admission_capacity = 1;
+  options.backpressure = BackpressurePolicy::kShedOldest;
+  ThreadPool pool(options);
+  WorkerGate gate;
+  gate.submit_to(pool);
+  SubmitOptions with_deadline;
+  with_deadline.deadline = std::chrono::milliseconds(0);
+  auto expired = pool.submit([](TaskContext&) {}, with_deadline);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto evictor = pool.submit([](TaskContext&) {});  // shed-oldest evicts
+  EXPECT_TRUE(expired->finished());
+  EXPECT_EQ(expired->outcome(), JobOutcome::kDeadlineExpired);
+  gate.release.store(true);
+  pool.wait_all();
+  EXPECT_EQ(evictor->outcome(), JobOutcome::kCompleted);
+  EXPECT_EQ(pool.stats().jobs_deadline_expired, 1u);
+  EXPECT_EQ(pool.stats().jobs_shed, 0u);
+  EXPECT_EQ(pool.recorder().outcome_counts().deadline_expired, 1u);
+}
+
 TEST(ThreadPoolFaultTest, CancelledFlagVisibleInsideBody) {
   // A body that observes its own job getting cancelled (via a second task
   // failing is hard to time; instead use the deadline path indirectly):
@@ -441,14 +530,16 @@ TEST(FlowRecorderTest, OutcomeAccountingAndFlowExclusion) {
   recorder.record(9.0, 2.0, JobOutcome::kFailed);      // excluded from flows
   recorder.record(5.0, 1.0, JobOutcome::kDeadlineExpired);
   recorder.record(2.0, 3.0, JobOutcome::kShed);
+  recorder.record(4.0, 1.0, JobOutcome::kRejected);
   recorder.record(3.0, 2.0, JobOutcome::kCompleted);
   const auto counts = recorder.outcome_counts();
   EXPECT_EQ(counts.completed, 2u);
   EXPECT_EQ(counts.failed, 1u);
   EXPECT_EQ(counts.deadline_expired, 1u);
   EXPECT_EQ(counts.shed, 1u);
-  EXPECT_EQ(counts.total(), 5u);
-  EXPECT_EQ(recorder.count(), 5u);
+  EXPECT_EQ(counts.rejected, 1u);
+  EXPECT_EQ(counts.total(), 6u);
+  EXPECT_EQ(recorder.count(), 6u);
   // Flow statistics cover completed jobs only: the failed job's 9.0 must
   // not contaminate the max.
   EXPECT_DOUBLE_EQ(recorder.max_flow_seconds(), 3.0);
