@@ -2,11 +2,21 @@
 // throughput, event-engine decision rate, and step-engine worker-step rate.
 // These establish that the Figure-2 experiments (millions of simulated
 // steps) run in seconds, and catch performance regressions in the engines.
+//
+// The BM_Baseline* group is the perf-snapshot suite: the `bench_baseline`
+// CMake target runs it with --benchmark_filter=Baseline in JSON mode and
+// tools/make_bench_baseline.py distills the result into BENCH_sim.json
+// (steps/sec, trials/sec, wall time) so future PRs have a trajectory to
+// compare against.
 #include <benchmark/benchmark.h>
 
+#include "src/core/multi_trial.h"
+#include "src/dag/builders.h"
+#include "src/runtime/parallel_trials.h"
 #include "src/sched/fifo.h"
 #include "src/sched/work_stealing.h"
 #include "src/sim/rng.h"
+#include "src/sim/step_engine.h"
 #include "src/workload/distributions.h"
 #include "src/workload/generator.h"
 
@@ -70,6 +80,92 @@ void BM_StepEngineStealK(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StepEngineStealK)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// --- BENCH_sim.json baseline suite --------------------------------------
+
+// Coarse-node all-busy workload: 48 parallel-for jobs of 32 grains x 2000
+// work units (~3.07M worker-steps), arrivals packed so a 16-worker machine
+// stays saturated — the work-quantum fast path's best case, and exactly the
+// regime the Figure-2 sweeps spend most of their simulated time in.
+core::Instance coarse_all_busy_instance() {
+  core::Instance inst;
+  for (std::size_t i = 0; i < 48; ++i) {
+    core::JobSpec spec;
+    spec.arrival = 10.0 * static_cast<double>(i);
+    spec.graph = dag::parallel_for_dag(32, 2000);
+    inst.jobs.push_back(std::move(spec));
+  }
+  return inst;
+}
+
+void run_step_baseline(benchmark::State& state, bool exact_steps) {
+  const auto inst = coarse_all_busy_instance();
+  sim::StepEngineOptions opt;
+  opt.machine = {16, 1.0};
+  opt.steal_k = 4;
+  opt.seed = 7;
+  opt.exact_steps = exact_steps;
+  for (auto _ : state) {
+    auto res = sim::run_step_engine(inst, opt);
+    benchmark::DoNotOptimize(res.max_flow);
+  }
+  // items/sec = simulated worker-steps per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.total_work()));
+}
+
+void BM_BaselineStepEngineFast(benchmark::State& state) {
+  run_step_baseline(state, /*exact_steps=*/false);
+}
+BENCHMARK(BM_BaselineStepEngineFast)->Unit(benchmark::kMillisecond);
+
+void BM_BaselineStepEngineExact(benchmark::State& state) {
+  run_step_baseline(state, /*exact_steps=*/true);
+}
+BENCHMARK(BM_BaselineStepEngineExact)->Unit(benchmark::kMillisecond);
+
+core::TrialConfig baseline_trial_config() {
+  core::TrialConfig cfg;
+  cfg.trials = 16;
+  cfg.generator.num_jobs = 300;
+  cfg.generator.qps = 1000.0;
+  cfg.generator.seed = 5;
+  cfg.machine = {8, 1.0};
+  cfg.scheduler.kind = core::SchedulerKind::kAdmitFirst;
+  cfg.scheduler.seed = 3;
+  return cfg;
+}
+
+void BM_BaselineTrialsSequential(benchmark::State& state) {
+  const auto dist = workload::bing_distribution();
+  const auto cfg = baseline_trial_config();
+  for (auto _ : state) {
+    auto out = core::run_trials(dist, cfg);
+    benchmark::DoNotOptimize(out.max_flow.mean);
+  }
+  // items/sec = trials per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.trials));
+}
+BENCHMARK(BM_BaselineTrialsSequential)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_BaselineTrialsParallel(benchmark::State& state) {
+  const auto dist = workload::bing_distribution();
+  const auto cfg = baseline_trial_config();
+  for (auto _ : state) {
+    auto out = runtime::run_trials_parallel(dist, cfg);
+    benchmark::DoNotOptimize(out.max_flow.mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.trials));
+}
+// UseRealTime: the work runs on pool threads, so main-thread CPU time
+// would wildly overstate trials/sec; wall clock is the honest measure.
+BENCHMARK(BM_BaselineTrialsParallel)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_InstanceGeneration(benchmark::State& state) {
   for (auto _ : state) {

@@ -27,6 +27,28 @@ target_link_libraries(bench_runtime_micro PRIVATE benchmark::benchmark)
 pjsched_add_bench(bench_sim_engine)
 target_link_libraries(bench_sim_engine PRIVATE benchmark::benchmark)
 pjsched_add_bench(bench_stretch)
+
+# Perf-snapshot target: runs the BM_Baseline* suite in JSON mode and
+# distills it into BENCH_sim.json at the repo root (steps/sec fast vs
+# exact, trials/sec sequential vs parallel, wall time, host metadata).
+# Refresh with `cmake --build build --target bench_baseline`.
+find_package(Python3 COMPONENTS Interpreter QUIET)
+if(Python3_Interpreter_FOUND)
+  set(PJSCHED_PYTHON ${Python3_EXECUTABLE})
+else()
+  set(PJSCHED_PYTHON python3)
+endif()
+add_custom_target(bench_baseline
+  COMMAND $<TARGET_FILE:bench_sim_engine>
+          --benchmark_filter=Baseline
+          --benchmark_out=${CMAKE_BINARY_DIR}/bench_sim_raw.json
+          --benchmark_out_format=json
+  COMMAND ${PJSCHED_PYTHON} ${CMAKE_SOURCE_DIR}/tools/make_bench_baseline.py
+          ${CMAKE_BINARY_DIR}/bench_sim_raw.json
+          ${CMAKE_SOURCE_DIR}/BENCH_sim.json
+  DEPENDS bench_sim_engine
+  COMMENT "Running BM_Baseline* and writing BENCH_sim.json"
+  VERBATIM)
 pjsched_add_bench(bench_weighted_admission)
 pjsched_add_bench(bench_mean_vs_max)
 pjsched_add_bench(bench_trial_variance)

@@ -66,6 +66,8 @@ struct EngineStats {
   std::uint64_t admissions = 0;        ///< step engine: jobs popped from the global queue
   std::uint64_t work_steps = 0;        ///< step engine: worker-steps spent working
   std::uint64_t idle_steps = 0;        ///< worker-steps spent not working (stealing/idling)
+  std::uint64_t macro_jumps = 0;       ///< step engine: all-busy step runs batched by
+                                       ///< the fast path (0 under exact_steps)
   std::uint64_t decision_points = 0;   ///< event engine: allocation recomputations
   double idle_processor_time = 0.0;    ///< event engine: processor-time spent idle
 };

@@ -1,0 +1,55 @@
+#include "src/runtime/parallel_trials.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/thread_pool.h"
+
+namespace pjsched::runtime {
+
+core::TrialOutcome run_trials_parallel(const workload::WorkDistribution& dist,
+                                       const core::TrialConfig& cfg,
+                                       const ParallelTrialOptions& options) {
+  if (cfg.trials == 0)
+    throw std::invalid_argument("run_trials_parallel: zero trials");
+
+  core::FixedInstance fixed;
+  const core::FixedInstance* fixed_ptr = nullptr;
+  if (cfg.fixed_instance) {
+    fixed = core::make_fixed_instance(dist, cfg);
+    fixed_ptr = &fixed;
+  }
+
+  unsigned threads =
+      options.threads != 0 ? options.threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, cfg.trials));
+  const std::size_t grain = options.grain == 0 ? 1 : options.grain;
+
+  // Every trial writes only its own slot; the merge below reads them in
+  // index order after the join, so no two threads ever touch the same
+  // element and the fold order matches the sequential runner's.
+  std::vector<core::TrialPoint> points(cfg.trials);
+
+  PoolOptions pool_opt;
+  pool_opt.workers = threads;
+  ThreadPool pool(pool_opt);
+  JobHandle handle = pool.submit([&](TaskContext& ctx) {
+    parallel_for(ctx, 0, cfg.trials, grain,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t t = lo; t < hi; ++t)
+                     points[t] = core::run_one_trial(dist, cfg, t, fixed_ptr);
+                 });
+  });
+  pool.wait_all();
+  if (handle->outcome() != JobOutcome::kCompleted)
+    throw std::runtime_error("run_trials_parallel: trial failed: " +
+                             handle->error());
+
+  return core::summarize_trials(points);
+}
+
+}  // namespace pjsched::runtime

@@ -1,0 +1,37 @@
+// Parallel multi-trial runner: core::run_trials fanned out across trial
+// seeds on the in-repo work-stealing ThreadPool (the runtime dogfooding its
+// own scheduler).  Each trial is an independent pure function of
+// (dist, cfg, t) — see core::run_one_trial — whose result lands in a
+// pre-sized per-trial slot, and the merge runs in trial-index order, so the
+// outcome is bit-identical to the sequential core::run_trials no matter how
+// the pool interleaves the trials.
+//
+// Lives in pjsched_runtime (not pjsched) because the dependency points
+// runtime -> core; callers that want parallel trials link pjsched_runtime.
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/multi_trial.h"
+
+namespace pjsched::runtime {
+
+struct ParallelTrialOptions {
+  /// Pool worker threads; 0 = hardware concurrency.  Always capped at the
+  /// trial count (extra workers would only spin on empty deques).
+  unsigned threads = 0;
+  /// Trials per spawned subtask; 1 (the default) exposes maximal
+  /// parallelism, larger grains amortize spawn overhead for cheap trials.
+  std::size_t grain = 1;
+};
+
+/// Runs cfg.trials trials of (dist, cfg) on a thread pool and returns the
+/// same TrialOutcome core::run_trials(dist, cfg) returns, bit for bit.
+/// Throws std::invalid_argument for zero trials and std::runtime_error if
+/// any trial throws (the pool contains the failure; the first error message
+/// is propagated).
+core::TrialOutcome run_trials_parallel(const workload::WorkDistribution& dist,
+                                       const core::TrialConfig& cfg,
+                                       const ParallelTrialOptions& options = {});
+
+}  // namespace pjsched::runtime

@@ -222,8 +222,14 @@ core::ScheduleResult run_event_engine(const core::Instance& instance,
       if (js.finished) continue;  // (cannot happen: one completion per node)
       if (js.remaining[v] <= kEps) {
         js.remaining[v] = 0.0;
+        // Swap-and-pop: `available` is an unordered working set — the
+        // allocation pass takes nodes from it in whatever order it holds,
+        // and no invariant depends on that order (nodes of one job are
+        // interchangeable up to their precedence constraints, which the
+        // ReadyTracker enforces before a node ever enters the set).
         auto it = std::find(js.available.begin(), js.available.end(), v);
-        js.available.erase(it);
+        *it = js.available.back();
+        js.available.pop_back();
         js.tracker.complete(v);
         absorb_ready(js);
         if (js.tracker.done()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -31,6 +32,59 @@ struct JobRun {
   explicit JobRun(const dag::Dag& g) : tracker(g) {}
   dag::ReadyTracker tracker;
   bool finished = false;
+};
+
+// The global admission queue.  FIFO admission is a plain deque; weighted
+// admission keeps a binary max-heap on (weight, enqueue order) so each
+// admission pops the heaviest job — earliest-queued on ties — in O(log q)
+// instead of rescanning the whole queue.  Jobs only leave via admission, so
+// no lazy deletion is needed and the heap pop picks exactly the job the old
+// linear scan picked (strict `>` comparison kept the earliest maximum).
+class GlobalQueue {
+ public:
+  GlobalQueue(bool by_weight, const core::Instance& instance)
+      : by_weight_(by_weight), instance_(instance) {}
+
+  bool empty() const { return by_weight_ ? heap_.empty() : fifo_.empty(); }
+
+  void push(core::JobId j) {
+    if (!by_weight_) {
+      fifo_.push_back(j);
+      return;
+    }
+    heap_.push_back({instance_.jobs[j].weight, seq_++, j});
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+
+  core::JobId pop() {
+    if (!by_weight_) {
+      const core::JobId j = fifo_.front();
+      fifo_.pop_front();
+      return j;
+    }
+    std::pop_heap(heap_.begin(), heap_.end());
+    const core::JobId j = heap_.back().job;
+    heap_.pop_back();
+    return j;
+  }
+
+ private:
+  struct Entry {
+    double weight;
+    std::uint64_t seq;
+    core::JobId job;
+    // Max-heap priority: heavier first, then earlier-queued.
+    bool operator<(const Entry& o) const {
+      if (weight != o.weight) return weight < o.weight;
+      return seq > o.seq;
+    }
+  };
+
+  const bool by_weight_;
+  const core::Instance& instance_;
+  std::deque<core::JobId> fifo_;
+  std::vector<Entry> heap_;
+  std::uint64_t seq_ = 0;
 };
 
 }  // namespace
@@ -95,7 +149,7 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
     machine_event_step[e] = static_cast<std::uint64_t>(
         std::ceil(machine_events[e].time * s - 1e-9));
   std::size_t next_machine_event = 0;
-  std::deque<core::JobId> global_queue;
+  GlobalQueue global_queue(options.admit_by_weight, instance);
 
   std::uint64_t max_steps = options.max_steps;
   if (max_steps == 0) {
@@ -166,7 +220,7 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
     // Release arrivals whose step has come.
     while (next_arrival_idx < n &&
            arrival_step[by_arrival[next_arrival_idx]] <= step)
-      global_queue.push_back(by_arrival[next_arrival_idx++]);
+      global_queue.push(by_arrival[next_arrival_idx++]);
 
     // Fast-forward across machine-wide idle gaps: if no worker holds work,
     // all deques are empty, and no job is admissible, nothing can change
@@ -194,10 +248,57 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
       }
     }
 
-    // Random worker order within the step (Fisher–Yates).
-    for (unsigned i = total_workers - 1; i > 0; --i) {
-      const auto j = static_cast<unsigned>(rng.uniform_int(i + 1));
-      std::swap(perm[i], perm[j]);
+    // The within-step permutation is observable only when some live worker
+    // is *not* simply executing its current node: an idle worker pops /
+    // admits / steals (racing the others for deques and the global queue),
+    // and a completing worker claims enabled successors in permutation
+    // order.  On an all-busy step with every remaining counter >= 2, each
+    // worker just decrements its own counter, so the shuffle — and the RNG
+    // draws producing it — is skipped in both engine modes, keeping their
+    // streams aligned.
+    bool interactive = false;
+    std::uint64_t min_remaining = std::numeric_limits<std::uint64_t>::max();
+    for (unsigned wi = 0; wi < live_count; ++wi) {
+      if (!workers[wi].has_current) {
+        interactive = true;
+        break;
+      }
+      min_remaining = std::min(min_remaining, workers[wi].remaining);
+    }
+
+    // Work-quantum fast path: with every live worker busy and nothing due
+    // before the earliest completion, advance the machine to one step
+    // before the first observable step (completion, arrival, or machine
+    // event) in one shot.  The skipped steps perform live_count work units
+    // each and nothing else; that final observable step runs through the
+    // per-step machinery below.
+    if (!interactive && min_remaining > 1 && !options.exact_steps) {
+      std::uint64_t delta = min_remaining;
+      if (next_arrival_idx < n)
+        delta = std::min(delta, arrival_step[by_arrival[next_arrival_idx]] - step);
+      if (next_machine_event < machine_events.size())
+        delta = std::min(delta, machine_event_step[next_machine_event] - step);
+      if (delta > 1) {
+        const std::uint64_t advance = delta - 1;
+        for (unsigned wi = 0; wi < live_count; ++wi)
+          workers[wi].remaining -= advance;
+        result.stats.work_steps += advance * live_count;
+        ++result.stats.macro_jumps;
+        step += advance;
+        if (step >= max_steps)
+          throw std::logic_error("run_step_engine: step budget exhausted");
+        min_remaining -= advance;
+      }
+    }
+    if (min_remaining <= 1) interactive = true;
+
+    // Random worker order within the step (Fisher–Yates), drawn only when
+    // observable (see above).
+    if (interactive) {
+      for (unsigned i = total_workers - 1; i > 0; --i) {
+        const auto j = static_cast<unsigned>(rng.uniform_int(i + 1));
+        std::swap(perm[i], perm[j]);
+      }
     }
 
     for (unsigned wi = 0; wi < total_workers; ++wi) {
@@ -216,14 +317,7 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
           // Admit from the global queue: the FIFO head, or — under the
           // weighted-admission extension — the heaviest queued job
           // (ties: earliest queued).  Admission itself is free.
-          auto pick = global_queue.begin();
-          if (options.admit_by_weight) {
-            for (auto it = global_queue.begin(); it != global_queue.end(); ++it)
-              if (instance.jobs[*it].weight > instance.jobs[*pick].weight)
-                pick = it;
-          }
-          const core::JobId j = *pick;
-          global_queue.erase(pick);
+          const core::JobId j = global_queue.pop();
           ++result.stats.admissions;
           if (options.trace != nullptr)
             options.trace->add_admission({perm[wi], j, step});

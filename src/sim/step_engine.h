@@ -24,6 +24,17 @@
 // Within one step, workers act in a uniformly random permutation; a steal
 // succeeds if the victim's deque is non-empty at the moment the thief acts.
 // All randomness comes from the seed in StepEngineOptions.
+//
+// The permutation is only *drawn* on steps where it is observable: some
+// live worker is idle (it will pop/admit/steal, racing the others for
+// shared state) or some live worker finishes its node this step (enabled
+// successors are claimed in permutation order).  On an all-busy step with
+// every remaining counter >= 2, each worker just decrements its own
+// counter, so the shuffle is skipped — and, by default, whole runs of such
+// steps are advanced in one macro-step (the work-quantum fast path, see
+// docs/simulation-model.md "Performance model").  Setting `exact_steps`
+// keeps the per-step loop for every step; both modes draw the same RNG
+// stream and produce bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +70,11 @@ struct StepEngineOptions {
   bool steal_half = false;
   std::uint64_t seed = 1;
   Trace* trace = nullptr;
+  /// Reference mode: simulate every step individually instead of batching
+  /// runs of all-busy steps into macro-steps.  Results are bit-identical
+  /// either way (the cross-check tests rely on this); exact mode exists for
+  /// that cross-check and for step-level debugging.
+  bool exact_steps = false;
   /// Defensive cap on simulated steps (0 = automatic: generous bound from
   /// total work, arrival span, and job count).
   std::uint64_t max_steps = 0;

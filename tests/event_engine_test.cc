@@ -150,5 +150,31 @@ TEST(EventEngineTest, SimultaneousArrivalsTieBrokenByIndex) {
   EXPECT_DOUBLE_EQ(res.completion[1], 6.0);
 }
 
+TEST(EventEngineTest, AvailableSetOrderIsNotSemantic) {
+  // Completion handling compacts the available set with swap-and-pop, so
+  // after the first completion the set's order differs from insertion
+  // order.  Nothing may depend on that order: with more available nodes
+  // than processors and staggered node sizes (uneven completions reorder
+  // the set repeatedly), the schedule must stay precedence- and
+  // machine-valid, work-conserving, and end at the work-limited makespan.
+  auto inst = make_instance({{0.0, dag::parallel_for_dag_fn(
+                                       6, [](std::size_t g) {
+                                         return static_cast<dag::Work>(2 + 3 * g);
+                                       })}});
+  sim::Trace trace;
+  sched::FifoScheduler fifo;
+  const auto res = fifo.run(inst, {2, 1.0}, &trace);
+  const auto report = metrics::audit_schedule(inst, {2, 1.0}, trace, res);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  // Work = 1 (root) + 57 (bodies) + 1 (join); the root and join are
+  // sequential bottlenecks and the bodies need >= 57/2 time on 2
+  // processors, so no completion order can beat 1 + 28.5 + 1.
+  EXPECT_GE(res.completion[0], 1.0 + 57.0 / 2.0 + 1.0 - 1e-9);
+  // Work conservation: total busy processor-time equals total work.
+  double busy = 0.0;
+  for (const auto& iv : trace.intervals()) busy += iv.end - iv.start;
+  EXPECT_NEAR(busy, 59.0, 1e-6);
+}
+
 }  // namespace
 }  // namespace pjsched

@@ -41,16 +41,20 @@ TEST(GoldenTest, StepEngineValuesArePinned) {
   const auto a = core::run_scheduler(inst, admit, machine);
   // Step-engine completions are integer step counts; the flow subtracts
   // the generator's real-valued arrival, pinned here to full precision.
-  EXPECT_DOUBLE_EQ(a.max_flow, 3199.0810171959474);
-  EXPECT_EQ(a.stats.steal_attempts, 9452u);
+  // Values re-pinned when the within-step shuffle became lazy (drawn only
+  // on steps where some worker is idle or completing, so the macro-step
+  // fast path and the exact per-step mode share one RNG stream); the
+  // schedule is equally valid, just a different sample.
+  EXPECT_DOUBLE_EQ(a.max_flow, 3203.0810171959474);
+  EXPECT_EQ(a.stats.steal_attempts, 9004u);
   EXPECT_EQ(a.stats.admissions, 100u);
   EXPECT_EQ(a.stats.work_steps, inst.total_work());
 
   auto steal16 = core::parse_scheduler("steal-16-first");
   steal16.seed = 5;
   const auto s = core::run_scheduler(inst, steal16, machine);
-  EXPECT_DOUBLE_EQ(s.max_flow, 1726.0810171959474);
-  EXPECT_EQ(s.stats.steal_attempts, 14036u);
+  EXPECT_DOUBLE_EQ(s.max_flow, 1974.0810171959474);
+  EXPECT_EQ(s.stats.steal_attempts, 13396u);
 }
 
 TEST(GoldenTest, EventEngineValuesArePinned) {
@@ -58,8 +62,11 @@ TEST(GoldenTest, EventEngineValuesArePinned) {
   const core::MachineConfig machine{8, 1.0};
   const auto f =
       core::run_scheduler(inst, core::parse_scheduler("fifo"), machine);
-  EXPECT_NEAR(f.max_flow, 1521.3297834668392, 1e-6);
-  EXPECT_NEAR(f.makespan, 15616.692065210333, 1e-6);
+  // Re-pinned when completion handling switched to swap-and-pop on the
+  // available set: nodes of a job now run in a different (equally valid)
+  // order, shifting which node a scarce processor picks first.
+  EXPECT_NEAR(f.max_flow, 1528.3297834668392, 1e-6);
+  EXPECT_NEAR(f.makespan, 15618.692065210333, 1e-6);
   const auto o =
       core::run_scheduler(inst, core::parse_scheduler("opt"), machine);
   EXPECT_NEAR(o.max_flow, 1516.3297834668392, 1e-6);

@@ -1,0 +1,129 @@
+// Determinism contract of the parallel multi-trial runner
+// (src/runtime/parallel_trials.h): whatever the thread count or grain, the
+// outcome must equal the sequential core::run_trials bit for bit, because
+// each trial is a pure function of (dist, cfg, t) and the merge runs in
+// trial-index order.  Runs under TSAN in CI (trials share the pool).
+#include "src/runtime/parallel_trials.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/multi_trial.h"
+
+namespace pjsched {
+namespace {
+
+core::TrialConfig base_config() {
+  core::TrialConfig cfg;
+  cfg.trials = 8;
+  cfg.generator.num_jobs = 120;
+  cfg.generator.qps = 600.0;
+  cfg.generator.seed = 7;
+  cfg.machine = {8, 1.0};
+  cfg.scheduler.kind = core::SchedulerKind::kAdmitFirst;
+  cfg.scheduler.seed = 3;
+  return cfg;
+}
+
+void expect_outcomes_identical(const core::TrialOutcome& a,
+                               const core::TrialOutcome& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  const auto expect_summary_eq = [](const metrics::Summary& x,
+                                    const metrics::Summary& y) {
+    EXPECT_EQ(x.count, y.count);
+    // Bitwise equality on purpose: the parallel runner promises the *same*
+    // doubles, not merely close ones.
+    EXPECT_EQ(x.min, y.min);
+    EXPECT_EQ(x.max, y.max);
+    EXPECT_EQ(x.mean, y.mean);
+    EXPECT_EQ(x.stddev, y.stddev);
+    EXPECT_EQ(x.p50, y.p50);
+    EXPECT_EQ(x.p90, y.p90);
+    EXPECT_EQ(x.p99, y.p99);
+  };
+  expect_summary_eq(a.max_flow, b.max_flow);
+  expect_summary_eq(a.mean_flow, b.mean_flow);
+  expect_summary_eq(a.max_weighted_flow, b.max_weighted_flow);
+  expect_summary_eq(a.ratio_to_opt, b.ratio_to_opt);
+}
+
+TEST(ParallelTrialsTest, MatchesSequentialAcrossThreadCounts) {
+  const auto dist = workload::bing_distribution();
+  const auto cfg = base_config();
+  const auto seq = core::run_trials(dist, cfg);
+  for (unsigned threads : {1u, 2u, 5u}) {
+    runtime::ParallelTrialOptions opt;
+    opt.threads = threads;
+    const auto par = runtime::run_trials_parallel(dist, cfg, opt);
+    expect_outcomes_identical(seq, par);
+  }
+}
+
+TEST(ParallelTrialsTest, MatchesSequentialAcrossGrains) {
+  const auto dist = workload::finance_distribution();
+  auto cfg = base_config();
+  cfg.trials = 7;  // deliberately not a multiple of any grain below
+  const auto seq = core::run_trials(dist, cfg);
+  for (std::size_t grain : {1u, 3u, 16u}) {
+    runtime::ParallelTrialOptions opt;
+    opt.threads = 4;
+    opt.grain = grain;
+    const auto par = runtime::run_trials_parallel(dist, cfg, opt);
+    expect_outcomes_identical(seq, par);
+  }
+}
+
+TEST(ParallelTrialsTest, FixedInstanceMode) {
+  const auto dist = workload::bing_distribution();
+  auto cfg = base_config();
+  cfg.fixed_instance = true;
+  const auto seq = core::run_trials(dist, cfg);
+  runtime::ParallelTrialOptions opt;
+  opt.threads = 3;
+  const auto par = runtime::run_trials_parallel(dist, cfg, opt);
+  expect_outcomes_identical(seq, par);
+}
+
+TEST(ParallelTrialsTest, WeightedSchedulerMode) {
+  const auto dist = workload::bing_distribution();
+  auto cfg = base_config();
+  cfg.scheduler.kind = core::SchedulerKind::kStealKFirst;
+  cfg.scheduler.steal_k = 4;
+  cfg.scheduler.admit_by_weight = true;
+  const auto seq = core::run_trials(dist, cfg);
+  runtime::ParallelTrialOptions opt;
+  opt.threads = 4;
+  const auto par = runtime::run_trials_parallel(dist, cfg, opt);
+  expect_outcomes_identical(seq, par);
+}
+
+TEST(ParallelTrialsTest, ZeroTrialsRejected) {
+  const auto dist = workload::bing_distribution();
+  auto cfg = base_config();
+  cfg.trials = 0;
+  EXPECT_THROW(runtime::run_trials_parallel(dist, cfg),
+               std::invalid_argument);
+}
+
+TEST(ParallelTrialsTest, TrialFailurePropagates) {
+  // An unusable machine makes every trial throw inside the pool; the
+  // runner must contain the failure and rethrow instead of hanging or
+  // returning a half-filled outcome.
+  const auto dist = workload::bing_distribution();
+  auto cfg = base_config();
+  cfg.machine.processors = 0;
+  EXPECT_THROW(runtime::run_trials_parallel(dist, cfg), std::runtime_error);
+}
+
+TEST(ParallelTrialsTest, RepeatedRunsAreStable) {
+  // The pool's own scheduling is nondeterministic; the outcome must not be.
+  const auto dist = workload::bing_distribution();
+  const auto cfg = base_config();
+  runtime::ParallelTrialOptions opt;
+  opt.threads = 4;
+  const auto a = runtime::run_trials_parallel(dist, cfg, opt);
+  const auto b = runtime::run_trials_parallel(dist, cfg, opt);
+  expect_outcomes_identical(a, b);
+}
+
+}  // namespace
+}  // namespace pjsched

@@ -157,6 +157,32 @@ TEST(StepEngineTest, InvalidArgumentsRejected) {
   EXPECT_THROW(sim::run_step_engine(inst, opt), std::invalid_argument);
 }
 
+TEST(StepEngineTest, WeightedAdmissionPicksHeaviestEarliest) {
+  // Four queued jobs, weights 3, 1, 3, 2: the weighted-admission heap must
+  // admit heaviest-first with earliest-queued tie-break — job 0 before its
+  // equal-weight rival job 2, then 3, then 1 — exactly what the old linear
+  // scan (strict > over queue order) produced.
+  auto inst = testutil::make_weighted_instance({
+      {0.0, 3.0, dag::single_node(4)},
+      {0.0, 1.0, dag::single_node(4)},
+      {0.0, 3.0, dag::single_node(4)},
+      {0.0, 2.0, dag::single_node(4)},
+  });
+  sim::StepEngineOptions opt;
+  opt.machine = {1, 1.0};
+  opt.admit_by_weight = true;
+  sim::Trace trace;
+  opt.trace = &trace;
+  const auto res = sim::run_step_engine(inst, opt);
+  ASSERT_EQ(trace.admissions().size(), 4u);
+  EXPECT_EQ(trace.admissions()[0].job, 0u);
+  EXPECT_EQ(trace.admissions()[1].job, 2u);
+  EXPECT_EQ(trace.admissions()[2].job, 3u);
+  EXPECT_EQ(trace.admissions()[3].job, 1u);
+  EXPECT_DOUBLE_EQ(res.completion[0], 4.0);
+  EXPECT_DOUBLE_EQ(res.completion[1], 16.0);
+}
+
 TEST(StepEngineTest, StepBudgetGuardFires) {
   auto inst = make_instance({{0.0, dag::single_node(100)}});
   sim::StepEngineOptions opt;

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Distills google-benchmark JSON output into the BENCH_sim.json snapshot.
+
+Usage:
+    make_bench_baseline.py <benchmark-json> <output-json>
+
+The input is what `bench_sim_engine --benchmark_filter=Baseline
+--benchmark_out=<file> --benchmark_out_format=json` writes; the output is
+the repo's perf-trajectory file (see docs/simulation-model.md,
+"Performance model").  Stdlib only — no third-party dependencies.
+"""
+import json
+import sys
+
+_TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def _wall_seconds(bench):
+    return bench["real_time"] * _TIME_UNIT_SECONDS[bench.get("time_unit", "ns")]
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(__doc__)
+    with open(argv[1]) as f:
+        report = json.load(f)
+
+    by_name = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        # UseRealTime() benchmarks are reported as "<name>/real_time".
+        name = bench["name"]
+        if name.endswith("/real_time"):
+            name = name[: -len("/real_time")]
+        by_name[name] = bench
+
+    def pick(name):
+        if name not in by_name:
+            sys.exit(f"make_bench_baseline.py: benchmark '{name}' missing "
+                     f"from {argv[1]} (ran with --benchmark_filter=Baseline?)")
+        return by_name[name]
+
+    fast = pick("BM_BaselineStepEngineFast")
+    exact = pick("BM_BaselineStepEngineExact")
+    seq = pick("BM_BaselineTrialsSequential")
+    par = pick("BM_BaselineTrialsParallel")
+
+    context = report.get("context", {})
+    out = {
+        "schema": "pjsched-bench-sim/1",
+        "source": "bench_sim_engine --benchmark_filter=Baseline "
+                  "(refresh: cmake --build build --target bench_baseline)",
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "date": context.get("date"),
+            "build_type": context.get("library_build_type"),
+        },
+        "step_engine": {
+            "workload": "48 jobs x parallel_for(32 grains x 2000 units), "
+                        "m=16 s=1 k=4 (coarse-node, all-busy)",
+            "fast_steps_per_sec": fast["items_per_second"],
+            "exact_steps_per_sec": exact["items_per_second"],
+            "speedup": fast["items_per_second"] / exact["items_per_second"],
+            "fast_wall_seconds": _wall_seconds(fast),
+            "exact_wall_seconds": _wall_seconds(exact),
+        },
+        "multi_trial": {
+            "workload": "16 trials x 300 bing jobs, m=8, admit-first "
+                        "(parallel = in-repo thread pool, hardware threads)",
+            "sequential_trials_per_sec": seq["items_per_second"],
+            "parallel_trials_per_sec": par["items_per_second"],
+            "speedup": par["items_per_second"] / seq["items_per_second"],
+            "sequential_wall_seconds": _wall_seconds(seq),
+            "parallel_wall_seconds": _wall_seconds(par),
+        },
+        "raw": {
+            name: {
+                "real_time_seconds": _wall_seconds(bench),
+                "items_per_second": bench.get("items_per_second"),
+            }
+            for name, bench in sorted(by_name.items())
+        },
+    }
+
+    with open(argv[2], "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {argv[2]}: step-engine speedup "
+          f"{out['step_engine']['speedup']:.1f}x, multi-trial speedup "
+          f"{out['multi_trial']['speedup']:.2f}x "
+          f"({out['host']['num_cpus']} cpus)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
