@@ -108,4 +108,4 @@ BENCHMARK(BM_SubmitThroughputStealK);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/gbench_main.h"

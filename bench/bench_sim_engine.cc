@@ -178,4 +178,4 @@ BENCHMARK(BM_InstanceGeneration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/gbench_main.h"

@@ -1,0 +1,30 @@
+// Shared main() for the google-benchmark binaries: the BENCHMARK_MAIN()
+// body plus a `pjsched_build_type` context entry carrying the build type of
+// *our* code (CMAKE_BUILD_TYPE, injected as PJSCHED_BUILD_TYPE by
+// bench/benches.cmake).  google-benchmark's own `library_build_type`
+// context key describes how the system libbenchmark was compiled — often
+// debug for distro packages — and says nothing about the code under test;
+// tools/make_bench_baseline.py prefers this key when deciding whether a
+// snapshot came from an optimized build.
+//
+// Include from exactly one translation unit per binary, instead of
+// BENCHMARK_MAIN().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#ifndef PJSCHED_BUILD_TYPE
+#define PJSCHED_BUILD_TYPE ""
+#endif
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* build_type = PJSCHED_BUILD_TYPE;
+  benchmark::AddCustomContext("pjsched_build_type",
+                              *build_type != '\0' ? build_type
+                                                  : "unspecified");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,65 +1,98 @@
 #include "src/runtime/flow_recorder.h"
 
 #include <algorithm>
+#include <functional>
+#include <thread>
 
 namespace pjsched::runtime {
 
-void FlowRecorder::record(const Job& job) {
-  record(job.flow_seconds(), job.weight(), job.outcome());
+FlowRecorder::FlowRecorder(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {}
+
+std::size_t FlowRecorder::thread_shard() const {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+         shards_.size();
+}
+
+void FlowRecorder::record(const Job& job) { record(job, thread_shard()); }
+
+void FlowRecorder::record(const Job& job, std::size_t shard) {
+  record(job.flow_seconds(), job.weight(), job.outcome(), shard);
 }
 
 void FlowRecorder::record(double flow_seconds, double weight,
                           JobOutcome outcome) {
-  std::lock_guard<std::mutex> lock(mu_);
+  record(flow_seconds, weight, outcome, thread_shard());
+}
+
+void FlowRecorder::record(double flow_seconds, double weight,
+                          JobOutcome outcome, std::size_t shard) {
+  Shard& s = shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mu);
   switch (outcome) {
     case JobOutcome::kRunning:  // defensive: treat as completed
     case JobOutcome::kCompleted:
-      ++counts_.completed;
-      flows_.push_back(flow_seconds);
-      weights_.push_back(weight);
+      ++s.counts.completed;
+      s.flows.push_back(flow_seconds);
+      s.weights.push_back(weight);
       break;
     case JobOutcome::kFailed:
-      ++counts_.failed;
+      ++s.counts.failed;
       break;
     case JobOutcome::kDeadlineExpired:
-      ++counts_.deadline_expired;
+      ++s.counts.deadline_expired;
       break;
     case JobOutcome::kShed:
-      ++counts_.shed;
+      ++s.counts.shed;
       break;
     case JobOutcome::kRejected:
-      ++counts_.rejected;
+      ++s.counts.rejected;
       break;
   }
 }
 
 std::size_t FlowRecorder::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<std::size_t>(counts_.total());
+  return static_cast<std::size_t>(outcome_counts().total());
 }
 
 FlowRecorder::OutcomeCounts FlowRecorder::outcome_counts() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counts_;
+  OutcomeCounts total;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total.completed += s.counts.completed;
+    total.failed += s.counts.failed;
+    total.deadline_expired += s.counts.deadline_expired;
+    total.shed += s.counts.shed;
+    total.rejected += s.counts.rejected;
+  }
+  return total;
 }
 
 std::vector<double> FlowRecorder::flows_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return flows_;
+  std::vector<double> merged;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    merged.insert(merged.end(), s.flows.begin(), s.flows.end());
+  }
+  return merged;
 }
 
 double FlowRecorder::max_flow_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
   double best = 0.0;
-  for (double f : flows_) best = std::max(best, f);
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (double f : s.flows) best = std::max(best, f);
+  }
   return best;
 }
 
 double FlowRecorder::max_weighted_flow_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
   double best = 0.0;
-  for (std::size_t i = 0; i < flows_.size(); ++i)
-    best = std::max(best, flows_[i] * weights_[i]);
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (std::size_t i = 0; i < s.flows.size(); ++i)
+      best = std::max(best, s.flows[i] * s.weights[i]);
+  }
   return best;
 }
 

@@ -8,13 +8,22 @@
 // deadline-expired, shed, or rejected job has no meaningful flow time and
 // must not contaminate the objective — but every outcome is counted and visible
 // through outcome_counts(), so degraded runs are auditable.
+//
+// Sharded for the hot path: writes land in per-shard buffers (the
+// ThreadPool gives each worker its own shard plus one for non-worker
+// callers), each behind its own interference-padded mutex, so concurrent
+// job completions on different workers never contend on a global lock.
+// Readers merge the shards on demand — reads are report-time operations,
+// writes are the per-job hot path, and the trade goes to the writer.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <vector>
 
 #include "src/metrics/stats.h"
+#include "src/runtime/interference.h"
 #include "src/runtime/job.h"
 
 namespace pjsched::runtime {
@@ -35,20 +44,33 @@ class FlowRecorder {
     }
   };
 
+  /// A recorder with `shards` independent write buffers.  Any shard index
+  /// in [0, shards) may be written from any thread (each shard has its own
+  /// lock); distinct threads writing distinct shards never contend.
+  explicit FlowRecorder(std::size_t shards = 1);
+
   /// Registers a finished job (thread-safe; called by workers).  The
   /// outcome is read from the job; only kCompleted jobs contribute to the
-  /// flow statistics.
+  /// flow statistics.  The shard-less overloads hash the calling thread to
+  /// a shard; the ThreadPool passes its worker index explicitly.
   void record(const Job& job);
+  void record(const Job& job, std::size_t shard);
 
   /// Testing/embedding hook: record a terminal outcome directly.
   void record(double flow_seconds, double weight, JobOutcome outcome);
+  void record(double flow_seconds, double weight, JobOutcome outcome,
+              std::size_t shard);
 
-  /// Jobs recorded so far, any outcome.
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Jobs recorded so far, any outcome (merged over shards).
   std::size_t count() const;
 
   OutcomeCounts outcome_counts() const;
 
-  /// Snapshot of completed jobs' flow times so far, in seconds.
+  /// Snapshot of completed jobs' flow times so far, in seconds.  Merge
+  /// order is shard-major and NOT submission order; the flow statistics
+  /// below are order-independent.
   std::vector<double> flows_seconds() const;
 
   /// max_i F_i over completed jobs, seconds.
@@ -59,10 +81,16 @@ class FlowRecorder {
   metrics::Summary summary() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> flows_;    // completed jobs only
-  std::vector<double> weights_;  // parallel to flows_
-  OutcomeCounts counts_;
+  struct alignas(kDestructiveInterference) Shard {
+    mutable std::mutex mu;
+    std::vector<double> flows;    // completed jobs only
+    std::vector<double> weights;  // parallel to flows
+    OutcomeCounts counts;
+  };
+
+  std::size_t thread_shard() const;
+
+  std::vector<Shard> shards_;  // sized at construction, never resized
 };
 
 }  // namespace pjsched::runtime

@@ -1,0 +1,30 @@
+// Cache-line geometry for the runtime's concurrency-hot structures.
+//
+// `std::hardware_destructive_interference_size` is the standard's name for
+// "pad to this so two threads' writes don't false-share"; GCC warns on
+// direct uses because the value is ABI-relevant across translation units
+// compiled with different -mtune flags.  All our uses are internal to this
+// library (every TU sees the same flags), so we funnel the constant through
+// one symbol here and silence the warning at its single naming site.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace pjsched::runtime {
+
+#if defined(__cpp_lib_hardware_interference_size)
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+inline constexpr std::size_t kDestructiveInterference =
+    std::hardware_destructive_interference_size;
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#else
+inline constexpr std::size_t kDestructiveInterference = 64;
+#endif
+
+}  // namespace pjsched::runtime

@@ -21,17 +21,23 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 
+#include "src/runtime/inline_fn.h"
+
 namespace pjsched::runtime {
 
 class TaskContext;
 
-using TaskFn = std::function<void(TaskContext&)>;
+/// The task body.  A small-buffer move-only callable (inline_fn.h): bodies
+/// capturing at most InlineFn's inline capacity — everything the runtime's
+/// own algorithms spawn — ride in the Task slab slot with zero allocator
+/// traffic; larger bodies fall back to one heap allocation, as with
+/// std::function.
+using TaskFn = InlineFn<void(TaskContext&)>;
 using Clock = std::chrono::steady_clock;
 
 /// Terminal state of a job.  `kRunning` is the only non-terminal value.
@@ -190,8 +196,9 @@ using JobHandle = std::shared_ptr<Job>;
 class WaitGroup;
 
 /// A schedulable unit: one task of one job.  Owned by whoever holds the
-/// pointer (deques and the admission queue hold raw pointers; the executing
-/// worker deletes after running).
+/// pointer (deques and the admission queue hold raw pointers); lives in a
+/// TaskPool slab slot — the executing worker *releases* it after running
+/// (TaskPool::release recycles the slot), it is never `delete`d directly.
 struct Task {
   Job* job = nullptr;
   TaskFn fn;

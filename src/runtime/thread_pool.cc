@@ -1,5 +1,6 @@
 #include "src/runtime/thread_pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <sstream>
@@ -11,12 +12,27 @@ namespace {
 // Set for the lifetime of each worker thread; lets submit() detect a call
 // from inside a task body of the same pool (see the kBlock guard there).
 thread_local const ThreadPool* t_worker_of_pool = nullptr;
+
+// Victims probed per steal round (bounded multi-probe): a failed round has
+// looked at several deques, so fail_count — which still counts *rounds*,
+// preserving the paper's steal-k admission semantics — represents real
+// evidence of an idle system rather than one unlucky coin flip.
+constexpr unsigned kStealProbes = 4;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
 }  // namespace
 
 void TaskContext::spawn(TaskFn fn) {
   job_->add_pending();
-  auto* task = new Task{job_, std::move(fn)};
-  pool_->workers_[worker_]->deque.push(task);
+  state_->deque.push(state_->task_pool.allocate(job_, std::move(fn), nullptr));
 }
 
 void TaskContext::spawn(TaskFn fn, WaitGroup& wg) {
@@ -25,17 +41,18 @@ void TaskContext::spawn(TaskFn fn, WaitGroup& wg) {
   // The WaitGroup rides on the Task, not inside the body: execute() signals
   // it on every exit path (ran / threw / skipped-as-cancelled), which is
   // what lets wait_help guarantee a full drain before unwinding.
-  auto* task = new Task{job_, std::move(fn), &wg};
-  pool_->workers_[worker_]->deque.push(task);
+  state_->deque.push(state_->task_pool.allocate(job_, std::move(fn), &wg));
 }
 
 void TaskContext::wait_help(WaitGroup& wg) {
   unsigned spins = 0;
   while (!wg.idle()) {
-    if (pool_->try_run_one(worker_, /*helping=*/true)) {
+    if (pool_->try_run_one(worker_, *state_, /*helping=*/true)) {
       spins = 0;
     } else if (++spins > 64) {
       std::this_thread::yield();
+    } else {
+      cpu_relax();
     }
   }
   // Unwind cancelled bodies only *after* the join has drained: a sibling
@@ -49,6 +66,9 @@ void TaskContext::wait_help(WaitGroup& wg) {
 
 ThreadPool::ThreadPool(const PoolOptions& options)
     : admission_(options.admission_capacity, options.backpressure),
+      // One recorder shard per worker plus one shared by every non-worker
+      // caller (submit-side rejections, the shutdown drain).
+      recorder_((options.workers == 0 ? 1 : options.workers) + 1),
       steal_k_(options.steal_k),
       admit_by_weight_(options.admit_by_weight),
       watchdog_sink_(options.watchdog_sink) {
@@ -104,7 +124,11 @@ JobHandle ThreadPool::submit(TaskFn root, const SubmitOptions& options) {
     std::lock_guard<std::mutex> lock(done_mu_);
     live_jobs_.push_back(job);
   }
-  auto* task = new Task{job.get(), std::move(root)};
+  Task* task;
+  {
+    std::lock_guard<std::mutex> lock(external_mu_);
+    task = external_pool_.allocate(job.get(), std::move(root), nullptr);
+  }
   Task* evicted = nullptr;
   const AdmissionQueue::PushResult result = admission_.push(task, &evicted);
   if (evicted != nullptr) terminate_unadmitted(evicted, /*rejected=*/false);
@@ -128,20 +152,28 @@ void ThreadPool::terminate_unadmitted(Task* task, bool rejected) {
     else
       jobs_shed_.fetch_add(1, std::memory_order_relaxed);
   }
-  delete task;
-  finish_job(job);  // the root never ran; drain its pending count
+  // Runs on submit / shutdown threads, never a worker: no local pool, the
+  // slot returns to its owner via the lock-free reclaim path.
+  TaskPool::release(task, /*local=*/nullptr);
+  finish_job(job, external_shard());  // the root never ran; drain pending
 }
 
-void ThreadPool::finish_job(Job* job) {
+void ThreadPool::finish_job(Job* job, unsigned recorder_shard) {
   if (job->finish_one()) {
-    recorder_.record(*job);
-    {
-      // Increment under the lock so wait_all() cannot miss the wakeup
-      // between checking its predicate and blocking.
-      std::lock_guard<std::mutex> lock(done_mu_);
-      jobs_completed_.fetch_add(1, std::memory_order_acq_rel);
+    recorder_.record(*job, recorder_shard);
+    // Hot path: one relaxed-ish RMW per job, no lock.  Only the completion
+    // that observes itself as the *last outstanding job* touches done_mu_.
+    const std::uint64_t done =
+        jobs_completed_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == jobs_submitted_.load(std::memory_order_acquire)) {
+      // The empty critical section pairs with wait_all()'s locked predicate
+      // check: the notify cannot slip between a waiter evaluating its
+      // predicate (and seeing the pre-increment count) and blocking.  If a
+      // concurrent submit made the equality stale, that job's own
+      // completion re-notifies later — waiters re-check under the lock.
+      { std::lock_guard<std::mutex> lock(done_mu_); }
+      done_cv_.notify_all();
     }
-    done_cv_.notify_all();
   }
 }
 
@@ -179,19 +211,39 @@ void ThreadPool::shutdown() {
   live_jobs_.clear();
 }
 
+std::vector<ThreadPool::WorkerSnapshot> ThreadPool::snapshot_workers() const {
+  std::vector<WorkerSnapshot> snaps;
+  snaps.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    WorkerSnapshot s;
+    s.deque_hint = w->deque.size_hint();
+    s.steal_attempts = w->counters.steal_attempts.load(std::memory_order_relaxed);
+    s.successful_steals =
+        w->counters.successful_steals.load(std::memory_order_relaxed);
+    s.admissions = w->counters.admissions.load(std::memory_order_relaxed);
+    s.tasks_executed = w->counters.tasks_executed.load(std::memory_order_relaxed);
+    s.tasks_cancelled =
+        w->counters.tasks_cancelled.load(std::memory_order_relaxed);
+    s.slab_blocks = w->task_pool.blocks_carved();
+    s.remote_frees = w->task_pool.remote_frees();
+    snaps.push_back(s);
+  }
+  return snaps;
+}
+
 PoolStats ThreadPool::stats() const {
   PoolStats total;
-  for (const auto& w : workers_) {
-    total.steal_attempts +=
-        w->counters.steal_attempts.load(std::memory_order_relaxed);
-    total.successful_steals +=
-        w->counters.successful_steals.load(std::memory_order_relaxed);
-    total.admissions += w->counters.admissions.load(std::memory_order_relaxed);
-    total.tasks_executed +=
-        w->counters.tasks_executed.load(std::memory_order_relaxed);
-    total.tasks_cancelled +=
-        w->counters.tasks_cancelled.load(std::memory_order_relaxed);
+  for (const WorkerSnapshot& s : snapshot_workers()) {
+    total.steal_attempts += s.steal_attempts;
+    total.successful_steals += s.successful_steals;
+    total.admissions += s.admissions;
+    total.tasks_executed += s.tasks_executed;
+    total.tasks_cancelled += s.tasks_cancelled;
+    total.task_slab_blocks += s.slab_blocks;
+    total.task_remote_frees += s.remote_frees;
   }
+  total.task_slab_blocks += external_pool_.blocks_carved();
+  total.task_remote_frees += external_pool_.remote_frees();
   total.faults_injected = injector_ ? injector_->faults_injected() : 0;
   total.jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
   total.jobs_deadline_expired =
@@ -202,32 +254,33 @@ PoolStats ThreadPool::stats() const {
   return total;
 }
 
-std::uint64_t ThreadPool::total_tasks_executed() const {
-  std::uint64_t total = 0;
-  for (const auto& w : workers_)
-    total += w->counters.tasks_executed.load(std::memory_order_relaxed);
-  return total;
-}
-
 std::string ThreadPool::dump_state() const {
   std::ostringstream out;
   const std::uint64_t submitted = jobs_submitted_.load(std::memory_order_acquire);
   const std::uint64_t completed = jobs_completed_.load(std::memory_order_acquire);
+  // One pass over the workers; totals and per-worker rows below are views
+  // of the same snapshot, so they always add up.
+  const std::vector<WorkerSnapshot> snaps = snapshot_workers();
+  std::uint64_t total_tasks = 0, total_blocks = external_pool_.blocks_carved();
+  for (const WorkerSnapshot& s : snaps) {
+    total_tasks += s.tasks_executed;
+    total_blocks += s.slab_blocks;
+  }
   out << "ThreadPool diagnostic dump\n"
       << "  jobs: submitted=" << submitted << " terminal=" << completed
       << " pending=" << submitted - completed << "\n"
+      << "  tasks executed=" << total_tasks
+      << " slab_blocks=" << total_blocks << "\n"
       << "  admission queue: depth=" << admission_.size()
       << " capacity=" << admission_.capacity() << " ("
       << to_string(admission_.policy()) << ")\n";
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    const WorkerCounters& c = workers_[i]->counters;
-    out << "  worker " << i << ": deque~=" << workers_[i]->deque.size_hint()
-        << " tasks=" << c.tasks_executed.load(std::memory_order_relaxed)
-        << " cancelled=" << c.tasks_cancelled.load(std::memory_order_relaxed)
-        << " steals=" << c.successful_steals.load(std::memory_order_relaxed)
-        << "/" << c.steal_attempts.load(std::memory_order_relaxed)
-        << " admissions=" << c.admissions.load(std::memory_order_relaxed)
-        << "\n";
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    const WorkerSnapshot& s = snaps[i];
+    out << "  worker " << i << ": deque~=" << s.deque_hint
+        << " tasks=" << s.tasks_executed << " cancelled=" << s.tasks_cancelled
+        << " steals=" << s.successful_steals << "/" << s.steal_attempts
+        << " admissions=" << s.admissions << " slab_blocks=" << s.slab_blocks
+        << " remote_frees=" << s.remote_frees << "\n";
   }
   constexpr std::size_t kMaxJobsListed = 16;
   std::size_t listed = 0, unfinished = 0;
@@ -258,13 +311,15 @@ std::string ThreadPool::dump_state() const {
 }
 
 void ThreadPool::watchdog_main(std::chrono::milliseconds interval) {
-  std::uint64_t last_tasks = total_tasks_executed();
+  std::uint64_t last_tasks = stats().tasks_executed;
   std::unique_lock<std::mutex> lock(watchdog_mu_);
   while (!watchdog_stop_) {
     if (watchdog_cv_.wait_for(lock, interval,
                               [this] { return watchdog_stop_; }))
       break;
-    const std::uint64_t tasks = total_tasks_executed();
+    // One coherent snapshot per tick: the progress decision and the value
+    // carried to the next tick come from the same pass over the workers.
+    const std::uint64_t tasks = stats().tasks_executed;
     const bool pending = jobs_completed_.load(std::memory_order_acquire) <
                          jobs_submitted_.load(std::memory_order_acquire);
     if (pending && tasks == last_tasks) {
@@ -284,26 +339,28 @@ void ThreadPool::watchdog_main(std::chrono::milliseconds interval) {
   }
 }
 
-void ThreadPool::execute(Task* task, unsigned worker) {
+void ThreadPool::execute(Task* task, unsigned worker, WorkerState& w) {
   Job* job = task->job;
-  WorkerState& w = *workers_[worker];
   if (injector_) {
     const auto stall = injector_->worker_stall(worker);
     if (stall.count() > 0) std::this_thread::sleep_for(stall);
   }
-  if (!job->cancelled() && job->deadline_passed(Clock::now()) &&
+  // Deadline enforcement pays its clock read only for jobs that have one —
+  // Clock::now() per task is real money at fine grain.
+  if (job->has_deadline() && !job->cancelled() &&
+      job->deadline_passed(Clock::now()) &&
       job->try_cancel(JobOutcome::kDeadlineExpired))
     jobs_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
   if (job->cancelled()) {
     // Skip the body; just drain the pending count below.
-    w.counters.tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+    detail::WorkerCounters::bump(w.counters.tasks_cancelled);
   } else {
     try {
       if (injector_) {
         if (const auto fault = injector_->next_task_fault())
           throw FaultInjectedError(*fault);
       }
-      TaskContext ctx(this, worker, job);
+      TaskContext ctx(this, &w, worker, job);
       task->fn(ctx);
     } catch (const JobCancelledError&) {
       // wait_help unwound the body because the job was already cancelled;
@@ -324,57 +381,65 @@ void ThreadPool::execute(Task* task, unsigned worker) {
   // too — so a WaitGroup drains even under cancellation and wait_help can
   // safely unwind only once no sibling references it (see Task::wg).
   if (task->wg != nullptr) task->wg->done();
-  delete task;
-  w.counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
-  finish_job(job);
+  // Recycle the slot: a local push when this worker allocated the task, a
+  // lock-free reclaim push to the owner (another worker, or the external
+  // submission pool) otherwise.
+  TaskPool::release(task, &w.task_pool);
+  detail::WorkerCounters::bump(w.counters.tasks_executed);
+  finish_job(job, worker);
 }
 
-Task* ThreadPool::try_steal(unsigned thief) {
+Task* ThreadPool::try_steal(unsigned thief, WorkerState& me) {
   const unsigned n = workers();
   if (n <= 1) return nullptr;
-  WorkerState& me = *workers_[thief];
+  // Bounded multi-probe round: start at a random victim, rotate through up
+  // to kStealProbes of them.  One rng draw per round (not per probe).
+  const unsigned probes = std::min(kStealProbes, n - 1);
   unsigned victim = static_cast<unsigned>(me.rng.uniform_int(n - 1));
   if (victim >= thief) ++victim;
-  Task* task = nullptr;
-  if (workers_[victim]->deque.steal(task)) return task;
+  for (unsigned p = 0; p < probes; ++p) {
+    Task* task = nullptr;
+    if (workers_[victim]->deque.steal(task)) return task;
+    ++victim;
+    if (victim == thief) ++victim;
+    if (victim >= n) victim = thief == 0 ? 1 : 0;
+  }
   return nullptr;
 }
 
-bool ThreadPool::try_run_one(unsigned index, bool helping) {
-  WorkerState& w = *workers_[index];
-
+bool ThreadPool::try_run_one(unsigned index, WorkerState& w, bool helping) {
   Task* task = nullptr;
   if (w.deque.pop(task)) {
     w.fail_count = 0;
-    execute(task, index);
+    execute(task, index, w);
     return true;
   }
 
-  // Admission is policy-gated: only after k consecutive failed steals
-  // (immediately when k == 0).  Helpers joining a WaitGroup never admit —
-  // starting a brand-new job in the middle of a join would delay the join
-  // arbitrarily.
+  // Admission is policy-gated: only after k consecutive failed steal
+  // *rounds* (immediately when k == 0).  Helpers joining a WaitGroup never
+  // admit — starting a brand-new job in the middle of a join would delay
+  // the join arbitrarily.
   if (!helping && w.fail_count >= steal_k_) {
     task = admit_by_weight_ ? admission_.try_pop_heaviest()
                             : admission_.try_pop();
     if (task != nullptr) {
-      w.counters.admissions.fetch_add(1, std::memory_order_relaxed);
+      detail::WorkerCounters::bump(w.counters.admissions);
       w.fail_count = 0;
       if (injector_) {
         const auto delay = injector_->admission_delay();
         if (delay.count() > 0) std::this_thread::sleep_for(delay);
       }
-      execute(task, index);
+      execute(task, index, w);
       return true;
     }
   }
 
-  w.counters.steal_attempts.fetch_add(1, std::memory_order_relaxed);
-  task = try_steal(index);
+  detail::WorkerCounters::bump(w.counters.steal_attempts);
+  task = try_steal(index, w);
   if (task != nullptr) {
-    w.counters.successful_steals.fetch_add(1, std::memory_order_relaxed);
+    detail::WorkerCounters::bump(w.counters.successful_steals);
     w.fail_count = 0;
-    execute(task, index);
+    execute(task, index, w);
     return true;
   }
   ++w.fail_count;
@@ -383,18 +448,26 @@ bool ThreadPool::try_run_one(unsigned index, bool helping) {
 
 void ThreadPool::worker_main(unsigned index) {
   t_worker_of_pool = this;
-  unsigned idle_spins = 0;
+  WorkerState& w = *workers_[index];
+  // Idle backoff ladder: spin (pause), then yield, then exponentially
+  // growing timed waits on the idle CV (64 µs up to ~1 ms).  submit()
+  // notifies the CV, so a fresh job still wakes a deeply idle worker
+  // immediately; the ladder only bounds how hard an idle pool burns CPU.
+  unsigned idle_rounds = 0;
   while (!stop_.load(std::memory_order_acquire)) {
-    if (try_run_one(index, /*helping=*/false)) {
-      idle_spins = 0;
+    if (try_run_one(index, w, /*helping=*/false)) {
+      idle_rounds = 0;
       continue;
     }
-    if (++idle_spins > 128) {
-      std::unique_lock<std::mutex> lock(idle_mu_);
-      idle_cv_.wait_for(lock, std::chrono::microseconds(500));
-      idle_spins = 0;
-    } else {
+    ++idle_rounds;
+    if (idle_rounds <= 32) {
+      cpu_relax();
+    } else if (idle_rounds <= 64) {
       std::this_thread::yield();
+    } else {
+      const unsigned shift = std::min(idle_rounds - 65, 4u);
+      std::unique_lock<std::mutex> lock(idle_mu_);
+      idle_cv_.wait_for(lock, std::chrono::microseconds(std::uint64_t{64} << shift));
     }
   }
 }

@@ -44,7 +44,9 @@
 #include "src/runtime/chase_lev_deque.h"
 #include "src/runtime/fault_injection.h"
 #include "src/runtime/flow_recorder.h"
+#include "src/runtime/interference.h"
 #include "src/runtime/job.h"
+#include "src/runtime/task_pool.h"
 #include "src/sim/rng.h"
 
 namespace pjsched::runtime {
@@ -76,10 +78,15 @@ struct PoolOptions {
 };
 
 struct PoolStats {
+  /// Failed-or-successful steal *rounds* (one multi-probe sweep each).
   std::uint64_t steal_attempts = 0;
   std::uint64_t successful_steals = 0;
   std::uint64_t admissions = 0;
   std::uint64_t tasks_executed = 0;
+
+  // Task-slab allocator health (see task_pool.h).
+  std::uint64_t task_slab_blocks = 0;  ///< blocks carved across all pools
+  std::uint64_t task_remote_frees = 0; ///< cross-thread releases (reclaim path)
 
   // Fault-tolerance counters.
   std::uint64_t tasks_cancelled = 0;  ///< tasks skipped: their job was cancelled
@@ -105,6 +112,42 @@ struct SubmitOptions {
 };
 
 class ThreadPool;
+
+namespace detail {
+
+/// Per-worker counters, padded to a destructive-interference boundary:
+/// each worker bumps its own counters on every task, and the padding makes
+/// the no-false-sharing property structural rather than allocator luck.
+/// Single-writer: only the owning worker writes (plain relaxed load+store,
+/// no RMW — a lock-prefixed add per task is measurable at fine grain);
+/// stats()/dump_state() read cross-thread with relaxed loads.
+struct alignas(kDestructiveInterference) WorkerCounters {
+  std::atomic<std::uint64_t> steal_attempts{0};
+  std::atomic<std::uint64_t> successful_steals{0};
+  std::atomic<std::uint64_t> admissions{0};
+  std::atomic<std::uint64_t> tasks_executed{0};
+  std::atomic<std::uint64_t> tasks_cancelled{0};
+
+  /// Owner-only increment: safe without an RMW because each counter has
+  /// exactly one writer.
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+};
+
+/// Everything one worker owns.  A ThreadPool implementation detail at
+/// namespace scope only so TaskContext can carry a pointer to it (the hot
+/// spawn path must not re-chase workers_[i] per task).
+struct alignas(kDestructiveInterference) WorkerState {
+  ChaseLevDeque<Task*> deque;
+  TaskPool task_pool;  ///< slab for tasks spawned on this worker
+  sim::Rng rng{1};
+  unsigned fail_count = 0;
+  WorkerCounters counters;
+  std::thread thread;
+};
+
+}  // namespace detail
 
 /// Handed to every executing task; the gateway for spawning subtasks.
 class TaskContext {
@@ -136,10 +179,12 @@ class TaskContext {
 
  private:
   friend class ThreadPool;
-  TaskContext(ThreadPool* pool, unsigned worker, Job* job)
-      : pool_(pool), worker_(worker), job_(job) {}
+  TaskContext(ThreadPool* pool, detail::WorkerState* state, unsigned worker,
+              Job* job)
+      : pool_(pool), state_(state), worker_(worker), job_(job) {}
 
   ThreadPool* pool_;
+  detail::WorkerState* state_;  // cached &pool_->workers_[worker_]
   unsigned worker_;
   Job* job_;
 };
@@ -192,9 +237,11 @@ class ThreadPool {
   /// wait_all() is the barrier after which the recorder covers every
   /// submitted job.
   FlowRecorder& recorder() { return recorder_; }
-  /// Aggregated across workers; counters are updated with relaxed atomics,
-  /// so a snapshot taken while the pool is busy may be slightly stale but
-  /// is race-free.
+  /// Aggregated from ONE pass over the workers (each counter read exactly
+  /// once per call); counters are updated with relaxed atomics, so a
+  /// snapshot taken while the pool is busy may be slightly stale but is
+  /// race-free and internally consistent — stats() and dump_state() never
+  /// mix two reads of the same counter.
   PoolStats stats() const;
 
   /// Human-readable snapshot of pool state: job counters, admission-queue
@@ -204,42 +251,54 @@ class ThreadPool {
 
  private:
   friend class TaskContext;
+  using WorkerState = detail::WorkerState;
 
-  struct WorkerCounters {
-    std::atomic<std::uint64_t> steal_attempts{0};
-    std::atomic<std::uint64_t> successful_steals{0};
-    std::atomic<std::uint64_t> admissions{0};
-    std::atomic<std::uint64_t> tasks_executed{0};
-    std::atomic<std::uint64_t> tasks_cancelled{0};
+  /// One worker's counters read in a single pass (each atomic loaded
+  /// exactly once); the unit both stats() and dump_state() are built from.
+  struct WorkerSnapshot {
+    std::size_t deque_hint = 0;
+    std::uint64_t steal_attempts = 0;
+    std::uint64_t successful_steals = 0;
+    std::uint64_t admissions = 0;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t tasks_cancelled = 0;
+    std::uint64_t slab_blocks = 0;
+    std::uint64_t remote_frees = 0;
   };
-
-  struct WorkerState {
-    ChaseLevDeque<Task*> deque;
-    sim::Rng rng{1};
-    unsigned fail_count = 0;
-    WorkerCounters counters;
-    std::thread thread;
-  };
+  std::vector<WorkerSnapshot> snapshot_workers() const;
 
   void worker_main(unsigned index);
   void watchdog_main(std::chrono::milliseconds interval);
   /// One acquire-execute round; returns true if a task was executed.
   /// `helping` suppresses admission (a helper joining a WaitGroup must not
   /// start brand-new jobs mid-join: it only drains existing work).
-  bool try_run_one(unsigned index, bool helping);
-  void execute(Task* task, unsigned worker);
-  Task* try_steal(unsigned thief);
+  /// `w` is `*workers_[index]`, threaded through to keep the per-task path
+  /// free of repeated indirection.
+  bool try_run_one(unsigned index, WorkerState& w, bool helping);
+  void execute(Task* task, unsigned worker, WorkerState& w);
+  /// One steal round: up to kStealProbes victims, random start, rotating.
+  Task* try_steal(unsigned thief, WorkerState& me);
   /// Terminates a job whose root task never ran: marks it kRejected (the
   /// submission was refused) or kShed (a queued job was dropped) — or
   /// kDeadlineExpired when its deadline already passed — records it, and
-  /// releases the task.
+  /// releases the task.  Runs on non-worker threads (submit / shutdown).
   void terminate_unadmitted(Task* task, bool rejected);
-  void finish_job(Job* job);
-  std::uint64_t total_tasks_executed() const;
+  /// Drains one pending count; on the job's last task records it in the
+  /// given recorder shard and, only when this was the last outstanding
+  /// job, notifies done_cv_ (completions of non-final jobs touch no lock).
+  void finish_job(Job* job, unsigned recorder_shard);
+  /// Recorder shard for non-worker threads (submit, shutdown, watchdog).
+  unsigned external_shard() const { return workers(); }
 
   std::vector<std::unique_ptr<WorkerState>> workers_;
   AdmissionQueue admission_;
   FlowRecorder recorder_;
+  /// Slab for root tasks built by submit(); non-worker callers are
+  /// serialized by external_mu_ (submission is job-granularity, far off
+  /// the per-task hot path).  Workers release into it lock-free via the
+  /// reclaim stack.
+  TaskPool external_pool_;
+  std::mutex external_mu_;
   const unsigned steal_k_;
   const bool admit_by_weight_;
   std::unique_ptr<FaultInjector> injector_;  // null when the plan is empty

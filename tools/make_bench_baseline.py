@@ -2,29 +2,41 @@
 """Distills google-benchmark JSON output into the BENCH_sim.json snapshot.
 
 Usage:
-    make_bench_baseline.py <benchmark-json> <output-json>
+    make_bench_baseline.py <sim-json> <output-json>
+        [--runtime <runtime-json>] [--before <runtime-before-json>]
 
-The input is what `bench_sim_engine --benchmark_filter=Baseline
---benchmark_out=<file> --benchmark_out_format=json` writes; the output is
-the repo's perf-trajectory file (see docs/simulation-model.md,
-"Performance model").  Stdlib only — no third-party dependencies.
+<sim-json> is what `bench_sim_engine --benchmark_filter=Baseline
+--benchmark_out=<file> --benchmark_out_format=json` writes; the optional
+--runtime file is the matching `bench_runtime --benchmark_filter=Runtime`
+output, distilled into a `runtime` section, and --before is a committed raw
+snapshot of the same suite from before the hot-path work (tasks/sec
+speedups are reported against it).  The output is the repo's
+perf-trajectory file (see docs/simulation-model.md, "Performance model").
+
+The snapshot is loudly annotated — a `warnings` array in the output, and
+the same text on stderr — when it was produced by an unoptimized build
+(Debug or unspecified; optimization changes per-task costs by an order of
+magnitude) or on a single-CPU host (parallel speedups then measure
+scheduling overhead, not parallelism: a multi-trial "speedup" near 1.0x is
+the expected artifact, not a regression).  Stdlib only — no third-party
+dependencies.
 """
 import json
 import sys
 
 _TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 
+# CMake build types that compile with optimization on.
+_OPTIMIZED_BUILD_TYPES = {"release", "relwithdebinfo", "minsizerel"}
+
 
 def _wall_seconds(bench):
     return bench["real_time"] * _TIME_UNIT_SECONDS[bench.get("time_unit", "ns")]
 
 
-def main(argv):
-    if len(argv) != 3:
-        sys.exit(__doc__)
-    with open(argv[1]) as f:
+def _load_report(path):
+    with open(path) as f:
         report = json.load(f)
-
     by_name = {}
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
@@ -34,29 +46,120 @@ def main(argv):
         if name.endswith("/real_time"):
             name = name[: -len("/real_time")]
         by_name[name] = bench
+    return report.get("context", {}), by_name
 
-    def pick(name):
-        if name not in by_name:
-            sys.exit(f"make_bench_baseline.py: benchmark '{name}' missing "
-                     f"from {argv[1]} (ran with --benchmark_filter=Baseline?)")
-        return by_name[name]
 
-    fast = pick("BM_BaselineStepEngineFast")
-    exact = pick("BM_BaselineStepEngineExact")
-    seq = pick("BM_BaselineTrialsSequential")
-    par = pick("BM_BaselineTrialsParallel")
+def _pick(by_name, name, path):
+    if name not in by_name:
+        sys.exit(f"make_bench_baseline.py: benchmark '{name}' missing "
+                 f"from {path}")
+    return by_name[name]
 
-    context = report.get("context", {})
+
+def _build_type(context):
+    """Our code's build type: prefer the pjsched_build_type custom context
+    (bench/gbench_main.h) over library_build_type, which describes how the
+    *system libbenchmark* was compiled and is 'debug' for many distro
+    packages regardless of how our code was built."""
+    return context.get("pjsched_build_type") or context.get(
+        "library_build_type") or "unknown"
+
+
+def _runtime_section(runtime_path, before_path, warnings):
+    _, by_name = _load_report(runtime_path)
+    names = {
+        "fib": "BM_RuntimeFib/20",
+        "parallel_for_fine": "BM_RuntimeParallelForFine/4096",
+        "bing_dag": "BM_RuntimeBingDag",
+    }
+
+    def distill(by, path):
+        out = {}
+        for key, name in names.items():
+            bench = _pick(by, name, path)
+            out[key] = {
+                "tasks_per_sec": bench["items_per_second"],
+                "steal_success_rate": bench.get("steal_success_rate"),
+                "wall_seconds": _wall_seconds(bench),
+            }
+        return out
+
+    section = {
+        "workloads": {
+            "fib": "fork-join fib(20), sequential cutoff 8",
+            "parallel_for_fine": "parallel_for over 4096 indices, grain 1 "
+                                 "(per-task overhead dominates by design)",
+            "bing_dag": "16 jobs x (24 children x 8 grandchildren) "
+                        "near-empty spawn trees",
+        },
+        "after": distill(by_name, runtime_path),
+    }
+    if before_path is not None:
+        try:
+            _, before_by = _load_report(before_path)
+        except OSError as e:
+            warnings.append(f"--before snapshot unreadable ({e}); "
+                            "runtime speedups omitted")
+            return section
+        section["before"] = distill(before_by, before_path)
+        section["before_source"] = before_path
+        section["speedup_vs_before"] = {
+            key: section["after"][key]["tasks_per_sec"] /
+                 section["before"][key]["tasks_per_sec"]
+            for key in names
+        }
+    return section
+
+
+def main(argv):
+    args = list(argv[1:])
+    runtime_path = before_path = None
+    if "--before" in args:
+        i = args.index("--before")
+        before_path = args[i + 1]
+        del args[i:i + 2]
+    if "--runtime" in args:
+        i = args.index("--runtime")
+        runtime_path = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 2:
+        sys.exit(__doc__)
+    sim_path, out_path = args
+
+    context, by_name = _load_report(sim_path)
+
+    fast = _pick(by_name, "BM_BaselineStepEngineFast", sim_path)
+    exact = _pick(by_name, "BM_BaselineStepEngineExact", sim_path)
+    seq = _pick(by_name, "BM_BaselineTrialsSequential", sim_path)
+    par = _pick(by_name, "BM_BaselineTrialsParallel", sim_path)
+
+    warnings = []
+    build_type = _build_type(context)
+    num_cpus = context.get("num_cpus")
+    if build_type.lower() not in _OPTIMIZED_BUILD_TYPES:
+        warnings.append(
+            f"UNOPTIMIZED BUILD ({build_type}): absolute throughput is "
+            "meaningless and not comparable across snapshots; refresh from "
+            "a Release build (cmake -DCMAKE_BUILD_TYPE=Release).")
+    if num_cpus == 1:
+        warnings.append(
+            "SINGLE-CPU HOST: parallel speedups measure scheduling "
+            "overhead, not parallelism — a multi-trial speedup near 1.0x "
+            "is the expected artifact on this host, not a regression; "
+            "refresh on multi-core hardware for meaningful speedups.")
+
     out = {
-        "schema": "pjsched-bench-sim/1",
-        "source": "bench_sim_engine --benchmark_filter=Baseline "
+        "schema": "pjsched-bench-sim/2",
+        "source": "bench_sim_engine --benchmark_filter=Baseline + "
+                  "bench_runtime --benchmark_filter=Runtime "
                   "(refresh: cmake --build build --target bench_baseline)",
         "host": {
-            "num_cpus": context.get("num_cpus"),
+            "num_cpus": num_cpus,
             "mhz_per_cpu": context.get("mhz_per_cpu"),
             "date": context.get("date"),
-            "build_type": context.get("library_build_type"),
+            "build_type": build_type,
         },
+        "warnings": warnings,
         "step_engine": {
             "workload": "48 jobs x parallel_for(32 grains x 2000 units), "
                         "m=16 s=1 k=4 (coarse-node, all-busy)",
@@ -83,14 +186,21 @@ def main(argv):
             for name, bench in sorted(by_name.items())
         },
     }
+    if runtime_path is not None:
+        out["runtime"] = _runtime_section(runtime_path, before_path, warnings)
 
-    with open(argv[2], "w") as f:
+    with open(out_path, "w") as f:
         json.dump(out, f, indent=2)
         f.write("\n")
-    print(f"wrote {argv[2]}: step-engine speedup "
-          f"{out['step_engine']['speedup']:.1f}x, multi-trial speedup "
-          f"{out['multi_trial']['speedup']:.2f}x "
-          f"({out['host']['num_cpus']} cpus)")
+    for w in warnings:
+        print(f"make_bench_baseline.py: WARNING: {w}", file=sys.stderr)
+    line = (f"wrote {out_path}: step-engine speedup "
+            f"{out['step_engine']['speedup']:.1f}x, multi-trial speedup "
+            f"{out['multi_trial']['speedup']:.2f}x")
+    if "runtime" in out and "speedup_vs_before" in out["runtime"]:
+        pf = out["runtime"]["speedup_vs_before"]["parallel_for_fine"]
+        line += f", runtime fine-grain {pf:.2f}x vs before"
+    print(line + f" ({num_cpus} cpus, {build_type})")
 
 
 if __name__ == "__main__":
