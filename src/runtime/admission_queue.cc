@@ -4,12 +4,15 @@ namespace pjsched::runtime {
 
 AdmissionQueue::PushResult AdmissionQueue::push(Task* task, Task** evicted) {
   *evicted = nullptr;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) return PushResult::kRejected;
   if (full_locked()) {
     switch (policy_) {
       case BackpressurePolicy::kBlock:
-        space_cv_.wait(lock, [this] { return !full_locked() || closed_; });
+        // Plain predicate loop (not a wait-with-lambda): the thread-safety
+        // analysis must see that full_locked()/closed_ are read under mu_,
+        // and it cannot look inside a lambda body.
+        while (full_locked() && !closed_) space_cv_.wait(mu_);
         if (closed_) return PushResult::kRejected;
         break;
       case BackpressurePolicy::kRejectNewest:
@@ -27,7 +30,7 @@ AdmissionQueue::PushResult AdmissionQueue::push(Task* task, Task** evicted) {
 Task* AdmissionQueue::try_pop() {
   Task* t = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return nullptr;
     t = queue_.front();
     queue_.pop_front();
@@ -39,7 +42,7 @@ Task* AdmissionQueue::try_pop() {
 Task* AdmissionQueue::try_pop_heaviest() {
   Task* t = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return nullptr;
     auto best = queue_.begin();
     for (auto it = queue_.begin(); it != queue_.end(); ++it)
@@ -53,14 +56,14 @@ Task* AdmissionQueue::try_pop_heaviest() {
 
 void AdmissionQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
   space_cv_.notify_all();
 }
 
 std::size_t AdmissionQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

@@ -12,12 +12,12 @@
 // was dropped.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 
+#include "src/runtime/annotations.h"
 #include "src/runtime/job.h"
+#include "src/runtime/mutex.h"
 
 namespace pjsched::runtime {
 
@@ -82,16 +82,16 @@ class AdmissionQueue {
   BackpressurePolicy policy() const { return policy_; }
 
  private:
-  bool full_locked() const {
+  bool full_locked() const PJSCHED_REQUIRES(mu_) {
     return capacity_ != 0 && queue_.size() >= capacity_;
   }
 
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
-  mutable std::mutex mu_;
-  std::condition_variable space_cv_;
-  bool closed_ = false;
-  std::deque<Task*> queue_;
+  mutable Mutex mu_;
+  CondVar space_cv_;  ///< signalled on pop (space freed) and on close()
+  bool closed_ PJSCHED_GUARDED_BY(mu_) = false;
+  std::deque<Task*> queue_ PJSCHED_GUARDED_BY(mu_);
 };
 
 }  // namespace pjsched::runtime

@@ -1,0 +1,58 @@
+// Clang thread-safety annotation vocabulary for the runtime.
+//
+// These macros wrap Clang's capability-based thread-safety attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so that lock
+// discipline — which mutex guards which data, which functions require or
+// acquire which lock — is stated in the type system and *proved at compile
+// time* by `-Wthread-safety` (promoted to an error in the lint CI job's
+// clang build).  Under GCC and other compilers every macro expands to
+// nothing, so annotations are free where the analysis is unavailable.
+//
+// Vocabulary (see docs/static-analysis.md for the full convention):
+//   * PJSCHED_CAPABILITY(x)        — a class is a lockable capability;
+//   * PJSCHED_SCOPED_CAPABILITY    — an RAII object that holds a capability
+//                                    for its lifetime (MutexLock);
+//   * PJSCHED_GUARDED_BY(mu)       — a data member readable/writable only
+//                                    while `mu` is held;
+//   * PJSCHED_PT_GUARDED_BY(mu)    — the pointee (not the pointer) is
+//                                    guarded;
+//   * PJSCHED_REQUIRES(mu)         — the function must be called with `mu`
+//                                    held (and does not release it);
+//   * PJSCHED_ACQUIRE / PJSCHED_RELEASE — the function takes / drops the
+//                                    capability;
+//   * PJSCHED_TRY_ACQUIRE(ok, mu)  — conditional acquisition, held iff the
+//                                    return value equals `ok`;
+//   * PJSCHED_EXCLUDES(mu)         — the caller must NOT hold `mu`
+//                                    (deadlock guard for re-entrancy);
+//   * PJSCHED_NO_THREAD_SAFETY_ANALYSIS — escape hatch; every use must
+//                                    carry a written rationale at the site.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PJSCHED_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef PJSCHED_THREAD_ANNOTATION
+#define PJSCHED_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define PJSCHED_CAPABILITY(x) PJSCHED_THREAD_ANNOTATION(capability(x))
+#define PJSCHED_SCOPED_CAPABILITY PJSCHED_THREAD_ANNOTATION(scoped_lockable)
+#define PJSCHED_GUARDED_BY(x) PJSCHED_THREAD_ANNOTATION(guarded_by(x))
+#define PJSCHED_PT_GUARDED_BY(x) PJSCHED_THREAD_ANNOTATION(pt_guarded_by(x))
+#define PJSCHED_REQUIRES(...) \
+  PJSCHED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PJSCHED_ACQUIRE(...) \
+  PJSCHED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PJSCHED_RELEASE(...) \
+  PJSCHED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PJSCHED_TRY_ACQUIRE(...) \
+  PJSCHED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define PJSCHED_EXCLUDES(...) \
+  PJSCHED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PJSCHED_RETURN_CAPABILITY(x) \
+  PJSCHED_THREAD_ANNOTATION(lock_returned(x))
+#define PJSCHED_NO_THREAD_SAFETY_ANALYSIS \
+  PJSCHED_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -35,11 +35,14 @@ class ChaseLevDeque {
  public:
   explicit ChaseLevDeque(std::size_t initial_capacity = 64)
       : top_(1), bottom_(1) {  // start at 1 so top - 1 never underflows
+    // order: relaxed — single-threaded construction; thieves first learn
+    // of this deque through the pool's thread start, which synchronizes.
     buffer_.store(new Buffer(round_up_pow2(initial_capacity)),
                   std::memory_order_relaxed);
   }
 
   ~ChaseLevDeque() {
+    // order: relaxed — destruction requires external quiescence anyway.
     delete buffer_.load(std::memory_order_relaxed);
     for (Buffer* b : retired_) delete b;
   }
@@ -49,6 +52,9 @@ class ChaseLevDeque {
 
   /// Owner only: push onto the bottom.
   void push(T item) {
+    // order: relaxed — bottom_ and buffer_ are owner-written; the owner
+    // reads its own writes.  top_ is acquire to observe thieves' steals
+    // before judging fullness (PPoPP'13 fig. 1).
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_acquire);
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
@@ -64,30 +70,42 @@ class ChaseLevDeque {
     // one stlr on ARM.
     buf->put(b, item, std::memory_order_release);
     // Publish the element before publishing the new bottom.
+    // order: relaxed store under the release fence — the fence (kept from
+    // the paper) orders the slot write before the bottom_ publication.
     std::atomic_thread_fence(std::memory_order_release);
     bottom_.store(b + 1, std::memory_order_relaxed);
   }
 
   /// Owner only: pop from the bottom.  Returns false when empty.
   bool pop(T& out) {
+    // order: relaxed owner reads/writes of bottom_/buffer_ — single
+    // writer; the seq_cst fence below is the store-load barrier that
+    // makes the bottom_ decrement visible to thieves before top_ is read
+    // (the PPoPP'13 pop/steal mutual-exclusion argument).
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
-    bottom_.store(b, std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);  // order: as above
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // order: relaxed — ordered by the fence above, per the paper.
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t > b) {
       // Deque was empty; restore bottom.
+      // order: relaxed — owner-only bookkeeping; nothing published.
       bottom_.store(b + 1, std::memory_order_relaxed);
       return false;
     }
     out = buf->get(b);
     if (t == b) {
       // Last element: race against thieves via CAS on top.
+      // order: seq_cst success — the CAS must totally order against the
+      // thieves' top_ CAS; relaxed failure — losing means a thief took the
+      // element, we only restore bottom_ (owner-only) and retreat.
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         bottom_.store(b + 1, std::memory_order_relaxed);
         return false;  // a thief won
       }
+      // order: relaxed — owner-only bottom_ restore, as in the empty case.
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return true;
@@ -104,6 +122,9 @@ class ChaseLevDeque {
     // Acquire pairs with the release slot store in push() (and the release
     // buffer_ publication in grow()) — see the comment in push().
     out = buf->get(t, std::memory_order_acquire);
+    // order: seq_cst success — totally ordered against the owner's pop CAS
+    // and other thieves; relaxed failure — a lost race returns false and
+    // publishes nothing (the caller counts it as a failed attempt).
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed))
       return false;  // lost the race to another thief or the owner
@@ -112,6 +133,8 @@ class ChaseLevDeque {
 
   /// Approximate size; only a hint (races with concurrent operations).
   std::size_t size_hint() const {
+    // order: relaxed — explicitly a racy diagnostic hint; any
+    // interleaving of the two loads yields an acceptable answer.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_relaxed);
     return b > t ? static_cast<std::size_t>(b - t) : 0;
@@ -125,10 +148,16 @@ class ChaseLevDeque {
         : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
     ~Buffer() { delete[] slots; }
 
+    // order: relaxed defaults — owner-side accesses (pop, grow) need no
+    // slot ordering; push/steal pass the explicit release/acquire pair.
+    // lint: allow(implicit-order): the order is explicit — forwarded
+    // verbatim from the caller's `mo` argument.
     T get(std::int64_t i,
           std::memory_order mo = std::memory_order_relaxed) const {
       return slots[static_cast<std::size_t>(i) & mask].load(mo);
     }
+    // order: relaxed default — same owner-side contract as get() above.
+    // lint: allow(implicit-order): order forwarded from `mo`.
     void put(std::int64_t i, T v,
              std::memory_order mo = std::memory_order_relaxed) {
       slots[static_cast<std::size_t>(i) & mask].store(v, mo);

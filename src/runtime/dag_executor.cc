@@ -27,6 +27,8 @@ namespace {
 struct DagRun {
   DagRun(dag::Dag g, NodeBody b)
       : graph(std::move(g)), body(std::move(b)), pending(graph.node_count()) {
+    // order: relaxed — single-threaded initialization; the DagRun is
+    // published to workers via submit()'s queue, which carries the edge.
     for (std::size_t v = 0; v < graph.node_count(); ++v)
       pending[v].store(static_cast<std::uint32_t>(graph.in_degree(
                            static_cast<dag::NodeId>(v))),
@@ -47,6 +49,9 @@ void run_node(TaskContext& ctx, const std::shared_ptr<DagRun>& run,
   if (ctx.cancelled()) return;
   run->body(v, run->graph.work_of(v));
   for (dag::NodeId w : run->graph.successors(v)) {
+    // order: acq_rel — release publishes this node's effects to the
+    // successor's spawner; acquire makes the last-resolving predecessor
+    // see every other predecessor's effects before the successor runs.
     if (run->pending[w].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       ctx.spawn([run, w](TaskContext& inner) { run_node(inner, run, w); });
     }

@@ -20,6 +20,10 @@ namespace pjsched::runtime {
 /// Called once per node when it executes; receives the node id and its
 /// processing time in work units.  The default body (see spin_for_units)
 /// burns CPU proportional to the work.
+// lint: allow(std-function): one copy per DAG *job*, shared by every node
+// task through the DagRun — not a per-task callable; copyability is
+// required (each node task captures the shared_ptr'd run, and user bodies
+// are std::function-shaped lambdas), so InlineFn does not fit.
 using NodeBody = std::function<void(dag::NodeId, dag::Work)>;
 
 /// Busy-spins for roughly `units * ns_per_unit` nanoseconds of CPU time —

@@ -39,9 +39,13 @@ bool FaultInjector::would_fail(std::uint64_t task_index) const {
 }
 
 std::optional<std::uint64_t> FaultInjector::next_task_fault() {
+  // order: relaxed — a pure ticket counter: uniqueness of the claimed
+  // index is all the determinism contract needs, and atomicity alone
+  // provides it; no data is published through the index.
   const std::uint64_t index =
       next_index_.fetch_add(1, std::memory_order_relaxed);
   if (!would_fail(index)) return std::nullopt;
+  // order: relaxed — diagnostic tally (faults_injected()).
   faults_.fetch_add(1, std::memory_order_relaxed);
   return index;
 }

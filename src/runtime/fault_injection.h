@@ -99,11 +99,14 @@ class FaultInjector {
 
   /// Number of task executions failed so far.
   std::uint64_t faults_injected() const {
+    // order: relaxed — diagnostic tally read by stats(); no ordering needed.
     return faults_.load(std::memory_order_relaxed);
   }
 
   /// Number of task executions queried so far.
   std::uint64_t tasks_seen() const {
+    // order: relaxed — diagnostic read; the ticket fetch_add in
+    // next_task_fault() needs only atomicity, not ordering.
     return next_index_.load(std::memory_order_relaxed);
   }
 

@@ -28,7 +28,7 @@ void FlowRecorder::record(double flow_seconds, double weight,
 void FlowRecorder::record(double flow_seconds, double weight,
                           JobOutcome outcome, std::size_t shard) {
   Shard& s = shards_[shard % shards_.size()];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   switch (outcome) {
     case JobOutcome::kRunning:  // defensive: treat as completed
     case JobOutcome::kCompleted:
@@ -58,7 +58,7 @@ std::size_t FlowRecorder::count() const {
 FlowRecorder::OutcomeCounts FlowRecorder::outcome_counts() const {
   OutcomeCounts total;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     total.completed += s.counts.completed;
     total.failed += s.counts.failed;
     total.deadline_expired += s.counts.deadline_expired;
@@ -71,7 +71,7 @@ FlowRecorder::OutcomeCounts FlowRecorder::outcome_counts() const {
 std::vector<double> FlowRecorder::flows_seconds() const {
   std::vector<double> merged;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     merged.insert(merged.end(), s.flows.begin(), s.flows.end());
   }
   return merged;
@@ -80,7 +80,7 @@ std::vector<double> FlowRecorder::flows_seconds() const {
 double FlowRecorder::max_flow_seconds() const {
   double best = 0.0;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     for (double f : s.flows) best = std::max(best, f);
   }
   return best;
@@ -89,7 +89,7 @@ double FlowRecorder::max_flow_seconds() const {
 double FlowRecorder::max_weighted_flow_seconds() const {
   double best = 0.0;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     for (std::size_t i = 0; i < s.flows.size(); ++i)
       best = std::max(best, s.flows[i] * s.weights[i]);
   }

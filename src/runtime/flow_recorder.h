@@ -19,12 +19,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "src/metrics/stats.h"
+#include "src/runtime/annotations.h"
 #include "src/runtime/interference.h"
 #include "src/runtime/job.h"
+#include "src/runtime/mutex.h"
 
 namespace pjsched::runtime {
 
@@ -82,10 +83,10 @@ class FlowRecorder {
 
  private:
   struct alignas(kDestructiveInterference) Shard {
-    mutable std::mutex mu;
-    std::vector<double> flows;    // completed jobs only
-    std::vector<double> weights;  // parallel to flows
-    OutcomeCounts counts;
+    mutable Mutex mu;
+    std::vector<double> flows PJSCHED_GUARDED_BY(mu);    // completed only
+    std::vector<double> weights PJSCHED_GUARDED_BY(mu);  // parallel to flows
+    OutcomeCounts counts PJSCHED_GUARDED_BY(mu);
   };
 
   std::size_t thread_shard() const;

@@ -19,14 +19,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
+#include "src/runtime/annotations.h"
 #include "src/runtime/inline_fn.h"
+#include "src/runtime/mutex.h"
 
 namespace pjsched::runtime {
 
@@ -106,15 +106,15 @@ class Job {
 
   /// What went wrong (first failure wins); empty for fault-free jobs.
   std::string error() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return error_;
   }
 
   /// Blocks until the job reaches a terminal outcome (any of them: a
   /// cancelled job still "finishes" once its queued tasks have drained).
   void wait() const {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return finished_.load(std::memory_order_acquire); });
+    MutexLock lock(mu_);
+    while (!finished_.load(std::memory_order_acquire)) cv_.wait(mu_);
   }
 
   /// Flow time in seconds (valid after completion).
@@ -142,33 +142,52 @@ class Job {
   /// Returns true iff this call performed the transition.
   bool try_cancel(JobOutcome reason) {
     JobOutcome expected = JobOutcome::kRunning;
+    // order: acq_rel on success publishes everything the canceller did
+    // before the transition to readers of outcome(); acquire on failure so
+    // the loser observes the winner's outcome coherently.
     return outcome_.compare_exchange_strong(expected, reason,
-                                            std::memory_order_acq_rel);
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire);
   }
 
   void set_error(std::string message) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (error_.empty()) error_ = std::move(message);
   }
 
   void add_pending(std::uint64_t n = 1) {
+    // order: relaxed — a task is only popped/stolen *after* the deque (or
+    // admission queue) publication, which carries the increment; the
+    // matching fetch_sub in finish_one is acq_rel and pairs the count.
     pending_.fetch_add(n, std::memory_order_relaxed);
   }
 
   std::uint64_t pending() const {
+    // order: relaxed — diagnostic read (dump_state); a stale value only
+    // makes the dump slightly stale, never wrong decisions.
     return pending_.load(std::memory_order_relaxed);
   }
 
   /// Returns true if this decrement completed the job.
   bool finish_one() {
+    // order: acq_rel — release publishes this task's effects to whoever
+    // performs the final decrement; acquire makes the final decrement
+    // observe every earlier task's effects before declaring completion.
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       completion_time_ = Clock::now();
       // Fault-free drain => Completed; a cancelled job keeps its reason.
       JobOutcome expected = JobOutcome::kRunning;
+      // order: acq_rel on success pairs with outcome() acquire loads;
+      // acquire on failure — a cancelled job keeps its reason, and we must
+      // see the canceller's writes before recording the job.
       outcome_.compare_exchange_strong(expected, JobOutcome::kCompleted,
-                                       std::memory_order_acq_rel);
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        // The locked store pairs with wait()'s locked predicate loop: the
+        // notify below cannot slip between a waiter's predicate check and
+        // its block, so wakeups are never missed.
+        MutexLock lock(mu_);
         finished_.store(true, std::memory_order_release);
       }
       cv_.notify_all();
@@ -186,9 +205,9 @@ class Job {
   Clock::time_point completion_time_{};
   Clock::time_point deadline_{};
   bool has_deadline_ = false;  // written before the job is visible to workers
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::string error_;  // guarded by mu_
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  std::string error_ PJSCHED_GUARDED_BY(mu_);  // first failure wins
 };
 
 using JobHandle = std::shared_ptr<Job>;
@@ -216,7 +235,11 @@ struct Task {
 class WaitGroup {
  public:
   explicit WaitGroup(std::uint64_t count = 0) : count_(count) {}
+  // order: relaxed — add() runs in the spawner before the subtask is
+  // published via the deque; the deque's release edge carries it.
   void add(std::uint64_t n = 1) { count_.fetch_add(n, std::memory_order_relaxed); }
+  // order: acq_rel release-publishes the subtask's effects to the joiner,
+  // whose idle() acquire-load pairs with it.
   void done() { count_.fetch_sub(1, std::memory_order_acq_rel); }
   bool idle() const { return count_.load(std::memory_order_acquire) == 0; }
 

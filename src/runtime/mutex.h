@@ -1,0 +1,106 @@
+// Annotated mutex / condition-variable wrappers for the runtime.
+//
+// Clang's thread-safety analysis only tracks capabilities it can see:
+// libstdc++'s `std::mutex` carries no attributes, so locking it proves
+// nothing.  `Mutex` is a zero-overhead wrapper (same layout, every method a
+// direct forward) declared as a PJSCHED_CAPABILITY, and `MutexLock` is the
+// RAII scoped capability the runtime locks with — `std::lock_guard` /
+// `std::unique_lock` over a raw `std::mutex` are banned in src/runtime/ by
+// the clang-tidy gate's companion conventions (docs/static-analysis.md).
+//
+// `CondVar` pairs with `Mutex`.  It forwards to `std::condition_variable`
+// by adopting the already-held native mutex for the duration of the wait —
+// no `condition_variable_any` indirection, identical codegen to the
+// unannotated original.  Waits are annotated PJSCHED_REQUIRES(mu), which
+// forces the caller to hold the lock *and* keeps guarded-predicate loops
+// visible to the analysis (use `while (!pred) cv.wait(mu);` rather than a
+// predicate lambda: the analysis cannot see that a lambda body runs under
+// the caller's lock).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/runtime/annotations.h"
+
+namespace pjsched::runtime {
+
+class PJSCHED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PJSCHED_ACQUIRE() { mu_.lock(); }
+  void unlock() PJSCHED_RELEASE() { mu_.unlock(); }
+  bool try_lock() PJSCHED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock holder; supports temporary release (watchdog callback
+/// pattern: never hold a runtime lock across a user callback).
+class PJSCHED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PJSCHED_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PJSCHED_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drop the lock (e.g. around a user callback)...
+  void unlock() PJSCHED_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  /// ...and take it back before touching guarded state again.
+  void lock() PJSCHED_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to `Mutex`.  All waits require the mutex held
+/// (enforced by the analysis under clang); notify never requires it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mu`, waits, and reacquires `mu` before
+  /// returning.  May wake spuriously: always wait in a predicate loop.
+  void wait(Mutex& mu) PJSCHED_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // the caller's MutexLock still owns the lock
+  }
+
+  /// Timed wait; returns true when it timed out (false = notified or
+  /// spurious wake).  Reacquires `mu` before returning either way.
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      PJSCHED_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status == std::cv_status::timeout;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pjsched::runtime

@@ -48,6 +48,8 @@ class TaskPool {
   /// Owner thread only: constructs a Task in a recycled (or fresh) slot.
   Task* allocate(Job* job, TaskFn fn, WaitGroup* wg) {
     if (free_list_ == nullptr) {
+      // order: acquire pairs with push_remote's release CAS — the remote
+      // releaser's destruction of the slot contents happens-before reuse.
       free_list_ = reclaim_.exchange(nullptr, std::memory_order_acquire);
       if (free_list_ == nullptr) carve_block();
     }
@@ -77,11 +79,14 @@ class TaskPool {
   /// works iff this stays near the concurrency high-water mark while
   /// tasks-executed grows without bound.
   std::uint64_t blocks_carved() const {
+    // order: relaxed — diagnostic counter; staleness is fine, no payload
+    // is published through it.
     return blocks_carved_.load(std::memory_order_relaxed);
   }
 
   /// Cross-thread releases routed through the reclaim stack (relaxed).
   std::uint64_t remote_frees() const {
+    // order: relaxed — diagnostic counter, as blocks_carved() above.
     return remote_frees_.load(std::memory_order_relaxed);
   }
 
@@ -107,16 +112,23 @@ class TaskPool {
     }
     free_list_ = &block[0];
     blocks_.push_back(std::move(block));
+    // order: relaxed — owner-only diagnostic counter.
     blocks_carved_.fetch_add(1, std::memory_order_relaxed);
   }
 
   void push_remote(Slot* slot) {
+    // order: relaxed — diagnostic counter; the CAS below synchronizes the
+    // slot handoff itself.
     remote_frees_.fetch_add(1, std::memory_order_relaxed);
+    // order: relaxed initial read — the CAS reloads on failure, and the
+    // release on success is what publishes the link.
     Slot* head = reclaim_.load(std::memory_order_relaxed);
     do {
       slot->next = head;
-      // Release pairs with the owner's acquire exchange in allocate():
-      // the destructed slot contents happen-before the owner's reuse.
+      // order: release on success pairs with the owner's acquire exchange
+      // in allocate() — the destructed slot contents happen-before reuse.
+      // order: relaxed on failure — the loop retries with the freshly
+      // loaded head and publishes nothing.
     } while (!reclaim_.compare_exchange_weak(head, slot,
                                              std::memory_order_release,
                                              std::memory_order_relaxed));

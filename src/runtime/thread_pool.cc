@@ -114,19 +114,25 @@ JobHandle ThreadPool::submit(TaskFn root, const SubmitOptions& options) {
         "blocked worker cannot drain the queue it waits on (deadlock). "
         "Submit from an external thread, use TaskContext::spawn, or pick a "
         "non-blocking backpressure policy");
-  auto job =
-      std::make_shared<Job>(jobs_submitted_.fetch_add(1) + 1, options.weight);
+  // order: acq_rel (was an implicit seq_cst) — the release half orders the
+  // increment before this job's publication via the admission queue, so a
+  // completion comparing jobs_completed_ == jobs_submitted_ (both acquire)
+  // can never count a job whose submission it cannot see; nothing needs a
+  // single total order across *both* counters, so seq_cst bought nothing.
+  auto job = std::make_shared<Job>(
+      jobs_submitted_.fetch_add(1, std::memory_order_acq_rel) + 1,
+      options.weight);
   job->mark_submitted();
   if (options.deadline.has_value())
     job->set_deadline(job->submit_time() + *options.deadline);
   job->add_pending();  // the root task
   {
-    std::lock_guard<std::mutex> lock(done_mu_);
+    MutexLock lock(done_mu_);
     live_jobs_.push_back(job);
   }
   Task* task;
   {
-    std::lock_guard<std::mutex> lock(external_mu_);
+    MutexLock lock(external_mu_);
     task = external_pool_.allocate(job.get(), std::move(root), nullptr);
   }
   Task* evicted = nullptr;
@@ -142,11 +148,15 @@ void ThreadPool::terminate_unadmitted(Task* task, bool rejected) {
   Job* job = task->job;
   // A job whose deadline already passed while it sat in the queue expired,
   // it was not shed — prefer the more informative outcome.
+  // order: relaxed (all three tallies) — monotone outcome counters read by
+  // stats() only; the authoritative outcome transition is the try_cancel
+  // CAS, which carries the ordering.
   if (job->deadline_passed(Clock::now()) &&
       job->try_cancel(JobOutcome::kDeadlineExpired)) {
     jobs_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
   } else if (job->try_cancel(rejected ? JobOutcome::kRejected
                                       : JobOutcome::kShed)) {
+    // order: relaxed — same monotone-tally contract as above.
     if (rejected)
       jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
     else
@@ -161,8 +171,10 @@ void ThreadPool::terminate_unadmitted(Task* task, bool rejected) {
 void ThreadPool::finish_job(Job* job, unsigned recorder_shard) {
   if (job->finish_one()) {
     recorder_.record(*job, recorder_shard);
-    // Hot path: one relaxed-ish RMW per job, no lock.  Only the completion
-    // that observes itself as the *last outstanding job* touches done_mu_.
+    // Hot path: one RMW per job, no lock.  Only the completion that
+    // observes itself as the *last outstanding job* touches done_mu_.
+    // order: acq_rel — release publishes this job's recorder write before
+    // the count; acquire lets the final completion see every prior one.
     const std::uint64_t done =
         jobs_completed_.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (done == jobs_submitted_.load(std::memory_order_acquire)) {
@@ -171,23 +183,30 @@ void ThreadPool::finish_job(Job* job, unsigned recorder_shard) {
       // predicate (and seeing the pre-increment count) and blocking.  If a
       // concurrent submit made the equality stale, that job's own
       // completion re-notifies later — waiters re-check under the lock.
-      { std::lock_guard<std::mutex> lock(done_mu_); }
+      { MutexLock lock(done_mu_); }
       done_cv_.notify_all();
     }
   }
 }
 
 void ThreadPool::wait_all() {
-  std::unique_lock<std::mutex> lock(done_mu_);
-  done_cv_.wait(lock, [this] {
-    return jobs_completed_.load(std::memory_order_acquire) ==
-           jobs_submitted_.load(std::memory_order_acquire);
-  });
+  MutexLock lock(done_mu_);
+  while (jobs_completed_.load(std::memory_order_acquire) !=
+         jobs_submitted_.load(std::memory_order_acquire))
+    done_cv_.wait(done_mu_);
 }
 
 void ThreadPool::shutdown() {
   bool expected = true;
-  if (!accepting_.compare_exchange_strong(expected, false))
+  // order: acq_rel (was an implicit seq_cst) — acquire so the winning
+  // shutdown observes everything published before the last submit; release
+  // so submit()'s acquire load of accepting_ sees the close.  The CAS only
+  // arbitrates which caller runs the shutdown sequence; no cross-variable
+  // total order is involved.  Failure is acquire: the loser returns
+  // immediately and must still see the winner's progress coherently.
+  if (!accepting_.compare_exchange_strong(expected, false,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
     return;  // already shut down (or shutting down on another thread)
   wait_all();
   stop_.store(true, std::memory_order_release);
@@ -201,13 +220,13 @@ void ThreadPool::shutdown() {
     terminate_unadmitted(leftover, /*rejected=*/false);
   if (watchdog_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      MutexLock lock(watchdog_mu_);
       watchdog_stop_ = true;
     }
     watchdog_cv_.notify_all();
     watchdog_.join();
   }
-  std::lock_guard<std::mutex> lock(done_mu_);
+  MutexLock lock(done_mu_);
   live_jobs_.clear();
 }
 
@@ -217,10 +236,15 @@ std::vector<ThreadPool::WorkerSnapshot> ThreadPool::snapshot_workers() const {
   for (const auto& w : workers_) {
     WorkerSnapshot s;
     s.deque_hint = w->deque.size_hint();
+    // order: relaxed throughout — single-writer diagnostic counters (see
+    // WorkerCounters::bump); a snapshot may lag the writer but each value
+    // is a real past value, and no payload is published through them.
     s.steal_attempts = w->counters.steal_attempts.load(std::memory_order_relaxed);
     s.successful_steals =
         w->counters.successful_steals.load(std::memory_order_relaxed);
+    // order: relaxed — same single-writer diagnostic contract.
     s.admissions = w->counters.admissions.load(std::memory_order_relaxed);
+    // order: relaxed — same single-writer diagnostic contract as above.
     s.tasks_executed = w->counters.tasks_executed.load(std::memory_order_relaxed);
     s.tasks_cancelled =
         w->counters.tasks_cancelled.load(std::memory_order_relaxed);
@@ -242,12 +266,23 @@ PoolStats ThreadPool::stats() const {
     total.task_slab_blocks += s.slab_blocks;
     total.task_remote_frees += s.remote_frees;
   }
-  total.task_slab_blocks += external_pool_.blocks_carved();
-  total.task_remote_frees += external_pool_.remote_frees();
+  {
+    // The external pool's slab counters are themselves atomic, but the
+    // pool object is annotated as guarded by external_mu_; stats() is a
+    // report-time path, so the brief lock is cheaper than weakening the
+    // annotation for every accessor.
+    MutexLock lock(external_mu_);
+    total.task_slab_blocks += external_pool_.blocks_carved();
+    total.task_remote_frees += external_pool_.remote_frees();
+  }
   total.faults_injected = injector_ ? injector_->faults_injected() : 0;
+  // order: relaxed throughout — outcome tallies are monotone diagnostic
+  // counters; stats() promises a coherent one-pass snapshot, not a
+  // linearized cross-counter view.
   total.jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
   total.jobs_deadline_expired =
       jobs_deadline_expired_.load(std::memory_order_relaxed);
+  // order: relaxed — same diagnostic-counter contract as above.
   total.jobs_shed = jobs_shed_.load(std::memory_order_relaxed);
   total.jobs_rejected = jobs_rejected_.load(std::memory_order_relaxed);
   total.watchdog_dumps = watchdog_dumps_.load(std::memory_order_relaxed);
@@ -261,7 +296,11 @@ std::string ThreadPool::dump_state() const {
   // One pass over the workers; totals and per-worker rows below are views
   // of the same snapshot, so they always add up.
   const std::vector<WorkerSnapshot> snaps = snapshot_workers();
-  std::uint64_t total_tasks = 0, total_blocks = external_pool_.blocks_carved();
+  std::uint64_t total_tasks = 0, total_blocks = 0;
+  {
+    MutexLock lock(external_mu_);  // external_pool_ is guarded (see header)
+    total_blocks = external_pool_.blocks_carved();
+  }
   for (const WorkerSnapshot& s : snaps) {
     total_tasks += s.tasks_executed;
     total_blocks += s.slab_blocks;
@@ -285,7 +324,7 @@ std::string ThreadPool::dump_state() const {
   constexpr std::size_t kMaxJobsListed = 16;
   std::size_t listed = 0, unfinished = 0;
   {
-    std::lock_guard<std::mutex> lock(done_mu_);
+    MutexLock lock(done_mu_);
     for (const JobHandle& job : live_jobs_) {
       if (job->finished()) continue;
       ++unfinished;
@@ -312,17 +351,22 @@ std::string ThreadPool::dump_state() const {
 
 void ThreadPool::watchdog_main(std::chrono::milliseconds interval) {
   std::uint64_t last_tasks = stats().tasks_executed;
-  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  // Plain timed-wait loop instead of wait_for-with-predicate: the lambda
+  // body would read watchdog_stop_ where the thread-safety analysis cannot
+  // prove the lock is held.  A spurious wake (`!timed_out`) re-arms a full
+  // interval — harmless drift for a stall detector.
+  MutexLock lock(watchdog_mu_);
   while (!watchdog_stop_) {
-    if (watchdog_cv_.wait_for(lock, interval,
-                              [this] { return watchdog_stop_; }))
-      break;
+    const bool timed_out = watchdog_cv_.wait_for(watchdog_mu_, interval);
+    if (watchdog_stop_) break;
+    if (!timed_out) continue;
     // One coherent snapshot per tick: the progress decision and the value
     // carried to the next tick come from the same pass over the workers.
     const std::uint64_t tasks = stats().tasks_executed;
     const bool pending = jobs_completed_.load(std::memory_order_acquire) <
                          jobs_submitted_.load(std::memory_order_acquire);
     if (pending && tasks == last_tasks) {
+      // order: relaxed — diagnostic tally; readers need no ordering.
       watchdog_dumps_.fetch_add(1, std::memory_order_relaxed);
       std::ostringstream header;
       header << "pjsched watchdog: no task executed for "
@@ -350,6 +394,8 @@ void ThreadPool::execute(Task* task, unsigned worker, WorkerState& w) {
   if (job->has_deadline() && !job->cancelled() &&
       job->deadline_passed(Clock::now()) &&
       job->try_cancel(JobOutcome::kDeadlineExpired))
+    // order: relaxed — diagnostic tally; try_cancel's CAS is the
+    // synchronizing outcome transition.
     jobs_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
   if (job->cancelled()) {
     // Skip the body; just drain the pending count below.
@@ -368,11 +414,13 @@ void ThreadPool::execute(Task* task, unsigned worker, WorkerState& w) {
     } catch (const std::exception& e) {
       if (job->try_cancel(JobOutcome::kFailed)) {
         job->set_error(e.what());
+        // order: relaxed — diagnostic tally; the CAS above synchronizes.
         jobs_failed_.fetch_add(1, std::memory_order_relaxed);
       }
     } catch (...) {
       if (job->try_cancel(JobOutcome::kFailed)) {
         job->set_error("task body threw a non-std::exception");
+        // order: relaxed — diagnostic tally; the CAS above synchronizes.
         jobs_failed_.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -466,8 +514,9 @@ void ThreadPool::worker_main(unsigned index) {
       std::this_thread::yield();
     } else {
       const unsigned shift = std::min(idle_rounds - 65, 4u);
-      std::unique_lock<std::mutex> lock(idle_mu_);
-      idle_cv_.wait_for(lock, std::chrono::microseconds(std::uint64_t{64} << shift));
+      MutexLock lock(idle_mu_);
+      idle_cv_.wait_for(idle_mu_,
+                        std::chrono::microseconds(std::uint64_t{64} << shift));
     }
   }
 }

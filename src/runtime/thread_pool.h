@@ -41,11 +41,13 @@
 #include <vector>
 
 #include "src/runtime/admission_queue.h"
+#include "src/runtime/annotations.h"
 #include "src/runtime/chase_lev_deque.h"
 #include "src/runtime/fault_injection.h"
 #include "src/runtime/flow_recorder.h"
 #include "src/runtime/interference.h"
 #include "src/runtime/job.h"
+#include "src/runtime/mutex.h"
 #include "src/runtime/task_pool.h"
 #include "src/sim/rng.h"
 
@@ -74,6 +76,9 @@ struct PoolOptions {
   /// a diagnostic dump (dump_state()) when so.
   std::chrono::milliseconds watchdog_interval{0};
   /// Where watchdog dumps go; nullptr = std::cerr.
+  // lint: allow(std-function): user-facing sink set once per pool, invoked
+  // off the hot path by the watchdog thread only; copyability is part of
+  // the PoolOptions contract, so InlineFn (move-only) does not fit.
   std::function<void(const std::string&)> watchdog_sink;
 };
 
@@ -130,6 +135,9 @@ struct alignas(kDestructiveInterference) WorkerCounters {
 
   /// Owner-only increment: safe without an RMW because each counter has
   /// exactly one writer.
+  // order: relaxed load+store — single-writer counter (only the owning
+  // worker writes); readers (stats/dump_state) tolerate staleness, and no
+  // payload is published through these values.
   static void bump(std::atomic<std::uint64_t>& c) {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
@@ -293,12 +301,14 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerState>> workers_;
   AdmissionQueue admission_;
   FlowRecorder recorder_;
-  /// Slab for root tasks built by submit(); non-worker callers are
-  /// serialized by external_mu_ (submission is job-granularity, far off
-  /// the per-task hot path).  Workers release into it lock-free via the
-  /// reclaim stack.
-  TaskPool external_pool_;
-  std::mutex external_mu_;
+  mutable Mutex external_mu_;  // stats()/dump_state() are const readers
+  /// Slab for root tasks built by submit(); external_mu_ serializes the
+  /// owner-side allocate() between non-worker callers (submission is
+  /// job-granularity, far off the per-task hot path).  Workers *release*
+  /// into it without the lock, by design: TaskPool::release routes
+  /// cross-thread frees through the pool's lock-free reclaim stack (see
+  /// task_pool.h), which never touches the mutex-guarded freelist.
+  TaskPool external_pool_ PJSCHED_GUARDED_BY(external_mu_);
   const unsigned steal_k_;
   const bool admit_by_weight_;
   std::unique_ptr<FaultInjector> injector_;  // null when the plan is empty
@@ -312,18 +322,19 @@ class ThreadPool {
   std::atomic<std::uint64_t> jobs_shed_{0};
   std::atomic<std::uint64_t> jobs_rejected_{0};
   std::atomic<std::uint64_t> watchdog_dumps_{0};
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  mutable std::mutex done_mu_;  // dump_state() is const and snapshots jobs
-  std::condition_variable done_cv_;
+  Mutex idle_mu_;       ///< pairs with idle_cv_ only; guards no data
+  CondVar idle_cv_;     ///< idle-backoff wakeup; notified by submit()
+  mutable Mutex done_mu_;  // dump_state() is const and snapshots jobs
+  CondVar done_cv_;
   /// Keeps every submitted job alive until shutdown even if the caller
   /// drops its handle (tasks hold raw Job pointers).
-  std::vector<JobHandle> live_jobs_;
+  std::vector<JobHandle> live_jobs_ PJSCHED_GUARDED_BY(done_mu_);
 
+  // lint: allow(std-function): cold-path copy of PoolOptions::watchdog_sink.
   std::function<void(const std::string&)> watchdog_sink_;
-  std::mutex watchdog_mu_;
-  std::condition_variable watchdog_cv_;
-  bool watchdog_stop_ = false;  // guarded by watchdog_mu_
+  Mutex watchdog_mu_;
+  CondVar watchdog_cv_;
+  bool watchdog_stop_ PJSCHED_GUARDED_BY(watchdog_mu_) = false;
   std::thread watchdog_;
 };
 

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Tests for pjsched_lint: each rule has pass/fail fixtures in testdata/,
+staged into a temporary repo layout (runtime rules only apply under
+src/runtime/), plus a gate test that runs the real linter over the real
+tree — the same invocation the `lint` CMake target and CI use."""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "pjsched_lint.py")
+TESTDATA = os.path.join(HERE, "testdata")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+
+def run_lint(args, cwd=None):
+    proc = subprocess.run(
+        [sys.executable, LINT] + args,
+        capture_output=True, text=True, cwd=cwd, check=False)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+class FixtureCase(unittest.TestCase):
+    """Stages fixtures into <tmp>/src/runtime/ (or <tmp>/src/) and runs
+    the linter with --root <tmp> so path-scoped rules engage."""
+
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="pjsched_lint_test_")
+        os.makedirs(os.path.join(self.tmp, "src", "runtime"))
+
+    def tearDown(self):
+        shutil.rmtree(self.tmp, ignore_errors=True)
+
+    def stage(self, fixture, rel_dir):
+        dst_dir = os.path.join(self.tmp, rel_dir)
+        os.makedirs(dst_dir, exist_ok=True)
+        dst = os.path.join(dst_dir, fixture)
+        shutil.copy(os.path.join(TESTDATA, fixture), dst)
+        return dst
+
+    def lint(self, *staged, engine="regex"):
+        return run_lint(["--root", self.tmp, "--engine", engine,
+                         *staged])
+
+    def assert_rule_fires(self, fixture, rule, rel_dir="src/runtime",
+                          min_findings=1):
+        staged = self.stage(fixture, rel_dir)
+        code, out, _ = self.lint(staged)
+        self.assertEqual(code, 1, f"{fixture}: expected findings, got none")
+        hits = [l for l in out.splitlines() if f"[{rule}]" in l]
+        self.assertGreaterEqual(
+            len(hits), min_findings,
+            f"{fixture}: expected >={min_findings} [{rule}] findings, "
+            f"got:\n{out}")
+
+    def assert_clean(self, fixture, rel_dir="src/runtime"):
+        staged = self.stage(fixture, rel_dir)
+        code, out, _ = self.lint(staged)
+        self.assertEqual(code, 0, f"{fixture}: expected clean, got:\n{out}")
+
+    # implicit-seq-cst -----------------------------------------------------
+    def test_implicit_order_fail(self):
+        # load, store, fetch_add without orders + single-order CAS = 4.
+        self.assert_rule_fires("implicit_order_fail.h", "implicit-seq-cst",
+                               min_findings=4)
+
+    def test_implicit_order_pass(self):
+        self.assert_clean("implicit_order_pass.h")
+
+    def test_runtime_rules_scoped_to_runtime(self):
+        # The same violating fixture outside src/runtime/ is not checked.
+        self.assert_clean("implicit_order_fail.h", rel_dir="src/sched")
+
+    # unjustified-relaxed --------------------------------------------------
+    def test_relaxed_fail(self):
+        self.assert_rule_fires("relaxed_fail.h", "unjustified-relaxed")
+
+    def test_relaxed_pass(self):
+        self.assert_clean("relaxed_pass.h")
+
+    # atomic-operator ------------------------------------------------------
+    def test_atomic_operator_fail(self):
+        self.assert_rule_fires("atomic_operator_fail.h", "atomic-operator",
+                               min_findings=2)
+
+    # std-function ---------------------------------------------------------
+    def test_std_function_fail(self):
+        self.assert_rule_fires("std_function_fail.h", "std-function")
+
+    def test_std_function_pass(self):
+        self.assert_clean("std_function_pass.h")
+
+    # nondeterminism -------------------------------------------------------
+    def test_nondeterminism_fail(self):
+        self.assert_rule_fires("nondeterminism_fail.cc", "nondeterminism",
+                               rel_dir="src/util", min_findings=3)
+
+    def test_nondeterminism_pass(self):
+        self.assert_clean("nondeterminism_pass.cc", rel_dir="src/util")
+
+    # interference ---------------------------------------------------------
+    def test_interference_fail(self):
+        self.assert_rule_fires("interference_fail.h", "interference")
+
+    def test_interference_pass(self):
+        self.assert_clean("interference_pass.h")
+
+    def test_rng_cc_exempt(self):
+        # The one sanctioned randomness source is exempt by path.
+        staged = self.stage("nondeterminism_fail.cc", "src/sim")
+        exempt = os.path.join(self.tmp, "src", "sim", "rng.cc")
+        os.rename(staged, exempt)
+        code, out, _ = self.lint(exempt)
+        self.assertEqual(code, 0,
+                         f"sim/rng.cc must be exempt, got:\n{out}")
+
+    # discovery ------------------------------------------------------------
+    def test_build_dirs_excluded(self):
+        # A violating file under any build*/ component is never linted,
+        # whether discovered or (here) inside src/.
+        self.stage("implicit_order_fail.h", "src/runtime/build-scratch")
+        self.stage("implicit_order_pass.h", "src/runtime")
+        code, out, _ = run_lint(["--root", self.tmp, "--engine", "regex"])
+        self.assertEqual(code, 0, f"build*/ not excluded:\n{out}")
+
+    def test_discovery_finds_violations(self):
+        self.stage("relaxed_fail.h", "src/runtime")
+        code, out, _ = run_lint(["--root", self.tmp, "--engine", "regex"])
+        self.assertEqual(code, 1)
+        self.assertIn("[unjustified-relaxed]", out)
+
+
+class GateCase(unittest.TestCase):
+    """The real tree must be clean — the same check the lint target runs."""
+
+    def test_repo_is_clean(self):
+        compile_commands = os.path.join(REPO_ROOT, "build",
+                                        "compile_commands.json")
+        args = ["--root", REPO_ROOT]
+        if os.path.isfile(compile_commands):
+            args += ["--compile-commands", compile_commands]
+        code, out, err = run_lint(args)
+        self.assertEqual(
+            code, 0,
+            f"pjsched_lint found violations in the tree:\n{out}\n{err}")
+
+
+class LibclangEngineCase(unittest.TestCase):
+    """Token-stream engine parity, exercised only where libclang exists
+    (CI's lint job); regex fixtures above pin behavior everywhere."""
+
+    def setUp(self):
+        try:
+            import clang.cindex  # noqa: F401
+        except ImportError:
+            self.skipTest("python-clang not installed")
+
+    def test_libclang_matches_regex_on_fixture(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dst_dir = os.path.join(tmp, "src", "runtime")
+            os.makedirs(dst_dir)
+            dst = os.path.join(dst_dir, "implicit_order_fail.h")
+            shutil.copy(os.path.join(TESTDATA, "implicit_order_fail.h"), dst)
+            code_lc, out_lc, _ = run_lint(
+                ["--root", tmp, "--engine", "libclang", dst])
+            code_re, out_re, _ = run_lint(
+                ["--root", tmp, "--engine", "regex", dst])
+            self.assertEqual(code_lc, code_re)
+            self.assertEqual(
+                sorted(l.split(": ", 1)[0] for l in out_lc.splitlines()),
+                sorted(l.split(": ", 1)[0] for l in out_re.splitlines()))
+
+
+if __name__ == "__main__":
+    unittest.main()

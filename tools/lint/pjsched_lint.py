@@ -1,0 +1,510 @@
+#!/usr/bin/env python3
+"""pjsched_lint: repo-specific concurrency-correctness lint.
+
+Enforces the runtime's memory-model and hot-path conventions (see
+docs/static-analysis.md) over ``src/``, with the concurrency rules scoped
+to ``src/runtime/``:
+
+  implicit-seq-cst     every atomic load/store/RMW must name its
+                       std::memory_order explicitly; compare_exchange must
+                       name both the success and the failure order.  Call
+                       sites that forward a caller-supplied order argument
+                       carry ``// lint: allow(implicit-order): <reason>``.
+  unjustified-relaxed  every ``memory_order_relaxed`` site must carry a
+                       ``// order:`` justification comment on the same line
+                       or within the JUSTIFY_WINDOW preceding lines.
+  atomic-operator      ++/--/+=/-= on a std::atomic member: these are
+                       seq_cst RMWs in disguise; spell out the operation
+                       and its order.
+  std-function         ``std::function`` is banned in src/runtime/ (tasks
+                       use InlineFn); cold-path exceptions carry a
+                       ``// lint: allow(std-function): <reason>`` marker.
+  nondeterminism       rand()/std::random_device/wall-clock reads are
+                       banned in src/ outside sim/rng.cc — all randomness
+                       flows from the seeded sim::Rng, all runtime timing
+                       from the monotonic steady_clock; exceptions carry
+                       ``// lint: allow(nondeterminism): <reason>``.
+  interference         shared per-worker structs (name matches Worker|Shard
+                       and body holds atomics or a mutex) must be
+                       ``alignas(kDestructiveInterference)`` so the
+                       no-false-sharing property is structural; exceptions
+                       carry ``// lint: allow(alignment): <reason>``.
+
+File discovery is driven off the build's ``compile_commands.json``
+(``--compile-commands``); headers are globbed from the source tree.  Any
+path containing a ``build*``/ component is excluded, so stale CMake caches
+in build-asan/ etc. are never linted.
+
+Engines: with python-clang (libclang) importable, the implicit-seq-cst rule
+runs on a real token stream; otherwise a comment-aware regex fallback is
+used.  Both engines apply the same rule; fixtures in testdata/ pin both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+JUSTIFY_WINDOW = 5  # lines above a relaxed site searched for "order:"
+ALLOW_WINDOW = 6  # lines above a site searched for a lint: allow marker
+
+ATOMIC_OPS = (
+    "load",
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+)
+CAS_OPS = ("compare_exchange_weak", "compare_exchange_strong")
+
+NONDETERMINISM_PATTERNS = (
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\bdrand48\b"), "drand48"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock (wall clock)"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday (wall clock)"),
+    (re.compile(r"\blocaltime\b|\bgmtime\b"), "calendar time"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time() (wall clock)"),
+)
+
+NONDETERMINISM_EXEMPT = ("sim/rng.cc", "sim/rng.h")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Returns `text` with comments and string/char literal *contents*
+    blanked (newlines preserved), so rules never fire on prose."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def has_marker(lines: list[str], line_idx: int, marker: str, window: int) -> bool:
+    lo = max(0, line_idx - window)
+    return any(marker in lines[j] for j in range(lo, line_idx + 1))
+
+
+def line_of_offset(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+# --------------------------------------------------------------------------
+# Rule: implicit-seq-cst (regex engine)
+
+
+def check_implicit_order_regex(path: str, code: str) -> list[Finding]:
+    findings = []
+    pattern = re.compile(
+        r"[.>]\s*(" + "|".join(ATOMIC_OPS) + r")\s*\(")
+    for m in pattern.finditer(code):
+        op = m.group(1)
+        # Scan the balanced argument list starting at the opening paren.
+        depth = 0
+        j = m.end() - 1
+        while j < len(code):
+            if code[j] == "(":
+                depth += 1
+            elif code[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        args = code[m.end():j]
+        line = line_of_offset(code, m.start())
+        orders = args.count("memory_order")
+        needed = 2 if op in CAS_OPS else 1
+        if orders == 0:
+            findings.append(Finding(
+                path, line, "implicit-seq-cst",
+                f"atomic {op}() without an explicit std::memory_order "
+                "(implicit seq_cst); every order must be spelled out"))
+        elif op in CAS_OPS and orders < needed:
+            findings.append(Finding(
+                path, line, "implicit-seq-cst",
+                f"{op}() names only the success order; the failure order "
+                "must be explicit too"))
+    return findings
+
+
+def check_implicit_order_libclang(path: str, compile_args: list[str]):
+    """Token-stream variant of the implicit-seq-cst rule.  Returns a list
+    of Findings, or None if libclang is unavailable/unusable (caller falls
+    back to the regex engine)."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(path, args=compile_args,
+                         options=cindex.TranslationUnit.PARSE_INCOMPLETE)
+    except Exception as e:  # noqa: BLE001 - degrade, don't crash the gate
+        sys.stderr.write(
+            f"pjsched_lint: libclang parse failed for {path} ({e}); "
+            "falling back to regex engine\n")
+        return None
+    findings = []
+    toks = [t for t in tu.get_tokens(extent=tu.cursor.extent)]
+    for i, tok in enumerate(toks):
+        if tok.spelling not in ATOMIC_OPS:
+            continue
+        if i == 0 or toks[i - 1].spelling not in (".", "->"):
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].spelling != "(":
+            continue
+        depth, orders, j = 0, 0, i + 1
+        while j < len(toks):
+            s = toks[j].spelling
+            if s == "(":
+                depth += 1
+            elif s == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif s.startswith("memory_order"):
+                orders += 1
+            j += 1
+        op = tok.spelling
+        line = tok.location.line
+        if orders == 0:
+            findings.append(Finding(
+                path, line, "implicit-seq-cst",
+                f"atomic {op}() without an explicit std::memory_order "
+                "(implicit seq_cst); every order must be spelled out"))
+        elif op in CAS_OPS and orders < 2:
+            findings.append(Finding(
+                path, line, "implicit-seq-cst",
+                f"{op}() names only the success order; the failure order "
+                "must be explicit too"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: unjustified-relaxed
+
+
+def check_unjustified_relaxed(path: str, code: str,
+                              raw_lines: list[str]) -> list[Finding]:
+    findings = []
+    for idx, line in enumerate(code.splitlines()):
+        if "memory_order_relaxed" not in line:
+            continue
+        if not has_marker(raw_lines, idx, "order:", JUSTIFY_WINDOW):
+            findings.append(Finding(
+                path, idx + 1, "unjustified-relaxed",
+                "memory_order_relaxed without an `// order:` justification "
+                f"comment on the line or within {JUSTIFY_WINDOW} lines above"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: atomic-operator (++/--/+=/-= on a std::atomic member)
+
+ATOMIC_DECL = re.compile(r"std::atomic<[^<>]+>\s+(\w+)")
+
+
+def check_atomic_operators(path: str, code: str) -> list[Finding]:
+    names = set(ATOMIC_DECL.findall(code))
+    if not names:
+        return []
+    findings = []
+    alt = "|".join(re.escape(n) for n in sorted(names))
+    ops = re.compile(
+        r"(?:(?:\+\+|--)\s*(?:\w+\.)*(" + alt + r")\b"
+        r"|\b(" + alt + r")\s*(?:\+\+|--|\+=|-=))")
+    for m in ops.finditer(code):
+        name = m.group(1) or m.group(2)
+        findings.append(Finding(
+            path, line_of_offset(code, m.start()), "atomic-operator",
+            f"operator ++/--/+=/-= on std::atomic `{name}` is an implicit "
+            "seq_cst RMW; use an explicit fetch_add/fetch_sub with a named "
+            "order"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: std-function
+
+
+def check_std_function(path: str, code: str,
+                       raw_lines: list[str]) -> list[Finding]:
+    findings = []
+    for idx, line in enumerate(code.splitlines()):
+        if "std::function" not in line:
+            continue
+        if not has_marker(raw_lines, idx, "lint: allow(std-function)",
+                          ALLOW_WINDOW):
+            findings.append(Finding(
+                path, idx + 1, "std-function",
+                "std::function in src/runtime/ (hot-path callables must be "
+                "InlineFn); if this is a justified cold-path use, add "
+                "`// lint: allow(std-function): <reason>`"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: nondeterminism
+
+
+def check_nondeterminism(path: str, code: str,
+                         raw_lines: list[str]) -> list[Finding]:
+    rel = path.replace(os.sep, "/")
+    if any(rel.endswith(e) for e in NONDETERMINISM_EXEMPT):
+        return []
+    findings = []
+    for idx, line in enumerate(code.splitlines()):
+        for pattern, what in NONDETERMINISM_PATTERNS:
+            if not pattern.search(line):
+                continue
+            if has_marker(raw_lines, idx, "lint: allow(nondeterminism)",
+                          ALLOW_WINDOW):
+                continue
+            findings.append(Finding(
+                path, idx + 1, "nondeterminism",
+                f"{what} outside sim/rng.cc breaks reproducibility; draw "
+                "from the seeded sim::Rng / steady_clock, or add `// lint: "
+                "allow(nondeterminism): <reason>`"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: interference
+
+STRUCT_DEF = re.compile(
+    r"\b(?:struct|class)\s+(alignas\s*\([^)]*\)\s*)?(\w+)\s*(?::[^&|{;]*)?\{")
+
+
+def check_interference(path: str, code: str,
+                       raw_lines: list[str]) -> list[Finding]:
+    findings = []
+    for m in STRUCT_DEF.finditer(code):
+        alignas_spec, name = m.group(1), m.group(2)
+        if not re.search(r"Worker|Shard", name):
+            continue
+        # Body scan: from the opening brace to its match.
+        depth, j = 0, m.end() - 1
+        while j < len(code):
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        body = code[m.end():j]
+        if not re.search(r"std::atomic<|(?:^|\s)Mutex\s+\w+|std::mutex", body):
+            continue
+        line = line_of_offset(code, m.start())
+        if alignas_spec and "kDestructiveInterference" in alignas_spec:
+            continue
+        if has_marker(raw_lines, line - 1, "lint: allow(alignment)",
+                      ALLOW_WINDOW):
+            continue
+        findings.append(Finding(
+            path, line, "interference",
+            f"shared mutable per-worker struct `{name}` (atomic/mutex "
+            "members) must be alignas(kDestructiveInterference) so false "
+            "sharing is structurally impossible, or carry `// lint: "
+            "allow(alignment): <reason>`"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+
+def is_in_build_dir(path: str) -> bool:
+    return any(part.startswith("build") for part in
+               os.path.normpath(path).split(os.sep))
+
+
+def discover_files(root: str, compile_commands: str | None) -> list[str]:
+    files: set[str] = set()
+    src_root = os.path.join(root, "src")
+    if compile_commands and os.path.isfile(compile_commands):
+        with open(compile_commands, encoding="utf-8") as f:
+            for entry in json.load(f):
+                path = entry["file"]
+                if not os.path.isabs(path):
+                    path = os.path.join(entry.get("directory", root), path)
+                path = os.path.normpath(path)
+                if path.startswith(src_root) and not is_in_build_dir(
+                        os.path.relpath(path, root)):
+                    files.add(path)
+    else:
+        if compile_commands:
+            sys.stderr.write(
+                f"pjsched_lint: {compile_commands} not found; globbing "
+                "src/ instead (configure with "
+                "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)\n")
+        files.update(glob.glob(os.path.join(src_root, "**", "*.cc"),
+                               recursive=True))
+    # Headers never appear in compile_commands; glob them from the tree.
+    files.update(glob.glob(os.path.join(src_root, "**", "*.h"),
+                           recursive=True))
+    return sorted(p for p in files
+                  if not is_in_build_dir(os.path.relpath(p, root)))
+
+
+def compile_args_for(path: str, compile_commands: str | None,
+                     root: str) -> list[str]:
+    """Best-effort include/std flags for the libclang engine."""
+    args = ["-std=c++20", f"-I{root}"]
+    if compile_commands and os.path.isfile(compile_commands):
+        try:
+            with open(compile_commands, encoding="utf-8") as f:
+                for entry in json.load(f):
+                    if os.path.normpath(entry["file"]) == path:
+                        toks = entry.get("command", "").split()
+                        args = [t for t in toks[1:]
+                                if t.startswith(("-I", "-D", "-std="))]
+                        args.append(f"-I{root}")
+                        break
+        except (OSError, json.JSONDecodeError, KeyError):
+            pass
+    return args
+
+
+def lint_file(path: str, root: str, compile_commands: str | None,
+              engine: str) -> list[Finding]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    code = strip_comments(text)
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    findings: list[Finding] = []
+
+    in_runtime = rel.startswith("src/runtime/")
+    if in_runtime:
+        r1 = None
+        if engine in ("auto", "libclang"):
+            r1 = check_implicit_order_libclang(
+                path, compile_args_for(path, compile_commands, root))
+            if r1 is None and engine == "libclang":
+                sys.stderr.write(
+                    "pjsched_lint: --engine=libclang requested but libclang "
+                    "is unavailable\n")
+                sys.exit(2)
+        if r1 is None:
+            r1 = check_implicit_order_regex(rel, code)
+        else:
+            # libclang reports absolute paths; normalize to repo-relative.
+            for f_ in r1:
+                f_.path = rel
+        # Escape hatch (either engine): a call that *forwards* a caller's
+        # memory_order argument is explicit even though no order is spelled
+        # at the call site; it carries an allow marker with the rationale.
+        findings += [f_ for f_ in r1
+                     if not has_marker(raw_lines, f_.line - 1,
+                                       "lint: allow(implicit-order)",
+                                       ALLOW_WINDOW)]
+        findings += check_unjustified_relaxed(rel, code, raw_lines)
+        findings += check_atomic_operators(rel, code)
+        findings += check_std_function(rel, code, raw_lines)
+        findings += check_interference(rel, code, raw_lines)
+    findings += check_nondeterminism(rel, code, raw_lines)
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels up from here)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="path to the build dir's compile_commands.json")
+    parser.add_argument("--engine", choices=("auto", "regex", "libclang"),
+                        default="auto",
+                        help="implicit-seq-cst engine (default: libclang "
+                             "when importable, else regex)")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files to lint (default: discover "
+                             "from compile_commands + src/ glob)")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root) if args.root else os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    files = ([os.path.abspath(f) for f in args.files] if args.files
+             else discover_files(root, args.compile_commands))
+
+    all_findings: list[Finding] = []
+    for path in files:
+        all_findings += lint_file(path, root, args.compile_commands,
+                                  args.engine)
+    for finding in all_findings:
+        print(finding)
+    if all_findings:
+        print(f"pjsched_lint: {len(all_findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"pjsched_lint: OK ({len(files)} files clean)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+// Fixture: operator RMWs on atomics (implicit seq_cst) must fail.
+#pragma once
+
+#include <atomic>
+
+struct AtomicOperatorFail {
+  std::atomic<int> hits{0};
+  std::atomic<int> misses{0};
+
+  void record_hit() { ++hits; }
+  void record_miss() { misses += 1; }
+};

@@ -1,0 +1,19 @@
+// Fixture: every atomic access here must trip the implicit-seq-cst rule.
+#pragma once
+
+#include <atomic>
+
+struct ImplicitOrderFail {
+  std::atomic<int> counter{0};
+  std::atomic<bool> flag{false};
+
+  int read() const { return counter.load(); }         // no order
+  void write(int v) { counter.store(v); }             // no order
+  int bump() { return counter.fetch_add(1); }         // no order
+  bool flip() {
+    bool expected = false;
+    // Only the success order is named; failure order is implicit.
+    return flag.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel);
+  }
+};

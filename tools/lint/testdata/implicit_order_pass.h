@@ -1,0 +1,28 @@
+// Fixture: fully explicit memory orders; must produce no findings.
+#pragma once
+
+#include <atomic>
+
+struct ImplicitOrderPass {
+  std::atomic<int> counter{0};
+  std::atomic<bool> flag{false};
+
+  int read() const {
+    // order: relaxed — diagnostic tally, no data published through it.
+    return counter.load(std::memory_order_relaxed);
+  }
+  void write(int v) { counter.store(v, std::memory_order_release); }
+  int bump() { return counter.fetch_add(1, std::memory_order_acq_rel); }
+  bool flip() {
+    bool expected = false;
+    return flag.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+  }
+  // A load(); call in a comment must not fire, nor "x.load()" in a string.
+  const char* doc() const { return "counter.load() is commented"; }
+
+  // lint: allow(implicit-order): the order is explicit — forwarded from
+  // the caller's `mo` argument.
+  int read_with(std::memory_order mo) const { return counter.load(mo); }
+};

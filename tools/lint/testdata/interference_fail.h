@@ -1,0 +1,9 @@
+// Fixture: shared per-worker struct without interference alignment fails.
+#pragma once
+
+#include <atomic>
+
+struct WorkerTally {
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> stolen{0};
+};

@@ -1,0 +1,24 @@
+// Fixture: aligned / justified / atomic-free variants; no findings.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+inline constexpr std::size_t kDestructiveInterference = 64;
+
+struct alignas(kDestructiveInterference) WorkerTally {
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> stolen{0};
+};
+
+// lint: allow(alignment): snapshot copy handed to one reader; never
+// written concurrently, so padding it would only waste cache.
+struct WorkerSnapshotish {
+  std::atomic<std::uint64_t> executed{0};
+};
+
+// No atomics or mutexes: plain data, alignment not required.
+struct WorkerName {
+  int id = 0;
+  const char* label = nullptr;
+};

@@ -1,0 +1,15 @@
+// Fixture: ambient randomness and wall-clock reads must fail.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+unsigned ambient_seed() {
+  std::random_device rd;  // nondeterministic seed source
+  return rd();
+}
+
+int ambient_rand() { return rand() % 6; }
+
+long wall_clock_ns() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

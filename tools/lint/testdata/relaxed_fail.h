@@ -1,0 +1,10 @@
+// Fixture: memory_order_relaxed with no `order:` justification must fail.
+#pragma once
+
+#include <atomic>
+
+struct RelaxedFail {
+  std::atomic<unsigned> ticks{0};
+
+  void tick() { ticks.fetch_add(1, std::memory_order_relaxed); }
+};

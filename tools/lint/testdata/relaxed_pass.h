@@ -1,0 +1,17 @@
+// Fixture: every relaxed site is justified; must produce no findings.
+#pragma once
+
+#include <atomic>
+
+struct RelaxedPass {
+  std::atomic<unsigned> ticks{0};
+
+  void tick() {
+    // order: relaxed — monotonic diagnostic counter; readers only ever
+    // print it, no synchronization piggybacks on the value.
+    ticks.fetch_add(1, std::memory_order_relaxed);
+  }
+  unsigned read() const {
+    return ticks.load(std::memory_order_relaxed);  // order: same as tick()
+  }
+};

@@ -1,0 +1,8 @@
+// Fixture: bare std::function in runtime code must fail.
+#pragma once
+
+#include <functional>
+
+struct StdFunctionFail {
+  std::function<void()> callback;
+};

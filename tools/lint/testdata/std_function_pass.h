@@ -1,0 +1,10 @@
+// Fixture: std::function with an allow marker must produce no findings.
+#pragma once
+
+#include <functional>
+
+struct StdFunctionPass {
+  // lint: allow(std-function): invoked once per pool lifetime on the cold
+  // shutdown path; type erasure is worth the flexibility here.
+  std::function<void()> on_shutdown;
+};
