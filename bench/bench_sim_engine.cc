@@ -36,11 +36,11 @@ void BM_RngUniformInt(benchmark::State& state) {
 }
 BENCHMARK(BM_RngUniformInt);
 
-core::Instance bench_instance(std::size_t jobs) {
+core::Instance bench_instance(std::size_t jobs, double qps = 1000.0) {
   const auto dist = workload::bing_distribution();
   workload::GeneratorConfig gen;
   gen.num_jobs = jobs;
-  gen.qps = 1000.0;
+  gen.qps = qps;
   gen.seed = 5;
   return workload::generate_instance(dist, gen);
 }
@@ -123,6 +123,37 @@ void BM_BaselineStepEngineExact(benchmark::State& state) {
   run_step_baseline(state, /*exact_steps=*/true);
 }
 BENCHMARK(BM_BaselineStepEngineExact)->Unit(benchmark::kMillisecond);
+
+// Figure-2-scale event-engine workload: 2000 bing-distribution jobs arriving
+// at 4000 qps on a 16-processor machine — a backlogged regime, so the active
+// set is large and the exact path's per-slice rebuild + policy sort dominate.
+// Fast vs exact isolates the virtual-work-clock path (incremental active
+// set, completion heap, span traces) against the per-slice reference loop;
+// the instance, policy, and results are bit-identical across the pair
+// (tests/event_fast_path_test.cc).
+void run_event_baseline(benchmark::State& state, bool exact_engine) {
+  const auto inst = bench_instance(2000, 4000.0);
+  sched::FifoScheduler fifo(exact_engine);
+  std::int64_t decisions = 0;
+  for (auto _ : state) {
+    auto res = fifo.run(inst, {16, 1.0});
+    decisions = static_cast<std::int64_t>(res.stats.decision_points);
+    benchmark::DoNotOptimize(res.max_flow);
+  }
+  // items/sec = scheduling decision points per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          decisions);
+}
+
+void BM_BaselineEventEngineFast(benchmark::State& state) {
+  run_event_baseline(state, /*exact_engine=*/false);
+}
+BENCHMARK(BM_BaselineEventEngineFast)->Unit(benchmark::kMillisecond);
+
+void BM_BaselineEventEngineExact(benchmark::State& state) {
+  run_event_baseline(state, /*exact_engine=*/true);
+}
+BENCHMARK(BM_BaselineEventEngineExact)->Unit(benchmark::kMillisecond);
 
 core::TrialConfig baseline_trial_config() {
   core::TrialConfig cfg;

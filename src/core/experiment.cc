@@ -45,8 +45,7 @@ std::vector<ExperimentRow> run_experiment(const workload::WorkDistribution& dist
       std::vector<double> flows_ms(res.flow.size());
       for (std::size_t i = 0; i < res.flow.size(); ++i)
         flows_ms[i] = res.flow[i] / cfg.units_per_ms;
-      std::sort(flows_ms.begin(), flows_ms.end());
-      row.p99_flow_ms = metrics::quantile_sorted(flows_ms, 0.99);
+      row.p99_flow_ms = metrics::quantile_select(flows_ms, 0.99);
       row.opt_bound_ms = opt_ms;
       row.ratio_to_opt = opt_ms > 0.0 ? row.max_flow_ms / opt_ms : 0.0;
       rows.push_back(std::move(row));

@@ -13,9 +13,9 @@ namespace pjsched::core {
 std::unique_ptr<sched::Scheduler> make_scheduler(const SchedulerSpec& spec) {
   switch (spec.kind) {
     case SchedulerKind::kFifo:
-      return std::make_unique<sched::FifoScheduler>();
+      return std::make_unique<sched::FifoScheduler>(spec.exact_engine);
     case SchedulerKind::kBwf:
-      return std::make_unique<sched::BwfScheduler>();
+      return std::make_unique<sched::BwfScheduler>(spec.exact_engine);
     case SchedulerKind::kAdmitFirst:
       return std::make_unique<sched::WorkStealingScheduler>(
           0, spec.seed, spec.admit_by_weight);
@@ -25,13 +25,13 @@ std::unique_ptr<sched::Scheduler> make_scheduler(const SchedulerSpec& spec) {
     case SchedulerKind::kOptBound:
       return std::make_unique<sched::OptLowerBound>();
     case SchedulerKind::kLifo:
-      return std::make_unique<sched::LifoScheduler>();
+      return std::make_unique<sched::LifoScheduler>(spec.exact_engine);
     case SchedulerKind::kSjf:
-      return std::make_unique<sched::SjfScheduler>();
+      return std::make_unique<sched::SjfScheduler>(spec.exact_engine);
     case SchedulerKind::kRoundRobin:
-      return std::make_unique<sched::RoundRobinScheduler>();
+      return std::make_unique<sched::RoundRobinScheduler>(spec.exact_engine);
     case SchedulerKind::kEqui:
-      return std::make_unique<sched::EquiScheduler>();
+      return std::make_unique<sched::EquiScheduler>(spec.exact_engine);
   }
   throw std::invalid_argument("make_scheduler: unknown kind");
 }
@@ -39,6 +39,11 @@ std::unique_ptr<sched::Scheduler> make_scheduler(const SchedulerSpec& spec) {
 SchedulerSpec parse_scheduler(const std::string& name_in) {
   SchedulerSpec spec;
   std::string name = name_in;
+  // "-exact" suffix selects the event engine's reference path.
+  if (name.size() > 6 && name.compare(name.size() - 6, 6, "-exact") == 0) {
+    spec.exact_engine = true;
+    name.resize(name.size() - 6);
+  }
   // "-bwf" suffix selects weighted admission for the work-stealing names.
   if (name.size() > 4 && name.compare(name.size() - 4, 4, "-bwf") == 0 &&
       name != "-bwf") {
@@ -82,6 +87,14 @@ SchedulerSpec parse_scheduler(const std::string& name_in) {
       spec.kind != SchedulerKind::kStealKFirst)
     throw std::invalid_argument(
         "parse_scheduler: '-bwf' applies only to work-stealing schedulers ('" +
+        name_in + "')");
+  if (spec.exact_engine && spec.kind != SchedulerKind::kFifo &&
+      spec.kind != SchedulerKind::kBwf && spec.kind != SchedulerKind::kLifo &&
+      spec.kind != SchedulerKind::kSjf &&
+      spec.kind != SchedulerKind::kRoundRobin &&
+      spec.kind != SchedulerKind::kEqui)
+    throw std::invalid_argument(
+        "parse_scheduler: '-exact' applies only to event-engine schedulers ('" +
         name_in + "')");
   return spec;
 }

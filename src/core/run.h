@@ -32,6 +32,11 @@ struct SchedulerSpec {
   /// Work-stealing extension: admit the heaviest queued job instead of the
   /// oldest ("-bwf" suffix in names).
   bool admit_by_weight = false;
+  /// Event-engine schedulers only: run the engine's reference path
+  /// (EventEngineOptions::exact) instead of the incremental fast path
+  /// ("-exact" suffix in names).  Results are bit-identical either way;
+  /// this exists for cross-checks and benchmarking.
+  bool exact_engine = false;
 };
 
 /// Instantiates the scheduler named by `spec`.
@@ -39,7 +44,8 @@ std::unique_ptr<sched::Scheduler> make_scheduler(const SchedulerSpec& spec);
 
 /// Parses "fifo", "bwf", "admit-first", "steal-16-first", "opt", "lifo",
 /// "sjf", "round-robin", "equi" (any k in "steal-<k>-first"; append "-bwf"
-/// to a work-stealing name for weighted admission).
+/// to a work-stealing name for weighted admission; append "-exact" to an
+/// event-engine name for the engine's reference path).
 /// Throws std::invalid_argument on unknown names.
 SchedulerSpec parse_scheduler(const std::string& name);
 

@@ -69,6 +69,9 @@ struct EngineStats {
   std::uint64_t macro_jumps = 0;       ///< step engine: all-busy step runs batched by
                                        ///< the fast path (0 under exact_steps)
   std::uint64_t decision_points = 0;   ///< event engine: allocation recomputations
+  std::uint64_t fast_decisions = 0;    ///< event engine: decision points served by the
+                                       ///< incremental virtual-work-clock path (0 under
+                                       ///< exact or a dynamic policy)
   double idle_processor_time = 0.0;    ///< event engine: processor-time spent idle
 };
 

@@ -26,6 +26,12 @@ Summary summarize(const std::vector<double>& samples);
 /// statistics; `sorted` must be ascending and non-empty.
 double quantile_sorted(const std::vector<double>& sorted, double q);
 
+/// Same quantile as quantile_sorted (bit-identical result) without sorting:
+/// selects the two order statistics with std::nth_element, O(n) instead of
+/// O(n log n).  Partially reorders `samples` (pass a scratch copy if the
+/// original order matters); `samples` must be non-empty.
+double quantile_select(std::vector<double>& samples, double q);
+
 /// Weighted maximum: max_i weights[i] * samples[i] (sizes must match).
 double weighted_max(const std::vector<double>& samples,
                     const std::vector<double>& weights);

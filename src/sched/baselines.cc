@@ -18,8 +18,17 @@ class LifoPolicy final : public sim::OrderPolicy {
                        return ctx.arrival(a) > ctx.arrival(b);
                      });
   }
+  // Time-invariant: descending arrival, ties in base (index) order.
+  bool static_order(const sim::PolicyContext& ctx,
+                    std::vector<double>& keys) override {
+    for (std::size_t j = 0; j < keys.size(); ++j)
+      keys[j] = -ctx.arrival(static_cast<core::JobId>(j));
+    return true;
+  }
 };
 
+// SJF consults remaining_work, which changes as jobs execute — no static
+// order; it keeps the exact per-slice path.
 class SjfPolicy final : public sim::OrderPolicy {
  public:
   std::string name() const override { return "sjf"; }
@@ -32,6 +41,8 @@ class SjfPolicy final : public sim::OrderPolicy {
   }
 };
 
+// RoundRobin's rotation depends on the decision-point count — no static
+// order; it keeps the exact per-slice path.
 class RoundRobinPolicy final : public sim::OrderPolicy {
  public:
   std::string name() const override { return "round-robin"; }
@@ -62,6 +73,15 @@ class EquiPolicy final : public sim::OrderPolicy {
                        return ctx.arrival(a) < ctx.arrival(b);
                      });
   }
+  // The share *order* is time-invariant (arrival order); the equal split
+  // still comes from processor_cap, which both engine paths consult at
+  // every decision point.
+  bool static_order(const sim::PolicyContext& ctx,
+                    std::vector<double>& keys) override {
+    for (std::size_t j = 0; j < keys.size(); ++j)
+      keys[j] = ctx.arrival(static_cast<core::JobId>(j));
+    return true;
+  }
   unsigned processor_cap(const sim::PolicyContext&, core::JobId,
                          unsigned processors,
                          std::size_t active_jobs) override {
@@ -73,11 +93,12 @@ class EquiPolicy final : public sim::OrderPolicy {
 template <typename Policy>
 core::ScheduleResult run_with(const core::Instance& instance,
                               const core::MachineConfig& machine,
-                              sim::Trace* trace) {
+                              sim::Trace* trace, bool exact_engine) {
   Policy policy;
   sim::EventEngineOptions opt;
   opt.machine = machine;
   opt.trace = trace;
+  opt.exact = exact_engine;
   return sim::run_event_engine(instance, policy, opt);
 }
 
@@ -86,25 +107,25 @@ core::ScheduleResult run_with(const core::Instance& instance,
 core::ScheduleResult LifoScheduler::run(const core::Instance& instance,
                                         const core::MachineConfig& machine,
                                         sim::Trace* trace) {
-  return run_with<LifoPolicy>(instance, machine, trace);
+  return run_with<LifoPolicy>(instance, machine, trace, exact_engine_);
 }
 
 core::ScheduleResult SjfScheduler::run(const core::Instance& instance,
                                        const core::MachineConfig& machine,
                                        sim::Trace* trace) {
-  return run_with<SjfPolicy>(instance, machine, trace);
+  return run_with<SjfPolicy>(instance, machine, trace, exact_engine_);
 }
 
 core::ScheduleResult RoundRobinScheduler::run(const core::Instance& instance,
                                               const core::MachineConfig& machine,
                                               sim::Trace* trace) {
-  return run_with<RoundRobinPolicy>(instance, machine, trace);
+  return run_with<RoundRobinPolicy>(instance, machine, trace, exact_engine_);
 }
 
 core::ScheduleResult EquiScheduler::run(const core::Instance& instance,
                                         const core::MachineConfig& machine,
                                         sim::Trace* trace) {
-  return run_with<EquiPolicy>(instance, machine, trace);
+  return run_with<EquiPolicy>(instance, machine, trace, exact_engine_);
 }
 
 }  // namespace pjsched::sched

@@ -20,36 +20,70 @@
 
 namespace pjsched::sched {
 
+// Every baseline takes an `exact_engine` flag selecting the event engine's
+// reference path (EventEngineOptions::exact) instead of the default
+// incremental fast path; results are bit-identical either way.  SJF and
+// RoundRobin are dynamic policies, so they run on the reference loop even
+// with the flag off — the flag is still honored for uniformity.
+
 class LifoScheduler final : public Scheduler {
  public:
-  std::string name() const override { return "lifo"; }
+  explicit LifoScheduler(bool exact_engine = false)
+      : exact_engine_(exact_engine) {}
+  std::string name() const override {
+    return exact_engine_ ? "lifo-exact" : "lifo";
+  }
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+
+ private:
+  bool exact_engine_;
 };
 
 class SjfScheduler final : public Scheduler {
  public:
-  std::string name() const override { return "sjf"; }
+  explicit SjfScheduler(bool exact_engine = false)
+      : exact_engine_(exact_engine) {}
+  std::string name() const override {
+    return exact_engine_ ? "sjf-exact" : "sjf";
+  }
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+
+ private:
+  bool exact_engine_;
 };
 
 class RoundRobinScheduler final : public Scheduler {
  public:
-  std::string name() const override { return "round-robin"; }
+  explicit RoundRobinScheduler(bool exact_engine = false)
+      : exact_engine_(exact_engine) {}
+  std::string name() const override {
+    return exact_engine_ ? "round-robin-exact" : "round-robin";
+  }
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+
+ private:
+  bool exact_engine_;
 };
 
 class EquiScheduler final : public Scheduler {
  public:
-  std::string name() const override { return "equi"; }
+  explicit EquiScheduler(bool exact_engine = false)
+      : exact_engine_(exact_engine) {}
+  std::string name() const override {
+    return exact_engine_ ? "equi-exact" : "equi";
+  }
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+
+ private:
+  bool exact_engine_;
 };
 
 }  // namespace pjsched::sched

@@ -19,6 +19,16 @@ class BwfPolicy final : public sim::OrderPolicy {
                        return ctx.arrival(a) < ctx.arrival(b);
                      });
   }
+  // BWF's priority is time-invariant: descending weight, ties resolved by
+  // (arrival, index).  A stable sort by -weight over the arrival base order
+  // breaks weight ties exactly that way, so the key alone reproduces the
+  // comparator above.
+  bool static_order(const sim::PolicyContext& ctx,
+                    std::vector<double>& keys) override {
+    for (std::size_t j = 0; j < keys.size(); ++j)
+      keys[j] = -ctx.weight(static_cast<core::JobId>(j));
+    return true;
+  }
 };
 }  // namespace
 
@@ -29,6 +39,7 @@ core::ScheduleResult BwfScheduler::run(const core::Instance& instance,
   sim::EventEngineOptions opt;
   opt.machine = machine;
   opt.trace = trace;
+  opt.exact = exact_engine_;
   return sim::run_event_engine(instance, policy, opt);
 }
 

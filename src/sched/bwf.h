@@ -13,10 +13,20 @@ namespace pjsched::sched {
 
 class BwfScheduler final : public Scheduler {
  public:
-  std::string name() const override { return "bwf"; }
+  /// `exact_engine` selects the event engine's reference path
+  /// (EventEngineOptions::exact) instead of the default incremental fast
+  /// path; results are bit-identical either way.
+  explicit BwfScheduler(bool exact_engine = false)
+      : exact_engine_(exact_engine) {}
+  std::string name() const override {
+    return exact_engine_ ? "bwf-exact" : "bwf";
+  }
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+
+ private:
+  bool exact_engine_;
 };
 
 }  // namespace pjsched::sched

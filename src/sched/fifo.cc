@@ -17,6 +17,14 @@ class FifoPolicy final : public sim::OrderPolicy {
                        return ctx.arrival(a) < ctx.arrival(b);
                      });
   }
+  // FIFO's priority is time-invariant: ascending arrival, ties resolved by
+  // the arrival base order — exactly the stable sort above.
+  bool static_order(const sim::PolicyContext& ctx,
+                    std::vector<double>& keys) override {
+    for (std::size_t j = 0; j < keys.size(); ++j)
+      keys[j] = ctx.arrival(static_cast<core::JobId>(j));
+    return true;
+  }
 };
 }  // namespace
 
@@ -27,6 +35,7 @@ core::ScheduleResult FifoScheduler::run(const core::Instance& instance,
   sim::EventEngineOptions opt;
   opt.machine = machine;
   opt.trace = trace;
+  opt.exact = exact_engine_;
   return sim::run_event_engine(instance, policy, opt);
 }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "src/dag/dag.h"
 
@@ -12,240 +15,551 @@ namespace pjsched::sim {
 namespace {
 
 constexpr double kEps = 1e-9;
+constexpr unsigned kNoProc = std::numeric_limits<unsigned>::max();
+constexpr std::uint32_t kNoPos = std::numeric_limits<std::uint32_t>::max();
 
+// Both execution paths share one arithmetic: a node entering the assigned
+// set at virtual work time W with r units left is keyed by its completion
+// coordinate C = W + r; while it stays assigned nothing is decremented, and
+// its remaining work r = C - W is only materialized when it leaves (is
+// preempted) or completes.  The reference path scans assigned nodes for
+// min(C) and the fast path reads a heap top, but fl(C - W) / s is monotone
+// in C, so the two minima are the same float — that is what makes the paths
+// bit-identical rather than merely close.
 struct JobState {
-  explicit JobState(const dag::Dag& g) : tracker(g), remaining(g.node_count(), 0.0) {}
+  explicit JobState(const dag::Dag& g)
+      : tracker(g),
+        remaining(g.node_count(), 0.0),
+        coord(g.node_count(), 0.0),
+        proc_of(g.node_count(), kNoProc),
+        stint(g.node_count(), 0),
+        mark(g.node_count(), 0),
+        pos_in_available(g.node_count(), kNoPos) {}
 
   dag::ReadyTracker tracker;
   // Nodes available for execution: ready, or started and preempted.
   std::vector<dag::NodeId> available;
-  std::vector<double> remaining;  // work units left, per node
+  std::vector<double> remaining;  // work units left; valid while unassigned
+  std::vector<double> coord;      // completion coordinate; valid while assigned
+  std::vector<unsigned> proc_of;  // processor slot, kNoProc while unassigned
+  std::vector<std::uint32_t> stint;  // bumped on every assign/leave; heap
+                                     // entries carry the stint they were
+                                     // pushed with and are stale otherwise
+  std::vector<std::uint32_t> mark;   // epoch stamp for the assignment diff
+  std::vector<std::uint32_t> pos_in_available;  // node -> index in available
   bool arrived = false;
   bool finished = false;
 };
 
+// Completion-heap entry; lazy deletion via the stint counter.
+struct HeapEntry {
+  double coord = 0.0;
+  core::JobId job = 0;
+  dag::NodeId node = 0;
+  std::uint32_t stint = 0;
+};
+
+// Min-heap on coord; the remaining fields only pin a total order so heap
+// internals cannot depend on the standard library's tie handling.
+struct HeapLater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.coord != b.coord) return a.coord > b.coord;
+    if (a.job != b.job) return a.job > b.job;
+    if (a.node != b.node) return a.node > b.node;
+    return a.stint > b.stint;
+  }
+};
+
+class Engine {
+ public:
+  Engine(const core::Instance& instance, OrderPolicy& policy,
+         const EventEngineOptions& options)
+      : inst_(instance), policy_(policy), opts_(options), ctx_(*this),
+        spans_(options.trace) {}
+
+  core::ScheduleResult run();
+
+ private:
+  class Context final : public PolicyContext {
+   public:
+    explicit Context(Engine& e) : e_(e) {}
+    core::Time now() const override { return e_.t_; }
+    core::Time arrival(core::JobId j) const override {
+      return e_.inst_.jobs[j].arrival;
+    }
+    double weight(core::JobId j) const override {
+      return e_.inst_.jobs[j].weight;
+    }
+    double remaining_work(core::JobId j) const override {
+      return e_.remaining_work(j);
+    }
+
+   private:
+    Engine& e_;
+  };
+
+  double remaining_work(core::JobId j) const;
+  void absorb_ready(core::JobId j);
+  void apply_machine_events();
+  void admit_arrivals();
+  void idle_jump();
+  void allocate(const std::vector<core::JobId>& active);
+  void apply_assignment();
+  double bound_dt(double dt) const;
+  void advance(double dt);
+  void complete_node(core::JobId j, dag::NodeId v);
+  void insert_ordered(core::JobId j);
+  void erase_ordered(core::JobId j);
+  double next_completion_dt_fast();
+  void run_exact();
+  void run_fast();
+
+  const core::Instance& inst_;
+  OrderPolicy& policy_;
+  const EventEngineOptions& opts_;
+  Context ctx_;
+
+  unsigned m_ = 1;
+  double s_ = 1.0;
+  std::vector<core::MachineEvent> machine_events_;
+  std::size_t next_machine_event_ = 0;
+
+  std::size_t n_ = 0;
+  std::vector<JobState> states_;
+  std::vector<double> processed_;  // exact path: cumulative work per job
+  std::vector<double> absorbed_;   // fast path: work claimed from trackers
+  std::vector<core::JobId> by_arrival_;
+  std::size_t next_arrival_idx_ = 0;
+  std::size_t unfinished_ = 0;
+
+  core::Time t_ = 0.0;  // wall-clock simulated time
+  double W_ = 0.0;      // virtual work clock, integral of s dt
+
+  std::vector<std::pair<core::JobId, dag::NodeId>> assigned_;
+  std::vector<std::pair<core::JobId, dag::NodeId>> assigned_new_;
+  std::vector<std::size_t> taken_;  // allocator pass-1 per-rank node counts
+  std::uint32_t epoch_ = 0;
+
+  // Fast path only.
+  bool fast_ = false;
+  std::vector<double> keys_;            // static priority key per job
+  std::vector<core::JobId> ordered_;    // active jobs in policy order
+  std::vector<std::uint32_t> pos_of_job_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> heap_;
+  std::vector<std::pair<core::JobId, dag::NodeId>> completed_;
+  SpanRecorder spans_;
+
+  std::uint64_t max_slices_ = 0;
+  core::ScheduleResult result_;
+};
+
+double Engine::remaining_work(core::JobId j) const {
+  if (!fast_)
+    return static_cast<double>(inst_.jobs[j].graph.total_work()) -
+           processed_[j];
+  // Fast path (defensive: static-order policies must not call this, see the
+  // OrderPolicy contract): unreached work plus what is left of every
+  // available node, assigned nodes valued through their coordinate.
+  const JobState& js = states_[j];
+  double rem = static_cast<double>(inst_.jobs[j].graph.total_work()) -
+               absorbed_[j];
+  for (dag::NodeId v : js.available)
+    rem += (js.proc_of[v] == kNoProc) ? js.remaining[v] : js.coord[v] - W_;
+  return rem;
+}
+
 // Claims every currently-ready node of the tracker into the available list.
-void absorb_ready(JobState& js) {
+void Engine::absorb_ready(core::JobId j) {
+  JobState& js = states_[j];
   while (js.tracker.ready_count() > 0) {
     const dag::NodeId v = js.tracker.ready().front();
     js.tracker.claim(v);
-    js.remaining[v] = static_cast<double>(js.tracker.dag().work_of(v));
+    const double w = static_cast<double>(js.tracker.dag().work_of(v));
+    js.remaining[v] = w;
+    absorbed_[j] += w;
+    js.pos_in_available[v] = static_cast<std::uint32_t>(js.available.size());
     js.available.push_back(v);
   }
 }
 
-class ContextImpl final : public PolicyContext {
- public:
-  explicit ContextImpl(const core::Instance& inst) : inst_(inst) {}
-
-  core::Time now() const override { return now_; }
-  core::Time arrival(core::JobId j) const override { return inst_.jobs[j].arrival; }
-  double weight(core::JobId j) const override { return inst_.jobs[j].weight; }
-  double remaining_work(core::JobId j) const override {
-    return static_cast<double>(inst_.jobs[j].graph.total_work()) -
-           (*processed_)[j];
+// Applies machine events whose time has come.
+void Engine::apply_machine_events() {
+  while (next_machine_event_ < machine_events_.size() &&
+         machine_events_[next_machine_event_].time <= t_ + kEps) {
+    m_ = machine_events_[next_machine_event_].processors;
+    s_ = machine_events_[next_machine_event_].speed;
+    ++next_machine_event_;
   }
+}
 
-  void set_now(core::Time t) { now_ = t; }
-  void set_processed(const std::vector<double>* p) { processed_ = p; }
+// Admits arrivals at the current time.
+void Engine::admit_arrivals() {
+  while (next_arrival_idx_ < n_ &&
+         inst_.jobs[by_arrival_[next_arrival_idx_]].arrival <= t_ + kEps) {
+    const core::JobId j = by_arrival_[next_arrival_idx_++];
+    states_[j].arrived = true;
+    absorb_ready(j);
+    if (fast_) insert_ordered(j);
+  }
+}
 
- private:
-  const core::Instance& inst_;
-  const std::vector<double>* processed_ = nullptr;
-  core::Time now_ = 0.0;
-};
+// Idles until the next arrival (but not across a machine event: m may
+// change, which alters the idle-time accounting).
+void Engine::idle_jump() {
+  if (next_arrival_idx_ >= n_)
+    throw std::logic_error(
+        "run_event_engine: no active jobs but jobs unfinished");
+  core::Time t_next = inst_.jobs[by_arrival_[next_arrival_idx_]].arrival;
+  if (next_machine_event_ < machine_events_.size())
+    t_next = std::min(t_next, machine_events_[next_machine_event_].time);
+  t_next = std::max(t_next, t_);
+  result_.stats.idle_processor_time += static_cast<double>(m_) * (t_next - t_);
+  t_ = t_next;
+}
+
+// Greedy ordered allocation into assigned_new_.
+// Pass 1: each job in priority order receives up to its policy cap.
+// Pass 2 (work conservation): leftover processors go to still-hungry jobs in
+// the same order, ignoring caps.
+void Engine::allocate(const std::vector<core::JobId>& active) {
+  assigned_new_.clear();
+  taken_.clear();
+  for (std::size_t rank = 0; rank < active.size(); ++rank) {
+    const core::JobId j = active[rank];
+    const JobState& js = states_[j];
+    const unsigned cap = policy_.processor_cap(ctx_, j, m_, active.size());
+    std::size_t took = 0;
+    for (dag::NodeId v : js.available) {
+      if (assigned_new_.size() >= m_ || took >= cap) break;
+      assigned_new_.emplace_back(j, v);
+      ++took;
+    }
+    taken_.push_back(took);
+    if (assigned_new_.size() >= m_) break;
+  }
+  for (std::size_t rank = 0;
+       rank < active.size() && assigned_new_.size() < m_; ++rank) {
+    const core::JobId j = active[rank];
+    const JobState& js = states_[j];
+    for (std::size_t vi = rank < taken_.size() ? taken_[rank] : 0;
+         vi < js.available.size() && assigned_new_.size() < m_; ++vi)
+      assigned_new_.emplace_back(j, js.available[vi]);
+  }
+}
+
+// Diffs assigned_new_ against assigned_: entering nodes bind a completion
+// coordinate C = W + remaining (and a heap entry on the fast path); leaving
+// nodes materialize remaining = C - W.  A node that merely changes slot
+// keeps its coordinate — the work axis does not care which processor runs
+// it, so its heap entry stays valid across migrations.
+void Engine::apply_assignment() {
+  ++epoch_;
+  for (std::size_t slot = 0; slot < assigned_new_.size(); ++slot) {
+    const auto [j, v] = assigned_new_[slot];
+    JobState& js = states_[j];
+    js.mark[v] = epoch_;
+    if (js.proc_of[v] == kNoProc) {
+      js.coord[v] = W_ + js.remaining[v];
+      if (fast_) {
+        ++js.stint[v];
+        heap_.push(HeapEntry{js.coord[v], j, v, js.stint[v]});
+      }
+    }
+    js.proc_of[v] = static_cast<unsigned>(slot);
+  }
+  for (const auto& [j, v] : assigned_) {
+    JobState& js = states_[j];
+    if (js.proc_of[v] == kNoProc) continue;  // completed last slice
+    if (js.mark[v] == epoch_) continue;      // still assigned
+    js.remaining[v] = js.coord[v] - W_;
+    js.proc_of[v] = kNoProc;
+    if (fast_) ++js.stint[v];  // invalidate the heap entry
+  }
+  if (fast_ && opts_.trace != nullptr) {
+    for (std::size_t slot = 0; slot < assigned_new_.size(); ++slot) {
+      const auto [j, v] = assigned_new_[slot];
+      spans_.reconcile(static_cast<unsigned>(slot), j, v, t_);
+    }
+    for (std::size_t slot = assigned_new_.size(); slot < spans_.slots();
+         ++slot)
+      spans_.close(static_cast<unsigned>(slot), t_);
+  }
+  assigned_.swap(assigned_new_);
+}
+
+// Clamps dt to the next arrival and the next machine event.
+double Engine::bound_dt(double dt) const {
+  if (next_arrival_idx_ < n_)
+    dt = std::min(dt, inst_.jobs[by_arrival_[next_arrival_idx_]].arrival - t_);
+  if (next_machine_event_ < machine_events_.size())
+    dt = std::min(dt, machine_events_[next_machine_event_].time - t_);
+  return std::max(dt, 0.0);
+}
+
+// Advances both clocks; the reference path also does its per-slice
+// bookkeeping (clairvoyant processed-work accumulation and one trace
+// interval per assigned node — the fast path records spans instead).
+void Engine::advance(double dt) {
+  const core::Time t_end = t_ + dt;
+  const double dw = s_ * dt;
+  if (!fast_) {
+    unsigned proc = 0;
+    for (const auto& [j, v] : assigned_) {
+      processed_[j] += dw;
+      if (opts_.trace != nullptr && dt > 0.0)
+        opts_.trace->add_interval({j, v, proc, t_, t_end});
+      ++proc;
+    }
+  }
+  result_.stats.idle_processor_time +=
+      static_cast<double>(m_ - assigned_.size()) * dt;
+  W_ += dw;
+  t_ = t_end;
+}
+
+// Completion bookkeeping at the current time t_.
+void Engine::complete_node(core::JobId j, dag::NodeId v) {
+  JobState& js = states_[j];
+  const unsigned slot = js.proc_of[v];
+  js.remaining[v] = 0.0;
+  js.proc_of[v] = kNoProc;
+  if (fast_) {
+    ++js.stint[v];
+    spans_.close(slot, t_);
+  }
+  // Swap-and-pop via the position index (O(1)): `available` is an unordered
+  // working set — the allocation pass takes nodes from it in whatever order
+  // it holds, and no invariant depends on that order (nodes of one job are
+  // interchangeable up to their precedence constraints, which the
+  // ReadyTracker enforces before a node ever enters the set).
+  const std::uint32_t pos = js.pos_in_available[v];
+  const dag::NodeId back = js.available.back();
+  js.available[pos] = back;
+  js.pos_in_available[back] = pos;
+  js.available.pop_back();
+  js.pos_in_available[v] = kNoPos;
+  js.tracker.complete(v);
+  absorb_ready(j);
+  if (js.tracker.done()) {
+    js.finished = true;
+    result_.completion[j] = t_;
+    --unfinished_;
+    if (fast_) erase_ordered(j);
+  }
+}
+
+// Inserts j into the incrementally maintained policy order.  upper_bound on
+// the static key over admissions in (arrival, index) order reproduces a
+// stable sort by that key over the arrival base order — exactly what the
+// reference path's policy.order() computes.
+void Engine::insert_ordered(core::JobId j) {
+  const double key = keys_[j];
+  std::size_t lo = 0;
+  std::size_t hi = ordered_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (keys_[ordered_[mid]] <= key)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  ordered_.insert(ordered_.begin() + static_cast<std::ptrdiff_t>(lo), j);
+  for (std::size_t k = lo; k < ordered_.size(); ++k)
+    pos_of_job_[ordered_[k]] = static_cast<std::uint32_t>(k);
+}
+
+void Engine::erase_ordered(core::JobId j) {
+  const std::size_t p = pos_of_job_[j];
+  ordered_.erase(ordered_.begin() + static_cast<std::ptrdiff_t>(p));
+  pos_of_job_[j] = kNoPos;
+  for (std::size_t k = p; k < ordered_.size(); ++k)
+    pos_of_job_[ordered_[k]] = static_cast<std::uint32_t>(k);
+}
+
+// Time to the earliest assigned-node completion, from the heap top.  Stale
+// entries (stint mismatch) are popped here; every currently assigned node
+// owns exactly one live entry, so the heap cannot run dry while anything is
+// assigned.
+double Engine::next_completion_dt_fast() {
+  while (!heap_.empty()) {
+    const HeapEntry& e = heap_.top();
+    if (e.stint != states_[e.job].stint[e.node]) {
+      heap_.pop();
+      continue;
+    }
+    return (e.coord - W_) / s_;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+// Reference loop: per slice, rebuild the active list in arrival base order,
+// let the policy sort it, scan all assigned nodes for the next completion.
+void Engine::run_exact() {
+  std::vector<core::JobId> active;
+  std::uint64_t slices = 0;
+  while (unfinished_ > 0) {
+    if (++slices > max_slices_)
+      throw std::logic_error(
+          "run_event_engine: simulation failed to make progress");
+
+    apply_machine_events();
+    admit_arrivals();
+
+    // Collect active jobs (arrival order is the deterministic base order).
+    active.clear();
+    for (std::size_t k = 0; k < next_arrival_idx_; ++k) {
+      const core::JobId j = by_arrival_[k];
+      if (!states_[j].finished) active.push_back(j);
+    }
+    if (active.empty()) {
+      idle_jump();
+      continue;
+    }
+
+    policy_.order(ctx_, active);
+    ++result_.stats.decision_points;
+    allocate(active);
+    if (assigned_new_.empty())
+      throw std::logic_error(
+          "run_event_engine: active jobs but nothing to run");
+    apply_assignment();
+
+    double dt = std::numeric_limits<double>::infinity();
+    for (const auto& [j, v] : assigned_)
+      dt = std::min(dt, (states_[j].coord[v] - W_) / s_);
+    advance(bound_dt(dt));
+
+    // Process completions (coordinate within tolerance of the work clock),
+    // in processor-slot order.
+    for (const auto& [j, v] : assigned_) {
+      JobState& js = states_[j];
+      if (js.finished) continue;  // (cannot happen: one completion per node)
+      if (js.coord[v] - W_ <= kEps) complete_node(j, v);
+    }
+  }
+}
+
+// Fast loop: the active list is maintained incrementally in policy order and
+// the next completion comes off the heap — no per-slice rebuild, sort, or
+// assigned-set scan.
+void Engine::run_fast() {
+  std::uint64_t slices = 0;
+  while (unfinished_ > 0) {
+    if (++slices > max_slices_)
+      throw std::logic_error(
+          "run_event_engine: simulation failed to make progress");
+
+    apply_machine_events();
+    admit_arrivals();
+    if (ordered_.empty()) {
+      idle_jump();
+      continue;
+    }
+
+    ++result_.stats.decision_points;
+    ++result_.stats.fast_decisions;
+    allocate(ordered_);
+    if (assigned_new_.empty())
+      throw std::logic_error(
+          "run_event_engine: active jobs but nothing to run");
+    apply_assignment();
+
+    advance(bound_dt(next_completion_dt_fast()));
+
+    // Pop every completing node (they occupy the heap top, in coordinate
+    // order), then process in processor-slot order — the order the
+    // reference path's assigned-set scan uses, which downstream state
+    // (available-vector layout, ready absorption) depends on.
+    completed_.clear();
+    while (!heap_.empty()) {
+      const HeapEntry e = heap_.top();
+      JobState& js = states_[e.job];
+      if (e.stint != js.stint[e.node]) {
+        heap_.pop();
+        continue;
+      }
+      if (js.coord[e.node] - W_ > kEps) break;
+      heap_.pop();
+      completed_.emplace_back(e.job, e.node);
+    }
+    if (completed_.size() > 1)
+      std::sort(completed_.begin(), completed_.end(),
+                [this](const std::pair<core::JobId, dag::NodeId>& a,
+                       const std::pair<core::JobId, dag::NodeId>& b) {
+                  return states_[a.first].proc_of[a.second] <
+                         states_[b.first].proc_of[b.second];
+                });
+    for (const auto& [j, v] : completed_) complete_node(j, v);
+  }
+}
+
+core::ScheduleResult Engine::run() {
+  inst_.validate();
+  m_ = opts_.machine.processors;
+  s_ = opts_.machine.speed;
+  if (m_ == 0) throw std::invalid_argument("run_event_engine: zero processors");
+  if (!(s_ > 0.0))
+    throw std::invalid_argument("run_event_engine: speed must be > 0");
+
+  // Degradation timeline: machine events are decision points like arrivals
+  // and completions; (m, s) are piecewise constant between them.
+  machine_events_ = opts_.machine.degradation;
+  for (const core::MachineEvent& e : machine_events_) {
+    if (e.processors == 0)
+      throw std::invalid_argument(
+          "run_event_engine: machine event with zero processors");
+    if (!(e.speed > 0.0))
+      throw std::invalid_argument(
+          "run_event_engine: machine event speed must be > 0");
+    if (e.time < 0.0)
+      throw std::invalid_argument(
+          "run_event_engine: machine event before time 0");
+  }
+  std::stable_sort(machine_events_.begin(), machine_events_.end(),
+                   [](const core::MachineEvent& a, const core::MachineEvent& b) {
+                     return a.time < b.time;
+                   });
+
+  n_ = inst_.size();
+  states_.reserve(n_);
+  for (const core::JobSpec& j : inst_.jobs) states_.emplace_back(j.graph);
+  processed_.assign(n_, 0.0);
+  absorbed_.assign(n_, 0.0);
+  by_arrival_ = inst_.arrival_order();
+  unfinished_ = n_;
+
+  result_.scheduler_name = policy_.name();
+  result_.completion.assign(n_, core::kNoTime);
+
+  // Defensive cap: every slice either completes a node, admits an arrival,
+  // applies a machine event, or some combination, so slices <= total nodes
+  // + n + machine events + 1.
+  max_slices_ = static_cast<std::uint64_t>(n_) + machine_events_.size() + 1;
+  for (const core::JobSpec& j : inst_.jobs)
+    max_slices_ += j.graph.node_count();
+  max_slices_ = max_slices_ * 2 + 16;
+
+  keys_.assign(n_, 0.0);
+  fast_ = !opts_.exact && policy_.static_order(ctx_, keys_);
+  if (fast_) pos_of_job_.assign(n_, kNoPos);
+
+  if (fast_)
+    run_fast();
+  else
+    run_exact();
+
+  if (opts_.trace != nullptr) opts_.trace->coalesce();
+  result_.finalize(inst_.jobs);
+  return result_;
+}
 
 }  // namespace
 
 core::ScheduleResult run_event_engine(const core::Instance& instance,
                                       OrderPolicy& policy,
                                       const EventEngineOptions& options) {
-  instance.validate();
-  unsigned m = options.machine.processors;
-  double s = options.machine.speed;
-  if (m == 0) throw std::invalid_argument("run_event_engine: zero processors");
-  if (!(s > 0.0)) throw std::invalid_argument("run_event_engine: speed must be > 0");
-
-  // Degradation timeline: machine events are decision points like arrivals
-  // and completions; (m, s) are piecewise constant between them.
-  std::vector<core::MachineEvent> machine_events = options.machine.degradation;
-  for (const core::MachineEvent& e : machine_events) {
-    if (e.processors == 0)
-      throw std::invalid_argument("run_event_engine: machine event with zero processors");
-    if (!(e.speed > 0.0))
-      throw std::invalid_argument("run_event_engine: machine event speed must be > 0");
-    if (e.time < 0.0)
-      throw std::invalid_argument("run_event_engine: machine event before time 0");
-  }
-  std::stable_sort(machine_events.begin(), machine_events.end(),
-                   [](const core::MachineEvent& a, const core::MachineEvent& b) {
-                     return a.time < b.time;
-                   });
-  std::size_t next_machine_event = 0;
-
-  const std::size_t n = instance.size();
-  std::vector<JobState> states;
-  states.reserve(n);
-  for (const core::JobSpec& j : instance.jobs) states.emplace_back(j.graph);
-
-  // Cumulative processed work per job, for clairvoyant policies.
-  std::vector<double> processed(n, 0.0);
-
-  const std::vector<core::JobId> by_arrival = instance.arrival_order();
-  std::size_t next_arrival_idx = 0;
-  std::size_t unfinished = n;
-
-  core::ScheduleResult result;
-  result.scheduler_name = policy.name();
-  result.completion.assign(n, core::kNoTime);
-
-  ContextImpl ctx(instance);
-  ctx.set_processed(&processed);
-
-  core::Time t = 0.0;
-  std::vector<core::JobId> active;
-  std::vector<std::pair<core::JobId, dag::NodeId>> assigned;
-
-  // Defensive cap: every slice either completes a node, admits an arrival,
-  // applies a machine event, or some combination, so slices <= total nodes
-  // + n + machine events + 1.
-  std::uint64_t max_slices =
-      static_cast<std::uint64_t>(n) + machine_events.size() + 1;
-  for (const core::JobSpec& j : instance.jobs)
-    max_slices += j.graph.node_count();
-  max_slices = max_slices * 2 + 16;
-
-  std::uint64_t slices = 0;
-  while (unfinished > 0) {
-    if (++slices > max_slices)
-      throw std::logic_error("run_event_engine: simulation failed to make progress");
-
-    // Apply machine events whose time has come.
-    while (next_machine_event < machine_events.size() &&
-           machine_events[next_machine_event].time <= t + kEps) {
-      m = machine_events[next_machine_event].processors;
-      s = machine_events[next_machine_event].speed;
-      ++next_machine_event;
-    }
-
-    // Admit arrivals at the current time.
-    while (next_arrival_idx < n &&
-           instance.jobs[by_arrival[next_arrival_idx]].arrival <= t + kEps) {
-      const core::JobId j = by_arrival[next_arrival_idx++];
-      states[j].arrived = true;
-      absorb_ready(states[j]);
-    }
-
-    // Collect active jobs (arrival order is the deterministic base order).
-    active.clear();
-    for (std::size_t k = 0; k < next_arrival_idx; ++k) {
-      const core::JobId j = by_arrival[k];
-      if (!states[j].finished) active.push_back(j);
-    }
-
-    if (active.empty()) {
-      // Idle until the next arrival (but not across a machine event: m may
-      // change, which alters the idle-time accounting).
-      if (next_arrival_idx >= n)
-        throw std::logic_error("run_event_engine: no active jobs but jobs unfinished");
-      core::Time t_next = instance.jobs[by_arrival[next_arrival_idx]].arrival;
-      if (next_machine_event < machine_events.size())
-        t_next = std::min(t_next, machine_events[next_machine_event].time);
-      t_next = std::max(t_next, t);
-      result.stats.idle_processor_time += static_cast<double>(m) * (t_next - t);
-      t = t_next;
-      continue;
-    }
-
-    // Ask the policy for a priority order and allocate greedily.
-    ctx.set_now(t);
-    policy.order(ctx, active);
-    ++result.stats.decision_points;
-
-    assigned.clear();
-    // Pass 1: each job in priority order receives up to its policy cap.
-    // Pass 2 (work conservation): leftover processors go to still-hungry
-    // jobs in the same order, ignoring caps.
-    std::vector<std::size_t> taken(active.size(), 0);
-    for (std::size_t rank = 0; rank < active.size(); ++rank) {
-      const core::JobId j = active[rank];
-      const JobState& js = states[j];
-      const unsigned cap = policy.processor_cap(ctx, j, m, active.size());
-      for (dag::NodeId v : js.available) {
-        if (assigned.size() >= m || taken[rank] >= cap) break;
-        assigned.emplace_back(j, v);
-        ++taken[rank];
-      }
-      if (assigned.size() >= m) break;
-    }
-    for (std::size_t rank = 0;
-         rank < active.size() && assigned.size() < m; ++rank) {
-      const core::JobId j = active[rank];
-      const JobState& js = states[j];
-      for (std::size_t vi = taken[rank];
-           vi < js.available.size() && assigned.size() < m; ++vi)
-        assigned.emplace_back(j, js.available[vi]);
-    }
-    if (assigned.empty())
-      throw std::logic_error("run_event_engine: active jobs but nothing to run");
-
-    // Time to the next event: the earliest assigned-node completion, the
-    // next arrival, or the next machine event.
-    double dt = std::numeric_limits<double>::infinity();
-    for (const auto& [j, v] : assigned)
-      dt = std::min(dt, states[j].remaining[v] / s);
-    if (next_arrival_idx < n) {
-      const core::Time t_next = instance.jobs[by_arrival[next_arrival_idx]].arrival;
-      dt = std::min(dt, t_next - t);
-    }
-    if (next_machine_event < machine_events.size())
-      dt = std::min(dt, machine_events[next_machine_event].time - t);
-    dt = std::max(dt, 0.0);
-
-    // Advance all assigned nodes by s * dt.
-    const core::Time t_end = t + dt;
-    unsigned proc = 0;
-    for (const auto& [j, v] : assigned) {
-      JobState& js = states[j];
-      js.remaining[v] -= s * dt;
-      processed[j] += s * dt;
-      if (options.trace != nullptr && dt > 0.0)
-        options.trace->add_interval({j, v, proc, t, t_end});
-      ++proc;
-    }
-    result.stats.idle_processor_time +=
-        static_cast<double>(m - assigned.size()) * dt;
-
-    // Process completions (remaining within tolerance of zero).
-    for (const auto& [j, v] : assigned) {
-      JobState& js = states[j];
-      if (js.finished) continue;  // (cannot happen: one completion per node)
-      if (js.remaining[v] <= kEps) {
-        js.remaining[v] = 0.0;
-        // Swap-and-pop: `available` is an unordered working set — the
-        // allocation pass takes nodes from it in whatever order it holds,
-        // and no invariant depends on that order (nodes of one job are
-        // interchangeable up to their precedence constraints, which the
-        // ReadyTracker enforces before a node ever enters the set).
-        auto it = std::find(js.available.begin(), js.available.end(), v);
-        *it = js.available.back();
-        js.available.pop_back();
-        js.tracker.complete(v);
-        absorb_ready(js);
-        if (js.tracker.done()) {
-          js.finished = true;
-          result.completion[j] = t_end;
-          --unfinished;
-        }
-      }
-    }
-
-    t = t_end;
-  }
-
-  if (options.trace != nullptr) options.trace->coalesce();
-  result.finalize(instance.jobs);
-  return result;
+  Engine engine(instance, policy, options);
+  return engine.run();
 }
 
 }  // namespace pjsched::sim

@@ -5,12 +5,40 @@
 // scheduler orders the active jobs by its policy and greedily hands each
 // job's available nodes to unique processors until processors or nodes run
 // out.  Reallocation (including preemption of partially executed nodes, at
-// zero cost) happens at every event — job arrival or node completion —
-// which is exactly the set of instants at which such an allocation can
-// change, so the event-driven simulation is exact, not a discretization.
+// zero cost) happens at every event — job arrival, node completion, or
+// machine event — which is exactly the set of instants at which such an
+// allocation can change, so the event-driven simulation is exact, not a
+// discretization.
 //
 // Processors run at speed `s`: an assigned node's remaining work decreases
 // at rate s per unit time.
+//
+// The engine has two execution paths producing bit-identical results (see
+// docs/simulation-model.md, "Performance model"):
+//
+//  * The *reference* path (EventEngineOptions::exact) re-derives everything
+//    at every decision point: it rebuilds the active list, asks the policy
+//    to order it, and scans every assigned node for the next completion —
+//    O(active log active + assigned) per event.
+//  * The *fast* path (the default, taken whenever the policy declares a
+//    static order) maintains a virtual work clock W = ∫ s dt and keys each
+//    continuously assigned node by its absolute completion coordinate
+//    W₀ + remaining in a min-heap, so the next completion is O(log) and
+//    per-slice remaining-work decrements disappear; the active list is
+//    maintained incrementally in policy order, and traces are emitted as
+//    coalesced spans instead of one interval per slice.  Remaining work is
+//    only materialized when a node is preempted or completes.
+//
+// Both paths share the same floating-point formulas and materialization
+// points, so completions, stats, and coalesced traces agree bitwise;
+// tests/event_fast_path_test.cc cross-checks them.
+//
+// Thread safety: run_event_engine keeps all simulation state on the stack
+// of the calling thread and only reads the (immutable, sealed) instance, so
+// concurrent calls on distinct policy objects are safe — the parallel
+// multi-trial harness (runtime::run_trials_parallel) relies on this.  The
+// OrderPolicy is mutated (order() may keep state) and must not be shared
+// across concurrent runs.
 #pragma once
 
 #include <memory>
@@ -45,6 +73,28 @@ class OrderPolicy {
   virtual void order(const PolicyContext& ctx,
                      std::vector<core::JobId>& active) = 0;
 
+  /// Static-order hint.  If the policy's priority order is *time-invariant*
+  /// — a fixed strict weak ordering over jobs, as for FIFO (by arrival),
+  /// BWF (by weight), and the arrival-ordered baselines — fill
+  /// `keys[j]` for every job j (the vector arrives sized to the instance)
+  /// such that ordering active jobs by ascending key, ties broken by the
+  /// arrival base order (arrival, then job index), reproduces order()
+  /// exactly, and return true.  The engine then maintains the active list
+  /// incrementally and skips the per-slice re-sort; order() is never
+  /// called.  Return false (the default) for dynamic policies — they keep
+  /// the exact per-slice path.
+  ///
+  /// Contract: a policy that declares a static order must not consult
+  /// PolicyContext::remaining_work() (its order would not be
+  /// time-invariant); processor_cap() is still consulted at every decision
+  /// point either way.
+  virtual bool static_order(const PolicyContext& ctx,
+                            std::vector<double>& keys) {
+    (void)ctx;
+    (void)keys;
+    return false;
+  }
+
   /// Maximum processors the engine may hand to `job` at this decision
   /// point (before any leftover redistribution: after every job in
   /// priority order has been offered its cap, remaining processors are
@@ -65,11 +115,20 @@ struct EventEngineOptions {
   /// Machine to simulate.  `machine.degradation` events are honored exactly:
   /// each event is a decision point at which (m, s) change, so processor
   /// loss/restore and slowdown/recovery are simulated without
-  /// discretization error.
+  /// discretization error.  Speed changes compose with the fast path for
+  /// free: completion coordinates live on the work axis, which is
+  /// speed-independent.
   core::MachineConfig machine;
   /// If non-null, the engine records per-slice work intervals into *trace
   /// (coalesced at the end).
   Trace* trace = nullptr;
+  /// Reference mode: re-derive the active list, policy order, and next
+  /// completion from scratch at every decision point instead of taking the
+  /// incremental virtual-work-clock path.  Results are bit-identical either
+  /// way (the cross-check tests rely on this); exact mode exists for that
+  /// cross-check and for decision-level debugging, mirroring
+  /// StepEngineOptions::exact_steps.
+  bool exact = false;
 };
 
 /// Runs the instance to completion under the given policy.  Throws

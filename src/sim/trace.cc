@@ -27,4 +27,26 @@ void Trace::coalesce() {
   intervals_ = std::move(merged);
 }
 
+void SpanRecorder::reconcile(unsigned proc, core::JobId job, dag::NodeId node,
+                             core::Time t) {
+  if (trace_ == nullptr) return;
+  if (proc >= spans_.size()) spans_.resize(proc + 1);
+  OpenSpan& span = spans_[proc];
+  if (span.open) {
+    if (span.job == job && span.node == node) return;  // occupant unchanged
+    if (t > span.start)
+      trace_->add_interval({span.job, span.node, proc, span.start, t});
+  }
+  span = OpenSpan{job, node, t, true};
+}
+
+void SpanRecorder::close(unsigned proc, core::Time t) {
+  if (trace_ == nullptr || proc >= spans_.size()) return;
+  OpenSpan& span = spans_[proc];
+  if (!span.open) return;
+  if (t > span.start)
+    trace_->add_interval({span.job, span.node, proc, span.start, t});
+  span.open = false;
+}
+
 }  // namespace pjsched::sim

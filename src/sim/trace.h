@@ -58,7 +58,11 @@ class Trace {
 
   /// Merges adjacent intervals with identical (job, node, proc) where one
   /// ends exactly when the next begins; engines emit per-decision-slice
-  /// intervals and call this once at the end.
+  /// intervals and call this once at the end.  Idempotent, and invariant
+  /// under refinement: any splitting of the maximal runs into contiguous
+  /// pieces coalesces to the same canonical vector, which is what lets the
+  /// event engine's fast path emit pre-merged spans while the reference
+  /// path emits one interval per slice.
   void coalesce();
 
  private:
@@ -66,6 +70,45 @@ class Trace {
   std::vector<StealEvent> steals_;
   std::vector<AdmissionEvent> admissions_;
   bool record_steal_events_;
+};
+
+/// Lazy span recorder for the event engine's fast path: instead of one
+/// add_interval per decision slice per assigned node, the engine keeps one
+/// *open span* per processor slot and only emits an interval when the slot's
+/// occupant changes (preemption, migration, completion) or the run ends.  A
+/// node continuously assigned to one processor across thousands of slices
+/// produces exactly one interval — the same interval Trace::coalesce would
+/// have merged the per-slice pieces into.  Zero-length spans (opened and
+/// closed at the same instant by a zero-dt slice) are dropped, matching the
+/// reference path's `dt > 0` emission guard.
+class SpanRecorder {
+ public:
+  /// Records into *trace; `trace` may be null (every call is then a no-op).
+  explicit SpanRecorder(Trace* trace) : trace_(trace) {}
+
+  /// Reconciles processor slot `proc` with the node now assigned there at
+  /// time `t`: keeps the span open if the occupant is unchanged, otherwise
+  /// closes the old span at `t` and opens a new one.
+  void reconcile(unsigned proc, core::JobId job, dag::NodeId node,
+                 core::Time t);
+
+  /// Closes slot `proc`'s open span (if any) at time `t`.
+  void close(unsigned proc, core::Time t);
+
+  /// Number of slots ever opened — the upper bound callers sweep when the
+  /// assignment shrinks.
+  std::size_t slots() const { return spans_.size(); }
+
+ private:
+  struct OpenSpan {
+    core::JobId job = 0;
+    dag::NodeId node = 0;
+    core::Time start = 0.0;
+    bool open = false;
+  };
+
+  Trace* trace_;
+  std::vector<OpenSpan> spans_;  // indexed by processor slot
 };
 
 }  // namespace pjsched::sim

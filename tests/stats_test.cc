@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "src/sim/rng.h"
+
 namespace pjsched::metrics {
 namespace {
 
@@ -43,6 +47,60 @@ TEST(QuantileTest, BadInputsRejected) {
   EXPECT_THROW(quantile_sorted({}, 0.5), std::invalid_argument);
   EXPECT_THROW(quantile_sorted({1.0}, 1.5), std::invalid_argument);
   EXPECT_THROW(quantile_sorted({1.0}, -0.1), std::invalid_argument);
+  std::vector<double> empty;
+  EXPECT_THROW(quantile_select(empty, 0.5), std::invalid_argument);
+  std::vector<double> one{1.0};
+  EXPECT_THROW(quantile_select(one, 1.5), std::invalid_argument);
+  EXPECT_THROW(quantile_select(one, -0.1), std::invalid_argument);
+}
+
+// quantile_select must return the *same float* as sort + quantile_sorted:
+// the selection only swaps which algorithm finds the two order statistics,
+// not the interpolation arithmetic.
+TEST(QuantileTest, SelectMatchesSortedBitwise) {
+  sim::Rng rng(99);
+  for (std::size_t n : {1u, 2u, 3u, 7u, 100u, 1000u}) {
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      samples.push_back(rng.uniform_double() * 1000.0 -
+                        (i % 5 == 0 ? 200.0 : 0.0));
+    // Duplicates exercise tied order statistics.
+    if (n > 4) samples[3] = samples[1];
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : {0.0, 0.125, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      std::vector<double> scratch = samples;
+      EXPECT_EQ(quantile_select(scratch, q), quantile_sorted(sorted, q))
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+// summarize's quantiles are selections over a shared scratch; they must not
+// depend on the sample order or on each other's partial reorderings.
+TEST(SummaryTest, OrderInvariantQuantiles) {
+  sim::Rng rng(7);
+  std::vector<double> samples;
+  for (std::size_t i = 0; i < 257; ++i)
+    samples.push_back(rng.uniform_double() * 50.0);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const Summary s = summarize(samples);
+  EXPECT_EQ(s.p50, quantile_sorted(sorted, 0.50));
+  EXPECT_EQ(s.p90, quantile_sorted(sorted, 0.90));
+  EXPECT_EQ(s.p99, quantile_sorted(sorted, 0.99));
+  EXPECT_EQ(s.min, sorted.front());
+  EXPECT_EQ(s.max, sorted.back());
+}
+
+TEST(TightestSloTest, MatchesQuantile) {
+  const std::vector<double> v{50.0, 10.0, 40.0, 20.0, 30.0};
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(tightest_slo(v, 0.0), 50.0);
+  EXPECT_EQ(tightest_slo(v, 0.25), quantile_sorted(sorted, 0.75));
+  EXPECT_EQ(tightest_slo(v, 1.0), 10.0);
 }
 
 TEST(WeightedMaxTest, PicksWeightedArgmax) {

@@ -130,6 +130,8 @@ def main(argv):
 
     fast = _pick(by_name, "BM_BaselineStepEngineFast", sim_path)
     exact = _pick(by_name, "BM_BaselineStepEngineExact", sim_path)
+    ev_fast = _pick(by_name, "BM_BaselineEventEngineFast", sim_path)
+    ev_exact = _pick(by_name, "BM_BaselineEventEngineExact", sim_path)
     seq = _pick(by_name, "BM_BaselineTrialsSequential", sim_path)
     par = _pick(by_name, "BM_BaselineTrialsParallel", sim_path)
 
@@ -169,6 +171,17 @@ def main(argv):
             "fast_wall_seconds": _wall_seconds(fast),
             "exact_wall_seconds": _wall_seconds(exact),
         },
+        "event_engine": {
+            "workload": "2000 bing jobs @ 4000 qps (backlogged), m=16 s=1, "
+                        "FIFO (fast = virtual-work-clock path, exact = "
+                        "per-slice reference; results bit-identical)",
+            "fast_decisions_per_sec": ev_fast["items_per_second"],
+            "exact_decisions_per_sec": ev_exact["items_per_second"],
+            "speedup": ev_fast["items_per_second"] /
+                       ev_exact["items_per_second"],
+            "fast_wall_seconds": _wall_seconds(ev_fast),
+            "exact_wall_seconds": _wall_seconds(ev_exact),
+        },
         "multi_trial": {
             "workload": "16 trials x 300 bing jobs, m=8, admit-first "
                         "(parallel = in-repo thread pool, hardware threads)",
@@ -195,7 +208,8 @@ def main(argv):
     for w in warnings:
         print(f"make_bench_baseline.py: WARNING: {w}", file=sys.stderr)
     line = (f"wrote {out_path}: step-engine speedup "
-            f"{out['step_engine']['speedup']:.1f}x, multi-trial speedup "
+            f"{out['step_engine']['speedup']:.1f}x, event-engine speedup "
+            f"{out['event_engine']['speedup']:.1f}x, multi-trial speedup "
             f"{out['multi_trial']['speedup']:.2f}x")
     if "runtime" in out and "speedup_vs_before" in out["runtime"]:
         pf = out["runtime"]["speedup_vs_before"]["parallel_for_fine"]
