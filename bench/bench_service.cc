@@ -1,0 +1,145 @@
+// Service-layer ingest micro-benchmarks: jobs/sec through the tenant
+// router's admission path at each degradation-ladder rung, with 1000
+// active tenants spread across the shards.
+//
+// The ladder is escalated by real tick() samples against a pre-filled
+// backlog whose utilization sits in the target rung's band; no further
+// ticks run during measurement, so the rung is frozen and each iteration
+// measures exactly the ingest path of that rung (rung check + weighted
+// fair admission, plus the drop-at-door shed path where the rung sheds).
+// Iterations pair every admitted push with a pop, so depth — and with it
+// the measured code path — stays constant for the whole run.
+//
+//   bench_service --benchmark_filter=Service
+//
+// The bench_baseline target distills BM_Service* into the `service`
+// section of BENCH_sim.json (tools/make_bench_baseline.py --service).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/service/record.h"
+#include "src/service/tenant_router.h"
+
+namespace {
+
+using namespace pjsched::service;  // NOLINT
+
+constexpr std::size_t kTenants = 1000;
+constexpr std::size_t kShards = 8;
+constexpr std::size_t kCapacity = 8192;
+
+const std::vector<std::string>& tenant_names() {
+  static const std::vector<std::string>* names = [] {
+    auto* v = new std::vector<std::string>;
+    v->reserve(kTenants);
+    for (std::size_t i = 0; i < kTenants; ++i)
+      v->push_back("tenant-" + std::to_string(i));
+    return v;
+  }();
+  return *names;
+}
+
+JobRecord make_record(const std::string& tenant) {
+  JobRecord r;
+  r.tenant = tenant;
+  r.work = 4.0;
+  return r;
+}
+
+/// Pre-fills the router round-robin to `utilization` and escalates the
+/// ladder onto the rung that utilization indicates (ticks stop before
+/// measurement, freezing the rung).
+std::unique_ptr<TenantRouter> router_at_utilization(double utilization,
+                                                    Rung expected) {
+  RouterConfig config;
+  config.shards = kShards;
+  config.capacity = kCapacity;
+  auto router = std::make_unique<TenantRouter>(config);
+  const auto& names = tenant_names();
+  std::vector<ShedRecord> evictions;
+  ShedReason reason{};
+  const auto target = static_cast<std::size_t>(utilization * kCapacity);
+  for (std::size_t i = 0; router->depth() < target; ++i)
+    router->push(make_record(names[i % names.size()]), &evictions, &reason);
+  // up_hold samples at the target utilization escalate straight to the
+  // indicated rung (LadderConfig defaults: up_hold = 2).
+  for (int i = 0; i < 2; ++i) router->tick(/*stalled=*/false, &evictions);
+  if (router->rung() != expected) {
+    // Loud setup failure: the numbers would be labeled with the wrong rung.
+    throw std::runtime_error(std::string("bench_service: expected rung ") +
+                             to_string(expected) + ", got " +
+                             to_string(router->rung()));
+  }
+  return router;
+}
+
+/// Ingest throughput at a frozen ladder rung (arg 0..3 = normal .. reject-
+/// tenant).  Every admitted push is paired with a pop so depth holds.
+void BM_ServiceIngest(benchmark::State& state) {
+  static constexpr double kUtilization[] = {0.30, 0.75, 0.88, 0.97};
+  const auto rung = static_cast<Rung>(state.range(0));
+  auto router = router_at_utilization(
+      kUtilization[static_cast<std::size_t>(state.range(0))], rung);
+  const auto& names = tenant_names();
+  std::vector<ShedRecord> evictions;
+  ShedReason reason{};
+  QueuedRecord out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const PushOutcome outcome =
+        router->push(make_record(names[i++ % names.size()]), &evictions,
+                     &reason);
+    evictions.clear();
+    if (outcome == PushOutcome::kAdmitted) {
+      router->try_pop(&out);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(to_string(rung));
+}
+BENCHMARK(BM_ServiceIngest)->DenseRange(0, 3);
+
+/// The pure drop-at-door path: a flooding tenant far over its share pushes
+/// into the shed-new rung; every record is shed at ingest (the daemon's
+/// cheapest overload response, so its cost bounds shed throughput).
+void BM_ServiceShedAtDoor(benchmark::State& state) {
+  auto router = router_at_utilization(0.75, Rung::kShedNew);
+  // Push the flooder over its fair share so shed-new drops it at the door.
+  std::vector<ShedRecord> evictions;
+  ShedReason reason{};
+  for (int i = 0; i < 64; ++i) {
+    router->push(make_record("flood"), &evictions, &reason);
+    evictions.clear();
+  }
+  for (auto _ : state) {
+    const PushOutcome outcome =
+        router->push(make_record("flood"), &evictions, &reason);
+    evictions.clear();
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceShedAtDoor);
+
+/// Wire-format parse cost (the per-line floor of socket ingest).
+void BM_ServiceParseRecord(benchmark::State& state) {
+  const std::string line =
+      "job tenant-42 16.5 fanout=8 weight=2 deadline_ms=500 id=12345";
+  JobRecord record;
+  std::string error;
+  for (auto _ : state) {
+    const ParseStatus status = parse_record(line, &record, &error);
+    benchmark::DoNotOptimize(status);
+    benchmark::DoNotOptimize(record);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceParseRecord);
+
+}  // namespace
+
+#include "bench/gbench_main.h"

@@ -33,6 +33,8 @@ endfunction()
 pjsched_add_gbench(bench_runtime_micro)
 pjsched_add_gbench(bench_runtime)
 pjsched_add_gbench(bench_sim_engine)
+pjsched_add_gbench(bench_service)
+target_link_libraries(bench_service PRIVATE pjsched_service)
 pjsched_add_bench(bench_stretch)
 
 # Perf-snapshot target: runs the BM_Baseline* simulation suite and the
@@ -58,13 +60,18 @@ add_custom_target(bench_baseline
           --benchmark_filter=Runtime
           --benchmark_out=${CMAKE_BINARY_DIR}/bench_runtime_raw.json
           --benchmark_out_format=json
+  COMMAND $<TARGET_FILE:bench_service>
+          --benchmark_filter=Service
+          --benchmark_out=${CMAKE_BINARY_DIR}/bench_service_raw.json
+          --benchmark_out_format=json
   COMMAND ${PJSCHED_PYTHON} ${CMAKE_SOURCE_DIR}/tools/make_bench_baseline.py
           ${CMAKE_BINARY_DIR}/bench_sim_raw.json
           ${CMAKE_SOURCE_DIR}/BENCH_sim.json
           --runtime ${CMAKE_BINARY_DIR}/bench_runtime_raw.json
           --before ${CMAKE_SOURCE_DIR}/bench/runtime_before.json
-  DEPENDS bench_sim_engine bench_runtime
-  COMMENT "Running BM_Baseline* + BM_Runtime* and writing BENCH_sim.json"
+          --service ${CMAKE_BINARY_DIR}/bench_service_raw.json
+  DEPENDS bench_sim_engine bench_runtime bench_service
+  COMMENT "Running BM_Baseline* + BM_Runtime* + BM_Service* and writing BENCH_sim.json"
   VERBATIM)
 pjsched_add_bench(bench_weighted_admission)
 pjsched_add_bench(bench_mean_vs_max)

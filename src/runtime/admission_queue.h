@@ -44,6 +44,22 @@ class AdmissionQueue {
     kRejected,  ///< task not enqueued; caller keeps ownership
   };
 
+  /// Queue-level accounting, maintained under the queue's own lock so the
+  /// books can never be observed torn: every counter in a stats() snapshot
+  /// comes from one critical section (the same one-coherent-snapshot
+  /// pattern PoolStats uses), so `accepted == popped + shed + depth` holds
+  /// in every snapshot — the watchdog dump and the service layer's shed
+  /// cross-checks rely on that exactness.
+  struct Stats {
+    std::uint64_t accepted = 0;         ///< pushes that enqueued
+    std::uint64_t rejected_full = 0;    ///< reject-newest refusals
+    std::uint64_t rejected_closed = 0;  ///< refused because close()d
+    std::uint64_t shed = 0;             ///< evictions by shed-oldest
+    std::uint64_t popped = 0;           ///< successful try_pop* calls
+    std::size_t depth = 0;              ///< queued right now
+    std::size_t peak_depth = 0;         ///< high-water mark of depth
+  };
+
   /// capacity == 0 means unbounded (the policy is then never consulted).
   explicit AdmissionQueue(std::size_t capacity = 0,
                           BackpressurePolicy policy = BackpressurePolicy::kBlock)
@@ -81,6 +97,11 @@ class AdmissionQueue {
   std::size_t capacity() const { return capacity_; }
   BackpressurePolicy policy() const { return policy_; }
 
+  /// One coherent snapshot of the accounting, taken in a single critical
+  /// section (never torn: the shed counter and the depth it explains come
+  /// from the same lock hold).
+  Stats stats() const;
+
  private:
   bool full_locked() const PJSCHED_REQUIRES(mu_) {
     return capacity_ != 0 && queue_.size() >= capacity_;
@@ -92,6 +113,7 @@ class AdmissionQueue {
   CondVar space_cv_;  ///< signalled on pop (space freed) and on close()
   bool closed_ PJSCHED_GUARDED_BY(mu_) = false;
   std::deque<Task*> queue_ PJSCHED_GUARDED_BY(mu_);
+  Stats stats_ PJSCHED_GUARDED_BY(mu_);  ///< depth/peak updated inline
 };
 
 }  // namespace pjsched::runtime

@@ -1,12 +1,46 @@
 #include "src/runtime/replayer.h"
 
 #include <chrono>
+#include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
 #include "src/runtime/dag_executor.h"
+#include "src/workload/instance_io.h"
 
 namespace pjsched::runtime {
+
+core::Instance load_replay_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw ReplayFileError(ReplayFileError::Kind::kIo, path, "cannot open");
+  core::Instance inst;
+  try {
+    inst = workload::read_instance(in);
+  } catch (const std::invalid_argument& e) {
+    // A parse failure at EOF is a short read: the file ended inside (or
+    // just before) a record.  A failure with input still unread means the
+    // content itself is wrong.
+    if (in.eof())
+      throw ReplayFileError(ReplayFileError::Kind::kTruncated, path,
+                            std::string(e.what()) + " (file ended early)");
+    throw ReplayFileError(ReplayFileError::Kind::kCorrupt, path, e.what());
+  }
+  // Anything but comments/whitespace after the trailer means the file is
+  // not what write_instance produced — refuse it rather than ignore it.
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') {
+      in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      continue;
+    }
+    throw ReplayFileError(ReplayFileError::Kind::kCorrupt, path,
+                          "trailing garbage after 'endinstance': '" + tok +
+                              "'");
+  }
+  return inst;
+}
 
 ReplayReport replay_instance(ThreadPool& pool, const core::Instance& instance,
                              const ReplayOptions& options) {

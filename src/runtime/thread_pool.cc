@@ -64,6 +64,16 @@ void TaskContext::wait_help(WaitGroup& wg) {
   if (job_->cancelled()) throw JobCancelledError();
 }
 
+bool TaskContext::poll_deadline() {
+  if (job_->cancelled()) return true;
+  if (job_->has_deadline() && job_->deadline_passed(Clock::now()) &&
+      job_->try_cancel(JobOutcome::kDeadlineExpired))
+    // order: relaxed — diagnostic tally; try_cancel's CAS is the
+    // synchronizing outcome transition (same as the execute() check).
+    pool_->jobs_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  return job_->cancelled();
+}
+
 ThreadPool::ThreadPool(const PoolOptions& options)
     : admission_(options.admission_capacity, options.backpressure),
       // One recorder shard per worker plus one shared by every non-worker
@@ -305,14 +315,19 @@ std::string ThreadPool::dump_state() const {
     total_tasks += s.tasks_executed;
     total_blocks += s.slab_blocks;
   }
+  // One stats() call: depth, peak, and the shed/reject tallies all come
+  // from the same lock hold, so the dump's queue line always adds up.
+  const AdmissionQueue::Stats qs = admission_.stats();
   out << "ThreadPool diagnostic dump\n"
       << "  jobs: submitted=" << submitted << " terminal=" << completed
       << " pending=" << submitted - completed << "\n"
       << "  tasks executed=" << total_tasks
       << " slab_blocks=" << total_blocks << "\n"
-      << "  admission queue: depth=" << admission_.size()
+      << "  admission queue: depth=" << qs.depth << " peak=" << qs.peak_depth
       << " capacity=" << admission_.capacity() << " ("
-      << to_string(admission_.policy()) << ")\n";
+      << to_string(admission_.policy()) << ") accepted=" << qs.accepted
+      << " popped=" << qs.popped << " shed=" << qs.shed
+      << " rejected=" << qs.rejected_full + qs.rejected_closed << "\n";
   for (std::size_t i = 0; i < snaps.size(); ++i) {
     const WorkerSnapshot& s = snaps[i];
     out << "  worker " << i << ": deque~=" << s.deque_hint

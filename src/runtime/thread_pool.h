@@ -179,6 +179,15 @@ class TaskContext {
   /// shedding).  Long-running bodies should poll this and return early.
   bool cancelled() const { return job_->cancelled(); }
 
+  /// Cooperative deadline enforcement for long task bodies.  The pool
+  /// checks a job's deadline before each of its tasks *starts*; a job
+  /// whose entire remaining work lives inside one long body would never be
+  /// checked again, so such bodies call this between work quanta: it
+  /// performs the DeadlineExpired cancellation if the deadline has passed
+  /// and returns true when the job is cancelled for any cause (the body
+  /// should return early).
+  bool poll_deadline();
+
   /// The job this task belongs to.
   Job& job() const { return *job_; }
   /// Index of the executing worker.
@@ -251,6 +260,11 @@ class ThreadPool {
   /// race-free and internally consistent — stats() and dump_state() never
   /// mix two reads of the same counter.
   PoolStats stats() const;
+
+  /// One coherent snapshot of the admission queue's own books (taken in a
+  /// single critical section; see AdmissionQueue::Stats) — the service
+  /// layer's shed cross-checks compare these against recorder outcomes.
+  AdmissionQueue::Stats admission_stats() const { return admission_.stats(); }
 
   /// Human-readable snapshot of pool state: job counters, admission-queue
   /// depth, per-worker deque depths and counters, and the first unfinished

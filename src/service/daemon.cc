@@ -1,0 +1,450 @@
+#include "src/service/daemon.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/types.h"
+#include "src/runtime/dag_executor.h"
+#include "src/runtime/replayer.h"
+
+namespace pjsched::service {
+
+namespace {
+
+/// Spins `units` of work in small quanta, polling for cooperative
+/// cancellation between quanta so a deadline or shutdown cancels a long
+/// job promptly instead of after its whole body.
+void spin_cancellable(runtime::TaskContext& ctx, double units,
+                      double ns_per_unit) {
+  constexpr double kQuantum = 64.0;
+  while (units > 0.0) {
+    if (ctx.poll_deadline()) return;
+    const double step = units < kQuantum ? units : kQuantum;
+    runtime::spin_for_units(static_cast<dag::Work>(step < 1.0 ? 1.0 : step),
+                            ns_per_unit);
+    units -= step;
+  }
+}
+
+}  // namespace
+
+Daemon::Daemon(const DaemonConfig& config)
+    : config_(config), pool_(config.pool), router_(config.router) {
+  std::string error;
+  if (!config_.unix_socket_path.empty()) {
+    unix_listen_fd_ = listen_unix(config_.unix_socket_path, &error);
+    if (unix_listen_fd_ < 0)
+      throw std::runtime_error("pjschedd: " + error);
+  }
+  if (config_.tcp_port >= 0) {
+    std::uint16_t bound = 0;
+    tcp_listen_fd_ = listen_tcp(static_cast<std::uint16_t>(config_.tcp_port),
+                                &error, &bound);
+    if (tcp_listen_fd_ < 0) {
+      close_fd(unix_listen_fd_);
+      throw std::runtime_error("pjschedd: " + error);
+    }
+    tcp_port_ = bound;
+  }
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+  maintenance_ = std::thread([this] { maintenance_main(); });
+  if (unix_listen_fd_ >= 0 || tcp_listen_fd_ >= 0)
+    io_ = std::thread([this] { io_main(); });
+}
+
+Daemon::~Daemon() {
+  router_.begin_drain();
+  stop_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+  if (io_.joinable()) io_.join();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  if (maintenance_.joinable()) maintenance_.join();
+
+  // Anything still queued in the router was accepted but will never be
+  // dispatched: give each record its terminal outcome (rejected: the
+  // daemon is going away) so the books balance even on an abrupt stop.
+  QueuedRecord rec;
+  while (router_.try_pop(&rec)) account_shed(rec, ShedReason::kRejectDrain);
+
+  // Drain the pool (every dispatched job reaches a terminal outcome), then
+  // take the final reap so tenant counters cover all of them.
+  pool_.shutdown();
+  reap_finished();
+
+  close_fd(unix_listen_fd_);
+  close_fd(tcp_listen_fd_);
+  if (!config_.unix_socket_path.empty())
+    ::unlink(config_.unix_socket_path.c_str());
+}
+
+void Daemon::set_weight(const std::string& tenant, double weight) {
+  router_.set_weight(tenant, weight);
+}
+
+PushOutcome Daemon::submit_record(JobRecord record) {
+  const std::string tenant = record.tenant;  // push() consumes the record
+  {
+    runtime::MutexLock lock(state_mu_);
+    ++tenants_[tenant].submitted;
+  }
+  std::vector<ShedRecord> evictions;
+  ShedReason reason{};
+  const PushOutcome out = router_.push(std::move(record), &evictions, &reason);
+  if (!evictions.empty()) account_sheds(evictions);
+  if (out == PushOutcome::kShed) account_shed_reason(tenant, reason);
+  work_cv_.notify_one();
+  return out;
+}
+
+bool Daemon::feed_line(std::string_view line) {
+  JobRecord record;
+  std::string error;
+  switch (parse_record(line, &record, &error)) {
+    case ParseStatus::kEmpty:
+      return true;
+    case ParseStatus::kMalformed:
+      quarantine_line(line, error);
+      return false;
+    case ParseStatus::kRecord:
+      break;
+  }
+  {
+    runtime::MutexLock lock(state_mu_);
+    ++feed_.records;
+  }
+  submit_record(std::move(record));
+  return true;
+}
+
+std::size_t Daemon::feed_replay_file(const std::string& path,
+                                     const std::string& tenant,
+                                     double time_scale) {
+  const core::Instance instance = runtime::load_replay_instance(path);
+  const Clock::time_point start = Clock::now();
+  std::size_t submitted = 0;
+  for (const core::JobSpec& job : instance.jobs) {
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (time_scale > 0.0) {
+      const auto due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(job.arrival * time_scale));
+      while (Clock::now() < due && !stop_.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    JobRecord record;
+    record.tenant = tenant;
+    record.work = std::min(static_cast<double>(job.graph.total_work()),
+                           kMaxWork);
+    record.fanout = static_cast<unsigned>(std::clamp<std::size_t>(
+        job.graph.node_count(), 1, kMaxFanout));
+    record.weight = job.weight;
+    submit_record(std::move(record));
+    ++submitted;
+  }
+  return submitted;
+}
+
+void Daemon::dispatch(QueuedRecord rec) {
+  runtime::SubmitOptions opts;
+  opts.weight = rec.record.weight;
+  if (rec.record.deadline_ms > 0) {
+    // The deadline budget runs from ingest: time already spent queued in
+    // the router is gone.  A record whose budget is exhausted before
+    // dispatch expires here, without ever touching the pool.
+    const auto budget = std::chrono::milliseconds(rec.record.deadline_ms);
+    const auto spent = Clock::now() - rec.ingest;
+    if (spent >= budget) {
+      runtime::MutexLock lock(state_mu_);
+      ++tenants_[rec.record.tenant].deadline_expired;
+      return;
+    }
+    opts.deadline = budget - spent;
+  }
+
+  const double work = rec.record.work;
+  const unsigned fanout = std::max(1u, rec.record.fanout);
+  const double per = work / static_cast<double>(fanout);
+  const double ns = config_.ns_per_unit;
+  runtime::JobHandle handle = pool_.submit(
+      [per, fanout, ns](runtime::TaskContext& ctx) {
+        if (fanout > 1) {
+          runtime::WaitGroup wg;
+          for (unsigned i = 1; i < fanout; ++i)
+            ctx.spawn(
+                [per, ns](runtime::TaskContext& c) {
+                  spin_cancellable(c, per, ns);
+                },
+                wg);
+          spin_cancellable(ctx, per, ns);
+          ctx.wait_help(wg);
+        } else {
+          spin_cancellable(ctx, per, ns);
+        }
+      },
+      opts);
+
+  runtime::MutexLock lock(state_mu_);
+  pending_.push_back(
+      PendingJob{std::move(handle), std::move(rec.record.tenant), rec.ingest});
+}
+
+void Daemon::dispatcher_main() {
+  const std::size_t window = config_.dispatch_window > 0
+                                 ? config_.dispatch_window
+                                 : static_cast<std::size_t>(pool_.workers()) * 4;
+  QueuedRecord rec;
+  while (true) {
+    if (reap_finished() < window && router_.try_pop(&rec)) {
+      dispatch(std::move(rec));
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    runtime::MutexLock lock(work_mu_);
+    work_cv_.wait_for(work_mu_, std::chrono::milliseconds(1));
+  }
+}
+
+void Daemon::maintenance_main() {
+  std::vector<ShedRecord> evictions;
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Watchdog signal: any new stall dump since the last tick counts as a
+    // stalled sample (the pool's watchdog defines "no progress").
+    const std::uint64_t dumps = pool_.stats().watchdog_dumps;
+    const bool stalled =
+        dumps > last_watchdog_dumps_.load(std::memory_order_relaxed);
+    last_watchdog_dumps_.store(dumps, std::memory_order_relaxed);
+
+    evictions.clear();
+    router_.tick(stalled, &evictions);
+    if (!evictions.empty()) account_sheds(evictions);
+    reap_finished();
+
+    std::this_thread::sleep_for(config_.tick_interval);
+  }
+}
+
+void Daemon::account_shed_reason(const std::string& tenant,
+                                 ShedReason reason) {
+  runtime::MutexLock lock(state_mu_);
+  TenantCounters& t = tenants_[tenant];
+  switch (reason) {
+    case ShedReason::kFairShare:
+    case ShedReason::kShedNew:
+    case ShedReason::kShedQueued:
+      ++t.shed;
+      break;
+    case ShedReason::kRejectTenant:
+    case ShedReason::kRejectDrain:
+      ++t.rejected;
+      break;
+  }
+}
+
+void Daemon::account_shed(const QueuedRecord& rec, ShedReason reason) {
+  account_shed_reason(rec.record.tenant, reason);
+}
+
+void Daemon::account_sheds(const std::vector<ShedRecord>& sheds) {
+  for (const ShedRecord& s : sheds) account_shed(s.item, s.reason);
+}
+
+std::size_t Daemon::reap_finished() {
+  runtime::MutexLock lock(state_mu_);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingJob& p = pending_[i];
+    if (!p.handle->finished()) {
+      if (kept != i) pending_[kept] = std::move(p);
+      ++kept;
+      continue;
+    }
+    TenantCounters& t = tenants_[p.tenant];
+    switch (p.handle->outcome()) {
+      case runtime::JobOutcome::kCompleted: {
+        ++t.completed;
+        const double flow = std::chrono::duration<double>(
+                                p.handle->completion_time() - p.ingest)
+                                .count();
+        t.max_flow_seconds = std::max(t.max_flow_seconds, flow);
+        t.sum_flow_seconds += flow;
+        ++t.flow_samples;
+        break;
+      }
+      case runtime::JobOutcome::kFailed:
+        ++t.failed;
+        break;
+      case runtime::JobOutcome::kDeadlineExpired:
+        ++t.deadline_expired;
+        break;
+      case runtime::JobOutcome::kShed:
+        ++t.shed;
+        break;
+      case runtime::JobOutcome::kRejected:
+        ++t.rejected;
+        break;
+      case runtime::JobOutcome::kRunning:
+        break;  // unreachable: finished() implies terminal
+    }
+  }
+  pending_.resize(kept);
+  return kept;
+}
+
+bool Daemon::drain(std::chrono::milliseconds timeout) {
+  router_.begin_drain();
+  const Clock::time_point deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    const std::size_t queued = router_.depth();
+    const std::size_t inflight = reap_finished();
+    if (queued == 0 && inflight == 0) return true;
+    work_cv_.notify_one();  // keep the dispatcher popping
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+void Daemon::quarantine_line(std::string_view line, const std::string& why) {
+  runtime::MutexLock lock(state_mu_);
+  ++feed_.malformed;
+  std::string sample(line.substr(0, 96));
+  sample += "  <- ";
+  sample += why;
+  quarantine_.push_back(std::move(sample));
+  while (quarantine_.size() > config_.quarantine_keep) quarantine_.pop_front();
+}
+
+DaemonSnapshot Daemon::snapshot() const {
+  DaemonSnapshot snap;
+  snap.rung = router_.rung();
+  snap.router = router_.stats();
+  snap.pool = pool_.stats();
+  snap.admission = pool_.admission_stats();
+  runtime::MutexLock lock(state_mu_);
+  snap.feed = feed_;
+  snap.tenants = tenants_;
+  snap.inflight = pending_.size();
+  snap.quarantine.assign(quarantine_.begin(), quarantine_.end());
+  return snap;
+}
+
+std::string Daemon::metrics_text() const {
+  const DaemonSnapshot s = snapshot();
+  std::ostringstream out;
+  out << "pjschedd: rung=" << to_string(s.rung)
+      << " router[depth=" << s.router.depth << " accepted=" << s.router.accepted
+      << " popped=" << s.router.popped << " shed=" << s.router.total_shed()
+      << " peak=" << s.router.peak_depth << "]"
+      << " pool[executed=" << s.pool.tasks_executed
+      << " shed=" << s.pool.jobs_shed << " rejected=" << s.pool.jobs_rejected
+      << " expired=" << s.pool.jobs_deadline_expired
+      << " failed=" << s.pool.jobs_failed << "]"
+      << " feed[records=" << s.feed.records << " malformed=" << s.feed.malformed
+      << " oversize=" << s.feed.oversize << " conns=" << s.feed.connections
+      << " timeouts=" << s.feed.read_timeouts << "]"
+      << " inflight=" << s.inflight << "\n";
+  for (const auto& [name, t] : s.tenants) {
+    out << "  tenant " << name << ": submitted=" << t.submitted
+        << " completed=" << t.completed << " failed=" << t.failed
+        << " expired=" << t.deadline_expired << " shed=" << t.shed
+        << " rejected=" << t.rejected << " max_flow_s=" << t.max_flow_seconds;
+    if (t.flow_samples > 0)
+      out << " mean_flow_s=" << (t.sum_flow_seconds /
+                                 static_cast<double>(t.flow_samples));
+    out << "\n";
+  }
+  for (const std::string& q : s.quarantine) out << "  quarantined: " << q << "\n";
+  return out.str();
+}
+
+void Daemon::io_main() {
+  std::vector<Connection> conns;
+  std::vector<pollfd> pfds;
+  const LineReader::Sink sink = [this](std::string_view line, bool oversized) {
+    if (oversized) {
+      runtime::MutexLock lock(state_mu_);
+      ++feed_.oversize;
+      return;
+    }
+    feed_line(line);
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    if (unix_listen_fd_ >= 0)
+      pfds.push_back(pollfd{unix_listen_fd_, POLLIN, 0});
+    if (tcp_listen_fd_ >= 0) pfds.push_back(pollfd{tcp_listen_fd_, POLLIN, 0});
+    const std::size_t first_conn = pfds.size();
+    for (const Connection& c : conns) pfds.push_back(pollfd{c.fd, POLLIN, 0});
+
+    const int rc = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/50);
+    if (rc < 0 && errno != EINTR) break;
+    const Clock::time_point now = Clock::now();
+
+    // Listeners first: accept (or refuse over the connection bound).
+    for (std::size_t i = 0; i < first_conn; ++i) {
+      if ((pfds[i].revents & POLLIN) == 0) continue;
+      const int fd = accept_client(pfds[i].fd);
+      if (fd < 0) continue;
+      if (conns.size() >= config_.max_connections) {
+        close_fd(fd);
+        runtime::MutexLock lock(state_mu_);
+        ++feed_.refused;
+        continue;
+      }
+      Connection c;
+      c.fd = fd;
+      c.last_activity = now;
+      conns.push_back(std::move(c));
+      runtime::MutexLock lock(state_mu_);
+      ++feed_.connections;
+    }
+
+    // Connections: read what is ready, close what is dead or silent.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Connection& c = conns[i];
+      bool open = true;
+      const short revents =
+          first_conn + i < pfds.size() ? pfds[first_conn + i].revents : 0;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char buf[4096];
+        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+        if (n > 0) {
+          c.last_activity = now;
+          c.reader.feed(buf, static_cast<std::size_t>(n), sink);
+        } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+          // Disconnect: a trailing unterminated line is NOT a record — it
+          // could be the front half of one — so it is quarantined, never
+          // submitted.
+          if (c.reader.finish([](std::string_view, bool) {})) {
+            runtime::MutexLock lock(state_mu_);
+            ++feed_.partial;
+          }
+          open = false;
+          runtime::MutexLock lock(state_mu_);
+          ++feed_.disconnects;
+        }
+      } else if (now - c.last_activity > config_.read_deadline) {
+        open = false;
+        runtime::MutexLock lock(state_mu_);
+        ++feed_.read_timeouts;
+      }
+      if (open) {
+        if (kept != i) conns[kept] = std::move(c);
+        ++kept;
+      } else {
+        close_fd(c.fd);
+      }
+    }
+    conns.resize(kept);
+  }
+  for (Connection& c : conns) close_fd(c.fd);
+}
+
+}  // namespace pjsched::service

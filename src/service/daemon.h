@@ -1,0 +1,227 @@
+// The scheduling daemon core: streaming ingest -> per-tenant fair admission
+// (TenantRouter) -> ThreadPool execution, with full terminal-outcome
+// accounting per tenant.
+//
+// Threads owned by a Daemon:
+//
+//   dispatcher   pops weighted-fair from the router and submits to the
+//                pool; enforces per-record deadline budgets (time already
+//                spent queued in the router counts against the budget);
+//   maintenance  ticks the degradation ladder (utilization + watchdog
+//                stall signal), accounts tick-time evictions, and reaps
+//                finished pool jobs into per-tenant counters;
+//   io (optional) a poll()-based loop over the configured Unix/TCP
+//                listeners and their connections: bounded line lengths,
+//                per-connection read deadlines, malformed-record
+//                quarantine.  One thread regardless of connection count —
+//                a flood of connections cannot exhaust daemon threads.
+//
+// The accounting invariant the chaos campaign leans on: every record that
+// enters submit_record() reaches EXACTLY ONE terminal outcome —
+// completed, failed, deadline-expired, shed, or rejected — visible in the
+// per-tenant counters; after a successful drain(), submitted ==
+// completed + failed + deadline_expired + shed + rejected for every
+// tenant.  Malformed input never becomes a record: it is quarantined and
+// counted, never submitted, never crashes the daemon.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/annotations.h"
+#include "src/runtime/mutex.h"
+#include "src/runtime/thread_pool.h"
+#include "src/service/record.h"
+#include "src/service/stream_feed.h"
+#include "src/service/tenant_router.h"
+
+namespace pjsched::service {
+
+struct DaemonConfig {
+  runtime::PoolOptions pool;
+  RouterConfig router;
+
+  /// Unix-domain listener path ("" = no unix listener).
+  std::string unix_socket_path;
+  /// Loopback TCP listener port (-1 = none, 0 = ephemeral; see
+  /// Daemon::tcp_port() for the bound port).
+  int tcp_port = -1;
+  /// A connection that sends no bytes for this long is closed (a stalled
+  /// feed must not pin a connection slot forever).
+  std::chrono::milliseconds read_deadline{5000};
+  /// Ladder/reaper cadence.
+  std::chrono::milliseconds tick_interval{10};
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 64;
+  /// CPU time rendered per work unit (see runtime::spin_for_units).
+  double ns_per_unit = 1000.0;
+  /// Max jobs dispatched to the pool but not yet reaped (0 = 4x workers).
+  /// The dispatcher stops popping at the window so the backlog stays in
+  /// the ROUTER — where weighted fairness and the ladder's utilization
+  /// signal live — instead of leaking into the pool's FIFO queue.
+  std::size_t dispatch_window = 0;
+  /// How many recent malformed-line samples to keep for diagnosis.
+  std::size_t quarantine_keep = 16;
+};
+
+/// Per-tenant terminal-outcome books.  submitted counts every parsed
+/// record routed for the tenant; the five outcome counters partition the
+/// records that have reached a terminal state, so
+///   submitted == terminal() + (records still queued or executing)
+/// at all times, with the parenthetical zero after a drain.
+struct TenantCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t shed = 0;      ///< fair-share / shed-new / shed-queued, plus
+                               ///< pool-level shed
+  std::uint64_t rejected = 0;  ///< reject-tenant / drain, plus pool-level
+                               ///< rejection
+  /// Flow accounting over *completed* records, measured from ingest (router
+  /// queueing counts — the whole point of max flow time).
+  double max_flow_seconds = 0.0;
+  double sum_flow_seconds = 0.0;
+  std::uint64_t flow_samples = 0;
+
+  std::uint64_t terminal() const {
+    return completed + failed + deadline_expired + shed + rejected;
+  }
+};
+
+/// Ingest-side counters (socket feed plumbing).
+struct FeedStats {
+  std::uint64_t records = 0;        ///< well-formed records submitted
+  std::uint64_t malformed = 0;      ///< lines quarantined by the parser
+  std::uint64_t oversize = 0;       ///< lines over kMaxLineBytes
+  std::uint64_t partial = 0;        ///< unterminated final lines (disconnect)
+  std::uint64_t connections = 0;    ///< accepted
+  std::uint64_t refused = 0;        ///< over max_connections
+  std::uint64_t disconnects = 0;    ///< peer closed
+  std::uint64_t read_timeouts = 0;  ///< closed by the read deadline
+};
+
+/// One coherent cross-layer snapshot (each layer contributes its own
+/// coherent snapshot; see TenantRouter::Stats / AdmissionQueue::Stats).
+struct DaemonSnapshot {
+  Rung rung = Rung::kNormal;
+  TenantRouter::Stats router;
+  runtime::PoolStats pool;
+  runtime::AdmissionQueue::Stats admission;
+  FeedStats feed;
+  std::map<std::string, TenantCounters> tenants;
+  std::size_t inflight = 0;  ///< dispatched to the pool, not yet reaped
+  std::vector<std::string> quarantine;  ///< recent malformed-line samples
+};
+
+class Daemon {
+ public:
+  /// Starts the pool and the dispatcher/maintenance threads; the io thread
+  /// too when a listener is configured.  Throws std::runtime_error when a
+  /// configured listener cannot be created.
+  explicit Daemon(const DaemonConfig& config);
+  /// Stops ingest, cancels nothing that is running, sheds whatever is
+  /// still queued in the router (terminal outcome: rejected/drain), drains
+  /// the pool, joins all threads.
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Sets a tenant's fair-share weight in the router.
+  void set_weight(const std::string& tenant, double weight);
+
+  /// Routes one parsed record (in-process feed: tests, replay, chaos).
+  /// Every call lands in the tenant's books; the return mirrors the
+  /// router's decision for the *pushed* record.
+  PushOutcome submit_record(JobRecord record);
+
+  /// Parses and routes one feed line (no trailing newline).  Returns false
+  /// when the line was malformed (quarantined, counted, never fatal).
+  bool feed_line(std::string_view line);
+
+  /// Replay-file feed: loads a workload instance (runtime/replayer.*
+  /// loader, so truncated/corrupt files surface as ReplayFileError) and
+  /// submits each job as a record for `tenant`, pacing arrivals by
+  /// `time_scale` seconds per instance time unit (0 = submit all at once).
+  /// Returns the number of records submitted.
+  std::size_t feed_replay_file(const std::string& path,
+                               const std::string& tenant, double time_scale);
+
+  /// Stops accepting new records (drain rung), then waits for the router
+  /// and the pool to empty.  True when fully drained within the timeout;
+  /// false means something is wedged (the chaos campaign treats false as a
+  /// deadlock verdict).
+  bool drain(std::chrono::milliseconds timeout);
+
+  DaemonSnapshot snapshot() const;
+  /// Human-readable snapshot (the `pjschedd` status output).
+  std::string metrics_text() const;
+
+  TenantRouter& router() { return router_; }
+  runtime::ThreadPool& pool() { return pool_; }
+  /// Bound TCP port, or -1 when no TCP listener was configured.
+  int tcp_port() const { return tcp_port_; }
+
+ private:
+  struct PendingJob {
+    runtime::JobHandle handle;
+    std::string tenant;
+    Clock::time_point ingest{};
+  };
+
+  /// One live feed connection (io thread only).
+  struct Connection {
+    int fd = -1;
+    LineReader reader{kMaxLineBytes};
+    Clock::time_point last_activity{};
+  };
+
+  void dispatcher_main();
+  void maintenance_main();
+  void io_main();
+
+  /// Submits one popped record to the pool (dispatcher thread).
+  void dispatch(QueuedRecord rec);
+  /// Books a terminal outcome for a record the router gave up on.
+  void account_shed_reason(const std::string& tenant, ShedReason reason);
+  void account_shed(const QueuedRecord& rec, ShedReason reason);
+  void account_sheds(const std::vector<ShedRecord>& sheds);
+  /// Moves finished pending jobs into tenant counters; returns how many
+  /// jobs are still in flight.
+  std::size_t reap_finished();
+  void quarantine_line(std::string_view line, const std::string& why);
+
+  const DaemonConfig config_;
+  runtime::ThreadPool pool_;
+  TenantRouter router_;
+
+  mutable runtime::Mutex state_mu_;
+  std::map<std::string, TenantCounters> tenants_ PJSCHED_GUARDED_BY(state_mu_);
+  std::vector<PendingJob> pending_ PJSCHED_GUARDED_BY(state_mu_);
+  FeedStats feed_ PJSCHED_GUARDED_BY(state_mu_);
+  std::deque<std::string> quarantine_ PJSCHED_GUARDED_BY(state_mu_);
+
+  /// Dispatcher wakeup: submit_record notifies after a successful push.
+  runtime::Mutex work_mu_;
+  runtime::CondVar work_cv_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> last_watchdog_dumps_{0};
+
+  int unix_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  int tcp_port_ = -1;
+
+  std::thread dispatcher_;
+  std::thread maintenance_;
+  std::thread io_;
+};
+
+}  // namespace pjsched::service

@@ -1,0 +1,65 @@
+#include "src/service/degradation.h"
+
+#include <algorithm>
+
+namespace pjsched::service {
+
+Rung DegradationLadder::target_up(double u) const {
+  if (u >= config_.reject_enter) return Rung::kRejectTenant;
+  if (u >= config_.shed_queued_enter) return Rung::kShedQueued;
+  if (u >= config_.shed_new_enter) return Rung::kShedNew;
+  return Rung::kNormal;
+}
+
+Rung DegradationLadder::target_down(double u) const {
+  if (u >= config_.reject_exit) return Rung::kRejectTenant;
+  if (u >= config_.shed_queued_exit) return Rung::kShedQueued;
+  if (u >= config_.shed_new_exit) return Rung::kShedNew;
+  return Rung::kNormal;
+}
+
+Rung DegradationLadder::on_sample(double utilization, bool stalled) {
+  ++samples_;
+  if (rung_ == Rung::kDrain) return rung_;
+  const double u = std::clamp(utilization, 0.0, 1.0);
+
+  if (stalled) {
+    // A wedged pool is unambiguous overload: escalate one rung now (capped
+    // below drain) rather than waiting out the up-hold.  Recovery still
+    // goes through the hysteretic down path once progress resumes.
+    ++stall_escalations_;
+    up_streak_ = down_streak_ = 0;
+    if (rung_ < Rung::kRejectTenant) {
+      rung_ = static_cast<Rung>(static_cast<std::uint8_t>(rung_) + 1);
+      ++transitions_;
+    }
+    return rung_;
+  }
+
+  const Rung up = target_up(u);
+  const Rung down = target_down(u);
+  if (up > rung_) {
+    down_streak_ = 0;
+    if (++up_streak_ >= config_.up_hold) {
+      // Jump straight to the indicated rung: a spike past two enter
+      // thresholds should not serve a hold at every intermediate rung.
+      rung_ = up;
+      ++transitions_;
+      up_streak_ = 0;
+    }
+  } else if (down < rung_) {
+    up_streak_ = 0;
+    if (++down_streak_ >= config_.down_hold) {
+      // Step down one rung at a time: recovery re-earns each rung.
+      rung_ = static_cast<Rung>(static_cast<std::uint8_t>(rung_) - 1);
+      ++transitions_;
+      down_streak_ = 0;
+    }
+  } else {
+    // Inside the hysteresis band of the current rung: hold position.
+    up_streak_ = down_streak_ = 0;
+  }
+  return rung_;
+}
+
+}  // namespace pjsched::service

@@ -1,0 +1,131 @@
+#include "src/service/record.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace pjsched::service {
+
+namespace {
+
+bool tenant_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '-';
+}
+
+bool parse_double(std::string_view tok, double* out) {
+  if (tok.empty() || tok.size() > 64) return false;
+  // strtod needs a terminator; tokens are short, so a stack copy is fine.
+  char buf[65];
+  tok.copy(buf, tok.size());
+  buf[tok.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + tok.size()) return false;
+  // Reject inf/nan and anything non-finite a hostile client can encode.
+  if (!(v > -1e300 && v < 1e300)) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(std::string_view tok, std::uint64_t* out) {
+  if (tok.empty()) return false;
+  const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), *out);
+  return res.ec == std::errc() && res.ptr == tok.data() + tok.size();
+}
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j])))
+      ++j;
+    out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+ParseStatus malformed(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return ParseStatus::kMalformed;
+}
+
+}  // namespace
+
+ParseStatus parse_record(std::string_view line, JobRecord* out,
+                         std::string* error) {
+  if (line.size() > kMaxLineBytes)
+    return malformed(error, "line exceeds " + std::to_string(kMaxLineBytes) +
+                                " bytes");
+  const std::vector<std::string_view> toks = split_ws(line);
+  if (toks.empty()) return ParseStatus::kEmpty;
+  if (toks[0] != "job")
+    return malformed(error,
+                     "unknown verb '" + std::string(toks[0]) + "'");
+  if (toks.size() < 3) return malformed(error, "job needs <tenant> <work>");
+
+  JobRecord rec;
+  const std::string_view tenant = toks[1];
+  if (tenant.empty() || tenant.size() > kMaxTenantBytes)
+    return malformed(error, "tenant name length out of range");
+  for (char c : tenant)
+    if (!tenant_char(c))
+      return malformed(error, "tenant name has an invalid character");
+  rec.tenant.assign(tenant);
+
+  if (!parse_double(toks[2], &rec.work) || !(rec.work > 0.0) ||
+      rec.work > kMaxWork)
+    return malformed(error, "work out of range");
+
+  for (std::size_t i = 3; i < toks.size(); ++i) {
+    const std::string_view tok = toks[i];
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= tok.size())
+      return malformed(error,
+                       "expected key=value, got '" + std::string(tok) + "'");
+    const std::string_view key = tok.substr(0, eq);
+    const std::string_view val = tok.substr(eq + 1);
+    if (key == "fanout") {
+      std::uint64_t v = 0;
+      if (!parse_u64(val, &v) || v < 1 || v > kMaxFanout)
+        return malformed(error, "fanout out of range");
+      rec.fanout = static_cast<unsigned>(v);
+    } else if (key == "weight") {
+      if (!parse_double(val, &rec.weight) || !(rec.weight > 0.0) ||
+          rec.weight > kMaxWeight)
+        return malformed(error, "weight out of range");
+    } else if (key == "deadline_ms") {
+      if (!parse_u64(val, &rec.deadline_ms) || rec.deadline_ms < 1 ||
+          rec.deadline_ms > kMaxDeadlineMs)
+        return malformed(error, "deadline_ms out of range");
+    } else if (key == "id") {
+      if (!parse_u64(val, &rec.client_id))
+        return malformed(error, "id must be a uint64");
+    } else {
+      return malformed(error, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  *out = std::move(rec);
+  return ParseStatus::kRecord;
+}
+
+std::string format_record(const JobRecord& record) {
+  std::ostringstream os;
+  os << "job " << record.tenant << ' ' << record.work;
+  if (record.fanout != 1) os << " fanout=" << record.fanout;
+  if (record.weight != 1.0) os << " weight=" << record.weight;
+  if (record.deadline_ms != 0) os << " deadline_ms=" << record.deadline_ms;
+  if (record.client_id != 0) os << " id=" << record.client_id;
+  return os.str();
+}
+
+}  // namespace pjsched::service

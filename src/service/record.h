@@ -1,0 +1,61 @@
+// Wire format of the scheduling daemon's streaming job feed: one
+// newline-delimited record per job, plain text, designed to be parsed
+// defensively — a misbehaving client must never be able to crash or wedge
+// the daemon, so every limit is explicit and every failure is a value, not
+// an exception.
+//
+//   job <tenant> <work> [key=value ...]
+//
+//   tenant       [A-Za-z0-9_.-], at most kMaxTenantBytes
+//   work         total work units, (0, kMaxWork]
+//   fanout=N     parallel subtasks the work is split across (1..kMaxFanout)
+//   weight=W     tenant-relative job weight, (0, kMaxWeight]
+//   deadline_ms=D  per-job deadline budget, 1..kMaxDeadlineMs
+//   id=N         client-chosen tag (uint64), echoed in accounting
+//
+// Blank lines and '#'-to-end-of-line comments are ignored.  Lines longer
+// than kMaxLineBytes are malformed by definition (the stream layer
+// quarantines them and resyncs at the next newline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pjsched::service {
+
+inline constexpr std::size_t kMaxLineBytes = 4096;
+inline constexpr std::size_t kMaxTenantBytes = 64;
+inline constexpr unsigned kMaxFanout = 4096;
+inline constexpr double kMaxWork = 1e9;
+inline constexpr double kMaxWeight = 1e6;
+inline constexpr std::uint64_t kMaxDeadlineMs = 3'600'000;  // one hour
+
+/// One parsed job submission.
+struct JobRecord {
+  std::string tenant;
+  double work = 1.0;
+  unsigned fanout = 1;
+  double weight = 1.0;
+  std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
+  std::uint64_t client_id = 0;    ///< opaque client tag (id=), 0 if unset
+};
+
+enum class ParseStatus {
+  kRecord,     ///< a job record was parsed into *out
+  kEmpty,      ///< blank line or comment — nothing to do
+  kMalformed,  ///< quarantine the line; *error says why
+};
+
+/// Parses one line of the feed.  Never throws: malformed input — bad
+/// numbers, out-of-range values, oversize tokens, unknown keys — comes
+/// back as kMalformed with a diagnostic in *error.  `line` must not
+/// contain the trailing newline.
+ParseStatus parse_record(std::string_view line, JobRecord* out,
+                         std::string* error);
+
+/// Renders a record as a feed line (inverse of parse_record; used by the
+/// load generator and replay-file writer).
+std::string format_record(const JobRecord& record);
+
+}  // namespace pjsched::service

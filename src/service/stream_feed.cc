@@ -1,0 +1,200 @@
+#include "src/service/stream_feed.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pjsched::service {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void LineReader::feed(const char* data, std::size_t n, const Sink& sink) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      if (discarding_) {
+        // End of an oversize line: report once (truncated prefix only) and
+        // resync — the next byte starts a fresh, trusted line.
+        ++oversize_lines_;
+        sink(buffer_, /*oversized=*/true);
+        discarding_ = false;
+      } else {
+        sink(buffer_, /*oversized=*/false);
+      }
+      buffer_.clear();
+      continue;
+    }
+    if (discarding_) continue;  // drop bytes until the resync newline
+    if (buffer_.size() >= max_line_bytes_) {
+      discarding_ = true;  // the bound is the defense: stop buffering now
+      continue;
+    }
+    buffer_.push_back(c);
+  }
+}
+
+bool LineReader::finish(const Sink& sink) {
+  if (buffer_.empty() && !discarding_) return false;
+  if (discarding_) ++oversize_lines_;
+  sink(buffer_, /*oversized=*/discarding_);
+  buffer_.clear();
+  discarding_ = false;
+  return true;
+}
+
+int listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "unix socket path empty or too long";
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_string("socket(AF_UNIX)");
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // a stale socket file from a crashed daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = errno_string("bind(unix)");
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) < 0) {
+    if (error != nullptr) *error = errno_string("listen(unix)");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int listen_tcp(std::uint16_t port, std::string* error,
+               std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_string("socket(AF_INET)");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: the feed is unauthenticated, so it is never exposed
+  // beyond the host.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = errno_string("bind(tcp)");
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) < 0) {
+    if (error != nullptr) *error = errno_string("listen(tcp)");
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0)
+      *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+int accept_client(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "unix socket path empty or too long";
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_string("socket(AF_UNIX)");
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = errno_string("connect(unix)");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port,
+                std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_string("socket(AF_INET)");
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad IPv4 address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = errno_string("connect(tcp)");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool wait_readable(int fd, std::chrono::milliseconds timeout) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&p, 1, static_cast<int>(timeout.count()));
+    if (rc > 0) return (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace pjsched::service

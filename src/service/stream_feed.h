@@ -1,0 +1,80 @@
+// Byte-stream plumbing for the daemon's ingest: an incremental
+// newline-splitter with a hard per-line byte bound (the defense against a
+// client that never sends '\n'), and small wrappers over POSIX sockets —
+// loopback TCP and Unix-domain listeners, client connects, and poll-based
+// readiness waits.  Everything here reports failure as a return value;
+// nothing throws on bad input from the network.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/service/record.h"
+
+namespace pjsched::service {
+
+/// Incremental line splitter with an oversize quarantine: bytes stream in
+/// via feed(), complete lines come out via the sink.  A line longer than
+/// `max_line_bytes` is not buffered — its bytes are discarded until the
+/// next '\n', and the sink is called once with oversized=true (the stream
+/// then resyncs cleanly on the following line).  finish() flushes a final
+/// unterminated line, reporting it as a partial.
+class LineReader {
+ public:
+  /// sink(line, oversized): `line` excludes the newline; for oversized
+  /// lines only a truncated prefix is delivered (diagnostics, not data).
+  using Sink = std::function<void(std::string_view line, bool oversized)>;
+
+  explicit LineReader(std::size_t max_line_bytes = kMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Feeds `n` raw bytes; invokes `sink` once per completed line.
+  void feed(const char* data, std::size_t n, const Sink& sink);
+
+  /// Flushes a trailing unterminated line, if any (feed disconnect mid-
+  /// line).  Returns true when a partial was flushed; it is delivered to
+  /// the sink with oversized == (it had overflowed).
+  bool finish(const Sink& sink);
+
+  std::uint64_t oversize_lines() const { return oversize_lines_; }
+
+ private:
+  std::size_t max_line_bytes_;  // non-const so LineReader stays movable
+  std::string buffer_;
+  bool discarding_ = false;  ///< inside an oversize line, pre-resync
+  std::uint64_t oversize_lines_ = 0;
+};
+
+/// Creates a listening Unix-domain socket at `path` (unlinking a stale
+/// one).  Returns the fd, or -1 with *error set.
+int listen_unix(const std::string& path, std::string* error);
+
+/// Creates a loopback (127.0.0.1) TCP listener on `port` (0 = ephemeral).
+/// Returns the fd, or -1 with *error set; *bound_port receives the actual
+/// port when non-null.
+int listen_tcp(std::uint16_t port, std::string* error,
+               std::uint16_t* bound_port = nullptr);
+
+/// Accepts one pending connection (the listener must be readable).
+/// Returns the fd or -1.
+int accept_client(int listen_fd);
+
+int connect_unix(const std::string& path, std::string* error);
+int connect_tcp(const std::string& host, std::uint16_t port,
+                std::string* error);
+
+/// Polls `fd` for readability; true when readable before the timeout.
+bool wait_readable(int fd, std::chrono::milliseconds timeout);
+
+/// Writes the whole buffer, retrying short writes; false on error (the
+/// caller treats it as a dead connection).  SIGPIPE-safe (MSG_NOSIGNAL on
+/// sockets).
+bool write_all(int fd, std::string_view data);
+
+void close_fd(int fd);
+
+}  // namespace pjsched::service

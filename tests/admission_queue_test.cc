@@ -141,5 +141,75 @@ TEST(AdmissionQueueTest, TryPopHeaviestPrefersLargestWeight) {
   delete c;
 }
 
+TEST(AdmissionQueueTest, StatsCountEveryOutcome) {
+  AdmissionQueue q(2, BackpressurePolicy::kShedOldest);
+  Task* a = make_task();
+  Task* b = make_task();
+  Task* c = make_task();
+  Task* evicted = nullptr;
+  q.push(a, &evicted);
+  q.push(b, &evicted);
+  q.push(c, &evicted);  // evicts a
+  EXPECT_EQ(evicted, a);
+  EXPECT_EQ(q.try_pop(), b);
+  AdmissionQueue::Stats s = q.stats();
+  EXPECT_EQ(s.accepted, 3u);
+  EXPECT_EQ(s.shed, 1u);
+  EXPECT_EQ(s.popped, 1u);
+  EXPECT_EQ(s.depth, 1u);
+  EXPECT_EQ(s.peak_depth, 2u);
+  EXPECT_EQ(s.rejected_full, 0u);
+  q.close();
+  Task* d = make_task();
+  EXPECT_EQ(q.push(d, &evicted), AdmissionQueue::PushResult::kRejected);
+  EXPECT_EQ(q.stats().rejected_closed, 1u);
+  EXPECT_EQ(q.try_pop(), c);
+  delete a;
+  delete b;
+  delete c;
+  delete d;
+}
+
+TEST(AdmissionQueueTest, StatsSnapshotIsNeverTorn) {
+  // Shed accounting race regression: pushers continuously shed the oldest
+  // while a reader snapshots stats(); in every snapshot the books must
+  // balance exactly — accepted == popped + shed + depth.  Before the
+  // queue kept its own accounting under one lock, the equivalent counters
+  // lived in separate atomics and a concurrent dump could observe a shed
+  // without the accept that caused it.
+  AdmissionQueue q(4, BackpressurePolicy::kShedOldest);
+  std::atomic<bool> stop{false};
+  std::vector<Task*> all_tasks;
+  std::mutex all_mu;
+  std::thread pusher([&] {
+    for (int i = 0; i < 3000; ++i) {
+      Task* t = make_task();
+      {
+        std::lock_guard<std::mutex> lock(all_mu);
+        all_tasks.push_back(t);
+      }
+      Task* ev = nullptr;
+      q.push(t, &ev);
+    }
+    stop.store(true);
+  });
+  std::thread popper([&] {
+    while (!stop.load()) q.try_pop();
+  });
+  std::uint64_t snapshots = 0;
+  do {  // at least one snapshot even if the pusher wins the race outright
+    const AdmissionQueue::Stats s = q.stats();
+    ASSERT_EQ(s.accepted, s.popped + s.shed + s.depth);
+    ASSERT_LE(s.depth, s.peak_depth);
+    ++snapshots;
+  } while (!stop.load());
+  pusher.join();
+  popper.join();
+  EXPECT_GT(snapshots, 0u);
+  const AdmissionQueue::Stats s = q.stats();
+  EXPECT_EQ(s.accepted, s.popped + s.shed + s.depth);
+  for (Task* t : all_tasks) delete t;
+}
+
 }  // namespace
 }  // namespace pjsched::runtime

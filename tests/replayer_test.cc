@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/dag/builders.h"
 #include "src/sched/work_stealing.h"
+#include "src/workload/instance_io.h"
 #include "tests/test_util.h"
 
 namespace pjsched {
@@ -64,6 +67,92 @@ TEST(ReplayerTest, BadOptionsRejected) {
   opts.arrival_scale = -1.0;
   EXPECT_THROW(runtime::replay_instance(pool, inst, opts),
                std::invalid_argument);
+}
+
+// --- Replay-file loading (typed errors) ---
+
+class ReplayFileTest : public ::testing::Test {
+ protected:
+  std::string write_fixture(const std::string& name,
+                            const std::string& text) {
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    return path;
+  }
+
+  std::string valid_text() {
+    return workload::instance_to_text(testutil::make_instance({
+        {0.0, dag::parallel_for_dag(4, 2)},
+        {5.0, dag::serial_chain(3, 2)},
+    }));
+  }
+};
+
+TEST_F(ReplayFileTest, LoadsAWellFormedFile) {
+  const auto path = write_fixture("replay_ok.inst", valid_text());
+  const core::Instance inst = runtime::load_replay_instance(path);
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_DOUBLE_EQ(inst.jobs[1].arrival, 5.0);
+}
+
+TEST_F(ReplayFileTest, MissingFileIsAnIoError) {
+  try {
+    runtime::load_replay_instance(::testing::TempDir() + "no_such.inst");
+    FAIL() << "expected ReplayFileError";
+  } catch (const runtime::ReplayFileError& e) {
+    EXPECT_EQ(e.kind(), runtime::ReplayFileError::Kind::kIo);
+  }
+}
+
+TEST_F(ReplayFileTest, TruncatedFileIsDetectedAtEveryCutPoint) {
+  // A short read can cut the file anywhere — mid-token, between records,
+  // or right before the trailer.  Every proper prefix must surface as
+  // Kind::kTruncated (never load, never be misreported as corrupt).
+  const std::string full = valid_text();
+  for (std::size_t cut : {full.size() - 2, full.size() - 8, full.size() / 2,
+                          full.size() / 4, std::size_t{10}}) {
+    const auto path =
+        write_fixture("replay_trunc.inst", full.substr(0, cut));
+    try {
+      runtime::load_replay_instance(path);
+      FAIL() << "expected ReplayFileError at cut " << cut;
+    } catch (const runtime::ReplayFileError& e) {
+      EXPECT_EQ(e.kind(), runtime::ReplayFileError::Kind::kTruncated)
+          << "cut=" << cut << " what=" << e.what();
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    }
+  }
+}
+
+TEST_F(ReplayFileTest, CorruptTokenIsDistinguishedFromTruncation) {
+  std::string text = valid_text();
+  const auto pos = text.find("job 5");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "job x");  // non-numeric arrival mid-file
+  const auto path = write_fixture("replay_corrupt.inst", text);
+  try {
+    runtime::load_replay_instance(path);
+    FAIL() << "expected ReplayFileError";
+  } catch (const runtime::ReplayFileError& e) {
+    EXPECT_EQ(e.kind(), runtime::ReplayFileError::Kind::kCorrupt);
+  }
+}
+
+TEST_F(ReplayFileTest, TrailingGarbageIsCorrupt) {
+  const auto path = write_fixture("replay_trailing.inst",
+                                  valid_text() + "job 9 1\n");
+  try {
+    runtime::load_replay_instance(path);
+    FAIL() << "expected ReplayFileError";
+  } catch (const runtime::ReplayFileError& e) {
+    EXPECT_EQ(e.kind(), runtime::ReplayFileError::Kind::kCorrupt);
+  }
+  // Comments after the trailer are fine (write_instance never emits them,
+  // but hand-annotated fixtures do).
+  const auto ok = write_fixture("replay_comment.inst",
+                                valid_text() + "# replayed 2026-08-08\n");
+  EXPECT_EQ(runtime::load_replay_instance(ok).size(), 2u);
 }
 
 // --- Weighted-admission work stealing (extension) ---

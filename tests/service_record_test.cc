@@ -1,0 +1,107 @@
+// Defensive-parsing tests for the feed wire format (src/service/record.*):
+// the parser must accept exactly the documented grammar and turn every
+// other byte sequence into kMalformed with a diagnostic — never a crash,
+// never a half-parsed record.
+#include "src/service/record.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pjsched::service {
+namespace {
+
+JobRecord must_parse(const std::string& line) {
+  JobRecord rec;
+  std::string error;
+  EXPECT_EQ(parse_record(line, &rec, &error), ParseStatus::kRecord)
+      << line << " -> " << error;
+  return rec;
+}
+
+void must_reject(const std::string& line) {
+  JobRecord rec;
+  std::string error;
+  EXPECT_EQ(parse_record(line, &rec, &error), ParseStatus::kMalformed) << line;
+  EXPECT_FALSE(error.empty()) << line;
+}
+
+TEST(ServiceRecord, ParsesMinimalAndFullRecords) {
+  const JobRecord minimal = must_parse("job acme 4");
+  EXPECT_EQ(minimal.tenant, "acme");
+  EXPECT_DOUBLE_EQ(minimal.work, 4.0);
+  EXPECT_EQ(minimal.fanout, 1u);
+  EXPECT_DOUBLE_EQ(minimal.weight, 1.0);
+  EXPECT_EQ(minimal.deadline_ms, 0u);
+
+  const JobRecord full =
+      must_parse("job t-1.a_b 2.5 fanout=8 weight=0.25 deadline_ms=900 id=7");
+  EXPECT_EQ(full.tenant, "t-1.a_b");
+  EXPECT_DOUBLE_EQ(full.work, 2.5);
+  EXPECT_EQ(full.fanout, 8u);
+  EXPECT_DOUBLE_EQ(full.weight, 0.25);
+  EXPECT_EQ(full.deadline_ms, 900u);
+  EXPECT_EQ(full.client_id, 7u);
+}
+
+TEST(ServiceRecord, BlankLinesAndCommentsAreEmpty) {
+  JobRecord rec;
+  std::string error;
+  EXPECT_EQ(parse_record("", &rec, &error), ParseStatus::kEmpty);
+  EXPECT_EQ(parse_record("   \t ", &rec, &error), ParseStatus::kEmpty);
+  EXPECT_EQ(parse_record("# a comment", &rec, &error), ParseStatus::kEmpty);
+  // A trailing comment after a record is fine.
+  EXPECT_EQ(parse_record("job a 1 # why", &rec, &error), ParseStatus::kRecord);
+}
+
+TEST(ServiceRecord, HostileInputIsMalformedNeverFatal) {
+  must_reject("jib a 1");                      // unknown verb
+  must_reject("job");                          // missing fields
+  must_reject("job a");                        // missing work
+  must_reject("job a 0");                      // zero work
+  must_reject("job a -3");                     // negative work
+  must_reject("job a 1e400");                  // overflow -> inf
+  must_reject("job a nan");                    // non-finite
+  must_reject("job a 1x");                     // trailing junk in number
+  must_reject("job a/etc 1");                  // bad tenant charset
+  must_reject("job " + std::string(kMaxTenantBytes + 1, 'a') + " 1");
+  must_reject("job a 1 fanout=0");             // fanout below range
+  must_reject("job a 1 fanout=99999999");      // fanout above range
+  must_reject("job a 1 fanout=-2");            // not a uint
+  must_reject("job a 1 weight=0");             // weight must be positive
+  must_reject("job a 1 deadline_ms=0");        // deadline_ms must be >= 1
+  must_reject("job a 1 deadline_ms=99999999999");  // above one hour
+  must_reject("job a 1 nice=true");            // unknown key
+  must_reject("job a 1 =v");                   // empty key
+  must_reject("job a 1 k=");                   // empty value
+  must_reject("job a 1 orphan");               // bare token
+  must_reject(std::string(kMaxLineBytes + 1, 'a'));  // oversize line
+}
+
+TEST(ServiceRecord, WorkBoundsAreInclusive) {
+  EXPECT_DOUBLE_EQ(must_parse("job a 1e9").work, kMaxWork);
+  must_reject("job a 1.0000001e9");
+}
+
+TEST(ServiceRecord, FormatRoundTrips) {
+  JobRecord rec;
+  rec.tenant = "roundtrip";
+  rec.work = 12.5;
+  rec.fanout = 4;
+  rec.weight = 2.0;
+  rec.deadline_ms = 250;
+  rec.client_id = 99;
+  const JobRecord back = must_parse(format_record(rec));
+  EXPECT_EQ(back.tenant, rec.tenant);
+  EXPECT_DOUBLE_EQ(back.work, rec.work);
+  EXPECT_EQ(back.fanout, rec.fanout);
+  EXPECT_DOUBLE_EQ(back.weight, rec.weight);
+  EXPECT_EQ(back.deadline_ms, rec.deadline_ms);
+  EXPECT_EQ(back.client_id, rec.client_id);
+
+  // Defaults are omitted from the wire form.
+  EXPECT_EQ(format_record(JobRecord{"t", 1.0, 1, 1.0, 0, 0}), "job t 1");
+}
+
+}  // namespace
+}  // namespace pjsched::service

@@ -1,0 +1,273 @@
+// Behavioral tests for the per-tenant sharded admission router
+// (src/service/tenant_router.*): weighted-fair pops, heaviest-over-share
+// shedding with earliest-queued tie-break, the rung side effects at each
+// ladder stage, and the conservation law its stats() promises.
+#include "src/service/tenant_router.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace pjsched::service {
+namespace {
+
+JobRecord rec(const std::string& tenant, double work = 1.0) {
+  JobRecord r;
+  r.tenant = tenant;
+  r.work = work;
+  return r;
+}
+
+/// Single-shard config: every tenant shares one queue, so fair-share math
+/// is exact and deterministic in the tests.
+RouterConfig one_shard(std::size_t capacity) {
+  RouterConfig c;
+  c.shards = 1;
+  c.capacity = capacity;
+  return c;
+}
+
+/// push() helper that asserts admission.
+void admit(TenantRouter& router, const JobRecord& r) {
+  std::vector<ShedRecord> ev;
+  ShedReason why{};
+  ASSERT_EQ(router.push(r, &ev, &why), PushOutcome::kAdmitted);
+  ASSERT_TRUE(ev.empty());
+}
+
+void expect_conservation(const TenantRouter::Stats& s) {
+  EXPECT_EQ(s.accepted, s.popped + s.shed_fair_share + s.shed_queued + s.depth);
+}
+
+TEST(TenantRouter, PopsWeightedFairAcrossTenants) {
+  TenantRouter router(one_shard(16));
+  router.set_weight("a", 1.0);
+  router.set_weight("b", 3.0);
+  for (int i = 0; i < 4; ++i) admit(router, rec("a"));
+  for (int i = 0; i < 4; ++i) admit(router, rec("b"));
+
+  // Weighted fair queuing at weights 1:3 with unit work serves exactly
+  // this order (ties broken by earliest queued record).
+  const std::vector<std::string> expected = {"a", "b", "b", "b",
+                                             "a", "b", "a", "a"};
+  std::vector<std::string> order;
+  QueuedRecord out;
+  while (router.try_pop(&out)) order.push_back(out.record.tenant);
+  EXPECT_EQ(order, expected);
+  expect_conservation(router.stats());
+}
+
+TEST(TenantRouter, FifoWithinATenant) {
+  TenantRouter router(one_shard(16));
+  for (int i = 0; i < 5; ++i) {
+    JobRecord r = rec("only");
+    r.client_id = static_cast<std::uint64_t>(i + 1);
+    admit(router, r);
+  }
+  QueuedRecord out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(router.try_pop(&out));
+    EXPECT_EQ(out.record.client_id, static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_FALSE(router.try_pop(&out));
+}
+
+TEST(TenantRouter, FullShardShedsMostOverShareTenantHeadFirst) {
+  TenantRouter router(one_shard(4));
+  JobRecord first = rec("heavy");
+  first.client_id = 111;  // the earliest-queued record: the one evicted
+  admit(router, first);
+  admit(router, rec("heavy"));
+  admit(router, rec("heavy"));
+  admit(router, rec("light"));
+
+  // Full.  light (1 queued, share 2) pushes: heavy (3 queued, share 2) is
+  // the over-share tenant, so heavy's HEAD is evicted and light admitted.
+  std::vector<ShedRecord> ev;
+  ShedReason why{};
+  EXPECT_EQ(router.push(rec("light"), &ev, &why), PushOutcome::kAdmitted);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].item.record.tenant, "heavy");
+  EXPECT_EQ(ev[0].item.record.client_id, 111u);  // head drop, not tail
+  EXPECT_EQ(ev[0].reason, ShedReason::kFairShare);
+
+  const TenantRouter::Stats s = router.stats();
+  EXPECT_EQ(s.shed_fair_share, 1u);
+  EXPECT_EQ(s.depth, 4u);
+  expect_conservation(s);
+}
+
+TEST(TenantRouter, SoleTenantOverOwnShareShedsItsArrival) {
+  TenantRouter router(one_shard(4));
+  for (int i = 0; i < 4; ++i) admit(router, rec("solo"));
+  // solo's share is the whole shard; at 4 queued it is not over share, so
+  // there is no victim — the arrival itself is shed.
+  std::vector<ShedRecord> ev;
+  ShedReason why{};
+  EXPECT_EQ(router.push(rec("solo"), &ev, &why), PushOutcome::kShed);
+  EXPECT_TRUE(ev.empty());
+  EXPECT_EQ(why, ShedReason::kFairShare);
+  const TenantRouter::Stats s = router.stats();
+  EXPECT_EQ(s.shed_arrival_full, 1u);
+  EXPECT_EQ(s.depth, 4u);
+  expect_conservation(s);
+}
+
+TEST(TenantRouter, ShedNewRungDropsOverShareArrivalsAtTheDoor) {
+  TenantRouter router(one_shard(4));
+  std::vector<ShedRecord> ev;
+  for (int i = 0; i < 2; ++i) admit(router, rec("a"));
+  for (int i = 0; i < 2; ++i) admit(router, rec("b"));
+
+  // One stalled tick escalates normal -> shed-new immediately.
+  ASSERT_EQ(router.tick(/*stalled=*/true, &ev), Rung::kShedNew);
+  ASSERT_TRUE(ev.empty());
+
+  // a and b (2 queued each, share 2) would go over share: shed at ingest.
+  ShedReason why{};
+  EXPECT_EQ(router.push(rec("a"), &ev, &why), PushOutcome::kShed);
+  EXPECT_EQ(why, ShedReason::kShedNew);
+  // A fresh tenant under its share is still served normally — the shard
+  // is full (depth 4), so admission evicts from the most-loaded tenant
+  // rather than refusing c.
+  EXPECT_EQ(router.push(rec("c"), &ev, &why), PushOutcome::kAdmitted);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].reason, ShedReason::kFairShare);
+
+  const TenantRouter::Stats s = router.stats();
+  EXPECT_EQ(s.shed_new, 1u);
+  expect_conservation(s);
+}
+
+TEST(TenantRouter, ShedQueuedRungTrimsBacklogsToFairShare) {
+  TenantRouter router(one_shard(8));
+  for (int i = 0; i < 6; ++i) admit(router, rec("a"));
+  admit(router, rec("b"));
+
+  std::vector<ShedRecord> ev;
+  ASSERT_EQ(router.tick(true, &ev), Rung::kShedNew);
+  ASSERT_EQ(router.tick(true, &ev), Rung::kShedQueued);
+  // a's share is 4 (two active weight-1 tenants, capacity 8): its two
+  // EARLIEST records are trimmed; b (1 <= share) is untouched.
+  ASSERT_EQ(ev.size(), 2u);
+  for (const ShedRecord& s : ev) {
+    EXPECT_EQ(s.item.record.tenant, "a");
+    EXPECT_EQ(s.reason, ShedReason::kShedQueued);
+  }
+  EXPECT_LT(ev[0].item.seq, ev[1].item.seq);
+
+  const TenantRouter::Stats s = router.stats();
+  EXPECT_EQ(s.shed_queued, 2u);
+  EXPECT_EQ(s.depth, 5u);
+  expect_conservation(s);
+}
+
+TEST(TenantRouter, RejectTenantRungRefusesTheOffenderOnly) {
+  // Capacity 8, two active tenants: flood (6 queued) is over its share of
+  // 4, so it is the electable offender.
+  TenantRouter router(one_shard(8));
+  for (int i = 0; i < 6; ++i) admit(router, rec("flood"));
+  admit(router, rec("nice"));
+
+  std::vector<ShedRecord> ev;
+  router.tick(true, &ev);
+  router.tick(true, &ev);
+  ASSERT_EQ(router.tick(true, &ev), Rung::kRejectTenant);
+  EXPECT_EQ(router.offender(), "flood");
+
+  ShedReason why{};
+  EXPECT_EQ(router.push(rec("flood"), &ev, &why), PushOutcome::kShed);
+  EXPECT_EQ(why, ShedReason::kRejectTenant);
+  EXPECT_EQ(router.push(rec("nice"), &ev, &why), PushOutcome::kAdmitted);
+
+  // Recovery: enough calm ticks step the ladder down and clear the
+  // offender (down_hold defaults to 8; drain the queues first so
+  // utilization is 0).
+  QueuedRecord out;
+  while (router.try_pop(&out)) {
+  }
+  for (int i = 0; i < 64 && router.rung() != Rung::kNormal; ++i)
+    router.tick(false, &ev);
+  EXPECT_EQ(router.rung(), Rung::kNormal);
+  EXPECT_EQ(router.offender(), "");
+  expect_conservation(router.stats());
+}
+
+TEST(TenantRouter, DrainRejectsNewWhileQueuedRecordsStayPoppable) {
+  TenantRouter router(one_shard(8));
+  admit(router, rec("t"));
+  admit(router, rec("t"));
+  router.begin_drain();
+  EXPECT_EQ(router.rung(), Rung::kDrain);
+
+  std::vector<ShedRecord> ev;
+  ShedReason why{};
+  EXPECT_EQ(router.push(rec("t"), &ev, &why), PushOutcome::kShed);
+  EXPECT_EQ(why, ShedReason::kRejectDrain);
+
+  QueuedRecord out;
+  EXPECT_TRUE(router.try_pop(&out));
+  EXPECT_TRUE(router.try_pop(&out));
+  EXPECT_FALSE(router.try_pop(&out));
+
+  // Drain survives further ticks (terminal).
+  EXPECT_EQ(router.tick(false, &ev), Rung::kDrain);
+  const TenantRouter::Stats s = router.stats();
+  EXPECT_EQ(s.rejected_drain, 1u);
+  expect_conservation(s);
+}
+
+TEST(TenantRouter, ConservationHoldsUnderRandomizedChurn) {
+  // Seeded single-thread churn across many shards: every stats() snapshot
+  // along the way must balance exactly.  (The multi-threaded version of
+  // this property runs in service_stress_test.)
+  RouterConfig config;
+  config.shards = 4;
+  config.capacity = 32;
+  TenantRouter router(config);
+  sim::Rng rng(1234);
+  const std::string tenants[] = {"t0", "t1", "t2", "t3", "t4", "t5"};
+  router.set_weight("t0", 4.0);
+  router.set_weight("t1", 0.5);
+
+  std::vector<ShedRecord> ev;
+  std::uint64_t pushes = 0, admitted = 0, shed_at_push = 0, evicted = 0,
+                popped = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t dice = rng.uniform_int(10);
+    if (dice < 6) {
+      ev.clear();
+      ShedReason why{};
+      ++pushes;
+      if (router.push(rec(tenants[rng.uniform_int(6)],
+                          1.0 + rng.uniform_double() * 4.0),
+                      &ev, &why) == PushOutcome::kAdmitted)
+        ++admitted;
+      else
+        ++shed_at_push;
+      evicted += ev.size();
+    } else if (dice < 9) {
+      QueuedRecord out;
+      if (router.try_pop(&out)) ++popped;
+    } else {
+      ev.clear();
+      router.tick(rng.bernoulli(0.05), &ev);
+      evicted += ev.size();
+    }
+    if (step % 1000 == 0) expect_conservation(router.stats());
+  }
+  const TenantRouter::Stats s = router.stats();
+  expect_conservation(s);
+  EXPECT_EQ(s.accepted, admitted);
+  EXPECT_EQ(s.popped, popped);
+  EXPECT_EQ(s.shed_fair_share + s.shed_queued, evicted);
+  EXPECT_EQ(s.total_shed(), shed_at_push + evicted);
+  EXPECT_EQ(pushes, admitted + shed_at_push);
+  EXPECT_GT(s.total_shed(), 0u);  // the churn actually exercised shedding
+}
+
+}  // namespace
+}  // namespace pjsched::service

@@ -4,13 +4,16 @@
 Usage:
     make_bench_baseline.py <sim-json> <output-json>
         [--runtime <runtime-json>] [--before <runtime-before-json>]
+        [--service <service-json>]
 
 <sim-json> is what `bench_sim_engine --benchmark_filter=Baseline
 --benchmark_out=<file> --benchmark_out_format=json` writes; the optional
 --runtime file is the matching `bench_runtime --benchmark_filter=Runtime`
-output, distilled into a `runtime` section, and --before is a committed raw
+output, distilled into a `runtime` section, --before is a committed raw
 snapshot of the same suite from before the hot-path work (tasks/sec
-speedups are reported against it).  The output is the repo's
+speedups are reported against it), and --service is the matching
+`bench_service --benchmark_filter=Service` output, distilled into a
+`service` section (ingest jobs/sec at each degradation-ladder rung).  The output is the repo's
 perf-trajectory file (see docs/simulation-model.md, "Performance model").
 
 The snapshot is loudly annotated — a `warnings` array in the output, and
@@ -111,9 +114,34 @@ def _runtime_section(runtime_path, before_path, warnings):
     return section
 
 
+def _service_section(service_path):
+    _, by_name = _load_report(service_path)
+    rungs = {
+        "normal": "BM_ServiceIngest/0",
+        "shed_new": "BM_ServiceIngest/1",
+        "shed_queued": "BM_ServiceIngest/2",
+        "reject_tenant": "BM_ServiceIngest/3",
+    }
+    return {
+        "workload": "TenantRouter push+pop pairs, 1000 tenants, 8 shards, "
+                    "capacity 8192, ladder frozen at each rung "
+                    "(bench/bench_service.cc)",
+        "ingest_jobs_per_sec": {
+            rung: _pick(by_name, name, service_path)["items_per_second"]
+            for rung, name in rungs.items()
+        },
+        "shed_at_door_jobs_per_sec":
+            _pick(by_name, "BM_ServiceShedAtDoor",
+                  service_path)["items_per_second"],
+        "parse_records_per_sec":
+            _pick(by_name, "BM_ServiceParseRecord",
+                  service_path)["items_per_second"],
+    }
+
+
 def main(argv):
     args = list(argv[1:])
-    runtime_path = before_path = None
+    runtime_path = before_path = service_path = None
     if "--before" in args:
         i = args.index("--before")
         before_path = args[i + 1]
@@ -121,6 +149,10 @@ def main(argv):
     if "--runtime" in args:
         i = args.index("--runtime")
         runtime_path = args[i + 1]
+        del args[i:i + 2]
+    if "--service" in args:
+        i = args.index("--service")
+        service_path = args[i + 1]
         del args[i:i + 2]
     if len(args) != 2:
         sys.exit(__doc__)
@@ -201,6 +233,8 @@ def main(argv):
     }
     if runtime_path is not None:
         out["runtime"] = _runtime_section(runtime_path, before_path, warnings)
+    if service_path is not None:
+        out["service"] = _service_section(service_path)
 
     with open(out_path, "w") as f:
         json.dump(out, f, indent=2)
@@ -214,6 +248,9 @@ def main(argv):
     if "runtime" in out and "speedup_vs_before" in out["runtime"]:
         pf = out["runtime"]["speedup_vs_before"]["parallel_for_fine"]
         line += f", runtime fine-grain {pf:.2f}x vs before"
+    if "service" in out:
+        normal = out["service"]["ingest_jobs_per_sec"]["normal"]
+        line += f", service ingest {normal:,.0f} jobs/s (normal rung)"
     print(line + f" ({num_cpus} cpus, {build_type})")
 
 

@@ -1,0 +1,196 @@
+// pjsched_loadgen — feed client / load generator for pjschedd.
+//
+// Streams job records to a daemon over a Unix or TCP socket with the
+// client-side robustness the service contract expects: connect (and
+// reconnect) with bounded retries, exponential backoff with seeded
+// full jitter, and a total deadline budget after which the client gives
+// up cleanly instead of hammering a struggling daemon forever.
+//
+//   pjsched_loadgen --tcp-port=7133 --tenant=acme --records=10000
+//                   --rate=2000 --work=8 --fanout=4
+//   pjsched_loadgen --unix=/tmp/pjsched.sock --tenant=bulk
+//                   --records=100000 --budget-ms=30000 --seed=7
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/service/record.h"
+#include "src/service/stream_feed.h"
+#include "src/sim/rng.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace service = pjsched::service;
+
+struct Options {
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+  std::string tenant = "loadgen";
+  std::uint64_t records = 1000;
+  double work = 4.0;
+  unsigned fanout = 1;
+  double weight = 1.0;
+  std::uint64_t deadline_ms = 0;    // per-job deadline on each record
+  double rate = 0.0;                // records/sec; 0 = as fast as possible
+  std::uint64_t budget_ms = 60000;  // total client deadline budget
+  unsigned max_retries = 8;
+  std::uint64_t backoff_base_ms = 10;
+  std::uint64_t seed = 1;
+};
+
+bool parse_flag(const std::string& arg, const std::string& name,
+                std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " (--unix=PATH | --tcp-port=PORT) "
+            << "[--tcp-host=H] [--tenant=T]\n"
+            << "  [--records=N] [--work=W] [--fanout=F] [--weight=W]\n"
+            << "  [--deadline-ms=D] [--rate=R] [--budget-ms=B]\n"
+            << "  [--max-retries=N] [--backoff-base-ms=N] [--seed=S]\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options* o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    try {
+      if (parse_flag(arg, "unix", &v)) o->unix_path = v;
+      else if (parse_flag(arg, "tcp-host", &v)) o->tcp_host = v;
+      else if (parse_flag(arg, "tcp-port", &v)) o->tcp_port = std::stoi(v);
+      else if (parse_flag(arg, "tenant", &v)) o->tenant = v;
+      else if (parse_flag(arg, "records", &v)) o->records = std::stoull(v);
+      else if (parse_flag(arg, "work", &v)) o->work = std::stod(v);
+      else if (parse_flag(arg, "fanout", &v))
+        o->fanout = static_cast<unsigned>(std::stoul(v));
+      else if (parse_flag(arg, "weight", &v)) o->weight = std::stod(v);
+      else if (parse_flag(arg, "deadline-ms", &v))
+        o->deadline_ms = std::stoull(v);
+      else if (parse_flag(arg, "rate", &v)) o->rate = std::stod(v);
+      else if (parse_flag(arg, "budget-ms", &v)) o->budget_ms = std::stoull(v);
+      else if (parse_flag(arg, "max-retries", &v))
+        o->max_retries = static_cast<unsigned>(std::stoul(v));
+      else if (parse_flag(arg, "backoff-base-ms", &v))
+        o->backoff_base_ms = std::stoull(v);
+      else if (parse_flag(arg, "seed", &v)) o->seed = std::stoull(v);
+      else return false;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return !o->unix_path.empty() || o->tcp_port >= 0;
+}
+
+/// Connects with exponential backoff + full jitter, honoring the budget.
+/// Returns the fd, or -1 when retries or the budget ran out.
+int connect_with_retry(const Options& o, pjsched::sim::Rng& rng,
+                       Clock::time_point budget_deadline, std::string* error) {
+  for (unsigned attempt = 0; attempt <= o.max_retries; ++attempt) {
+    if (Clock::now() >= budget_deadline) {
+      *error = "deadline budget exhausted";
+      return -1;
+    }
+    const int fd =
+        o.unix_path.empty()
+            ? service::connect_tcp(o.tcp_host,
+                                   static_cast<std::uint16_t>(o.tcp_port),
+                                   error)
+            : service::connect_unix(o.unix_path, error);
+    if (fd >= 0) return fd;
+    if (attempt == o.max_retries) break;
+    // Full jitter: sleep uniform in [0, base * 2^attempt], capped so one
+    // sleep never blows the whole budget.
+    const std::uint64_t ceiling = o.backoff_base_ms << std::min(attempt, 20u);
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        budget_deadline - Clock::now());
+    const std::uint64_t sleep_ms = std::min<std::uint64_t>(
+        rng.uniform_int(ceiling + 1),
+        remaining.count() > 0
+            ? static_cast<std::uint64_t>(remaining.count())
+            : 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, &opts)) return usage(argv[0]);
+
+  pjsched::sim::Rng rng(opts.seed);
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point budget_deadline =
+      start + std::chrono::milliseconds(opts.budget_ms);
+
+  std::string error;
+  int fd = connect_with_retry(opts, rng, budget_deadline, &error);
+  if (fd < 0) {
+    std::cerr << "pjsched_loadgen: connect failed: " << error << "\n";
+    return 1;
+  }
+
+  service::JobRecord record;
+  record.tenant = opts.tenant;
+  record.work = opts.work;
+  record.fanout = opts.fanout;
+  record.weight = opts.weight;
+  record.deadline_ms = opts.deadline_ms;
+
+  std::uint64_t sent = 0, reconnects = 0;
+  for (std::uint64_t i = 0; i < opts.records; ++i) {
+    if (Clock::now() >= budget_deadline) {
+      std::cerr << "pjsched_loadgen: budget exhausted after " << sent
+                << " records\n";
+      service::close_fd(fd);
+      return 1;
+    }
+    record.client_id = i + 1;
+    const std::string line = service::format_record(record) + "\n";
+    if (!service::write_all(fd, line)) {
+      // Dead connection: reconnect under the same backoff/budget rules and
+      // resend this record on the fresh connection.
+      service::close_fd(fd);
+      fd = connect_with_retry(opts, rng, budget_deadline, &error);
+      if (fd < 0) {
+        std::cerr << "pjsched_loadgen: reconnect failed: " << error << "\n";
+        return 1;
+      }
+      ++reconnects;
+      if (!service::write_all(fd, line)) {
+        std::cerr << "pjsched_loadgen: write failed after reconnect\n";
+        service::close_fd(fd);
+        return 1;
+      }
+    }
+    ++sent;
+    if (opts.rate > 0.0) {
+      // Open-loop pacing against the schedule, not sleep-per-record: the
+      // i-th record is due at start + i/rate, so a slow stretch is made up
+      // instead of compounding.
+      const auto due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>((i + 1) / opts.rate));
+      while (Clock::now() < due && Clock::now() < budget_deadline)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  service::close_fd(fd);
+
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::cout << "pjsched_loadgen: sent " << sent << " records in " << secs
+            << "s (" << (secs > 0 ? static_cast<double>(sent) / secs : 0)
+            << " rec/s, " << reconnects << " reconnects)\n";
+  return 0;
+}
