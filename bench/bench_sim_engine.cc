@@ -8,9 +8,18 @@
 // tools/make_bench_baseline.py distills the result into BENCH_sim.json
 // (steps/sec, trials/sec, wall time) so future PRs have a trajectory to
 // compare against.
+// Arm the global operator-new counter for this binary: the scaling suite
+// asserts that streamed runs allocate O(1) per job (no per-slice or
+// per-decision allocations in steady state).
+#define PJSCHED_ENABLE_ALLOC_PROBE
+#include "bench/rss_probe.h"
+
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "src/core/multi_trial.h"
+#include "src/core/run.h"
 #include "src/dag/builders.h"
 #include "src/runtime/parallel_trials.h"
 #include "src/sched/fifo.h"
@@ -19,6 +28,7 @@
 #include "src/sim/step_engine.h"
 #include "src/workload/distributions.h"
 #include "src/workload/generator.h"
+#include "src/workload/streaming_source.h"
 
 namespace {
 
@@ -206,6 +216,154 @@ void BM_InstanceGeneration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_InstanceGeneration)->Unit(benchmark::kMillisecond);
+
+// --- Asymptotic scaling gate (BENCH_sim.json `scaling` section) -----------
+//
+// One decade curve per engine, 10^4 -> 10^6 jobs (10^7 behind
+// PJSCHED_SCALING_XL=1), streaming the bing workload at 1000 qps on 16
+// processors (utilization ~0.69: stable, so the live-job set is O(1) in the
+// instance length).  Each point records jobs/sec, peak RSS, allocations per
+// job, and the peak live-job count.  The memory claims in executable form:
+//
+//  * flat peak_rss_bytes and allocs_per_job across decades == O(live jobs)
+//    resident state and zero steady-state (per-slice) allocations;
+//  * the BM_Scaling*Materialized counterparts run the same instances through
+//    the classic materialized path, and tools/make_bench_baseline.py turns
+//    the RSS ratio at the largest common decade into the >= 10x headroom
+//    acceptance number.
+//
+// Single iteration per point: the subject is the run's footprint, not
+// per-iteration noise, and VmHWM is a per-process high-water mark that
+// reset_peak_rss() rewinds between points.
+
+constexpr std::size_t kScalingProcessors = 16;
+// Hard per-job allocation ceiling for streamed runs.  A steady-state leak —
+// any allocation per decision slice — would blow past this within one
+// decade (the engines take ~35 slices/job on this workload).  Measured
+// RelWithDebInfo baseline is ~32-34 allocs/job, flat across decades (DAG
+// construction + arena map churn); the ceiling leaves room for
+// allocator/libstdc++ variance without letting O(slices) growth through.
+constexpr double kScalingAllocBudgetPerJob = 64.0;
+
+workload::GeneratorConfig scaling_config(std::size_t jobs) {
+  workload::GeneratorConfig cfg;
+  cfg.num_jobs = jobs;
+  cfg.qps = 1000.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+// FIFO for the event engine; admit-first (k = 0) for the step engine.
+// Admit-first, not steal-16-first: k failed steals gate each admission, so
+// at speed 1 a steal-16 worker pool admits slower than jobs arrive and the
+// global queue grows linearly with the instance (the paper's Theorem 4.1
+// needs (k+1+eps)-speed) — unusable for a bounded-live-set scaling curve.
+// Admit-first is (1+eps)-speed (Corollary 4.3) and stable at u ~ 0.69.
+core::SchedulerSpec scaling_scheduler(bool event_engine) {
+  core::SchedulerSpec spec;
+  if (event_engine) {
+    spec.kind = core::SchedulerKind::kFifo;
+  } else {
+    spec.kind = core::SchedulerKind::kAdmitFirst;
+    spec.seed = 7;
+  }
+  return spec;
+}
+
+void run_scaling_streamed(benchmark::State& state, bool event_engine) {
+  const auto dist = workload::bing_distribution();
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    benchprobe::reset_peak_rss();
+    const std::uint64_t alloc_start = benchprobe::allocation_count();
+    workload::GeneratedJobSource source(dist, scaling_config(jobs));
+    const auto res = core::run_scheduler_streamed(
+        source, scaling_scheduler(event_engine),
+        {kScalingProcessors, 1.0});
+    benchmark::DoNotOptimize(res.max_flow);
+    allocs = benchprobe::allocation_count() - alloc_start;
+    state.counters["peak_rss_bytes"] = static_cast<double>(
+        benchprobe::peak_rss_bytes());
+    state.counters["allocs_per_job"] =
+        static_cast<double>(allocs) / static_cast<double>(jobs);
+    state.counters["peak_live_jobs"] =
+        static_cast<double>(res.stats.peak_live_jobs);
+    state.counters["arena_slots"] =
+        static_cast<double>(res.stats.arena_slots);
+    if (res.jobs != jobs) {
+      state.SkipWithError("streamed run lost jobs");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+  if (static_cast<double>(allocs) >
+      kScalingAllocBudgetPerJob * static_cast<double>(jobs))
+    state.SkipWithError("allocation budget exceeded: steady-state leak");
+}
+
+void run_scaling_materialized(benchmark::State& state, bool event_engine) {
+  const auto dist = workload::bing_distribution();
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchprobe::reset_peak_rss();
+    const auto inst = workload::generate_instance(dist, scaling_config(jobs));
+    const auto res = core::run_scheduler(inst, scaling_scheduler(event_engine),
+                                         {kScalingProcessors, 1.0});
+    benchmark::DoNotOptimize(res.max_flow);
+    state.counters["peak_rss_bytes"] = static_cast<double>(
+        benchprobe::peak_rss_bytes());
+    state.counters["peak_live_jobs"] =
+        static_cast<double>(res.stats.peak_live_jobs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+
+void BM_ScalingEventEngineStreamed(benchmark::State& state) {
+  run_scaling_streamed(state, /*event_engine=*/true);
+}
+void BM_ScalingStepEngineStreamed(benchmark::State& state) {
+  run_scaling_streamed(state, /*event_engine=*/false);
+}
+void BM_ScalingEventEngineMaterialized(benchmark::State& state) {
+  run_scaling_materialized(state, /*event_engine=*/true);
+}
+void BM_ScalingStepEngineMaterialized(benchmark::State& state) {
+  run_scaling_materialized(state, /*event_engine=*/false);
+}
+
+void register_scaling(const char* name, void (*fn)(benchmark::State&),
+                      bool xl_decade) {
+  auto* b = benchmark::RegisterBenchmark(name, fn)
+                ->Arg(10000)
+                ->Arg(100000)
+                ->Arg(1000000)
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+  if (xl_decade) b->Arg(10000000);
+}
+
+// Registration order matters for readability of --benchmark_filter=Scaling
+// output only; the streamed/materialized pairing is by name.  The 10^7
+// decade is opt-in (several GB materialized, minutes of wall time).
+const int scaling_registered = [] {
+  const char* xl_env = std::getenv("PJSCHED_SCALING_XL");
+  const bool xl = xl_env != nullptr && *xl_env != '\0' && *xl_env != '0';
+  register_scaling("BM_ScalingEventEngineStreamed",
+                   BM_ScalingEventEngineStreamed, xl);
+  register_scaling("BM_ScalingStepEngineStreamed",
+                   BM_ScalingStepEngineStreamed, xl);
+  // Materialized comparison points last: the CI smoke filter selects the
+  // streamed curves only; the full bench_baseline run includes these to
+  // compute the streamed-vs-materialized RSS ratio.
+  register_scaling("BM_ScalingEventEngineMaterialized",
+                   BM_ScalingEventEngineMaterialized, /*xl_decade=*/false);
+  register_scaling("BM_ScalingStepEngineMaterialized",
+                   BM_ScalingStepEngineMaterialized, /*xl_decade=*/false);
+  return 0;
+}();
 
 }  // namespace
 

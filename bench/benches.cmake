@@ -56,6 +56,10 @@ add_custom_target(bench_baseline
           --benchmark_filter=Baseline
           --benchmark_out=${CMAKE_BINARY_DIR}/bench_sim_raw.json
           --benchmark_out_format=json
+  COMMAND $<TARGET_FILE:bench_sim_engine>
+          --benchmark_filter=Scaling
+          --benchmark_out=${CMAKE_BINARY_DIR}/bench_scaling_raw.json
+          --benchmark_out_format=json
   COMMAND $<TARGET_FILE:bench_runtime>
           --benchmark_filter=Runtime
           --benchmark_out=${CMAKE_BINARY_DIR}/bench_runtime_raw.json
@@ -70,8 +74,9 @@ add_custom_target(bench_baseline
           --runtime ${CMAKE_BINARY_DIR}/bench_runtime_raw.json
           --before ${CMAKE_SOURCE_DIR}/bench/runtime_before.json
           --service ${CMAKE_BINARY_DIR}/bench_service_raw.json
+          --scaling ${CMAKE_BINARY_DIR}/bench_scaling_raw.json
   DEPENDS bench_sim_engine bench_runtime bench_service
-  COMMENT "Running BM_Baseline* + BM_Runtime* + BM_Service* and writing BENCH_sim.json"
+  COMMENT "Running BM_Baseline* + BM_Scaling* + BM_Runtime* + BM_Service* and writing BENCH_sim.json"
   VERBATIM)
 pjsched_add_bench(bench_weighted_admission)
 pjsched_add_bench(bench_mean_vs_max)

@@ -13,6 +13,12 @@
 
 #include <benchmark/benchmark.h>
 
+// Memory probes (peak RSS, allocation counting) for any bench that wants
+// them; the scaling suite's counters come from here.  Defining
+// PJSCHED_ENABLE_ALLOC_PROBE before this include arms the operator-new
+// counter for the whole binary.
+#include "bench/rss_probe.h"
+
 #ifndef PJSCHED_BUILD_TYPE
 #define PJSCHED_BUILD_TYPE ""
 #endif

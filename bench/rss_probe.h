@@ -1,0 +1,112 @@
+// Process-memory and allocation probes for the scaling benches.
+//
+//  * peak_rss_bytes() reads VmHWM from /proc/self/status — the process'
+//    peak resident set, the number the O(live jobs) memory claim is about.
+//  * reset_peak_rss() writes "5" to /proc/self/clear_refs so VmHWM restarts
+//    from the *current* RSS; this lets one process measure several runs.
+//    Needs a Linux kernel >= 4.0; returns false (and peak stays cumulative,
+//    still a valid upper bound) where unsupported.
+//  * allocation_count() counts global operator new calls when the including
+//    binary defines PJSCHED_ENABLE_ALLOC_PROBE before including this header
+//    (exactly one TU per binary — the operators are ODR-unique).  The
+//    scaling benches divide the delta across a run by the job count: a
+//    per-job quotient that stays flat across 10^4 -> 10^6 jobs is the
+//    "no per-slice allocations in steady state" assertion in executable
+//    form, since any per-slice or per-decision allocation would make the
+//    quotient grow with the (jobs-proportional) slice count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace pjsched::benchprobe {
+
+/// Peak resident set size of this process in bytes (0 if unreadable).
+inline std::uint64_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+/// Resets the peak-RSS watermark to the current RSS.  Returns false if the
+/// kernel interface is unavailable (VmHWM then stays a process-lifetime
+/// peak — conservative for any ceiling check).
+inline bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+/// Global operator-new call counter.  Always linkable; only actually
+/// incremented in binaries compiled with PJSCHED_ENABLE_ALLOC_PROBE.
+inline std::atomic<std::uint64_t>& allocation_counter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+inline std::uint64_t allocation_count() {
+  return allocation_counter().load(std::memory_order_relaxed);
+}
+
+}  // namespace pjsched::benchprobe
+
+#ifdef PJSCHED_ENABLE_ALLOC_PROBE
+
+#include <cstdlib>
+#include <new>
+
+namespace pjsched::benchprobe::detail {
+inline void* counted_alloc(std::size_t size) {
+  allocation_counter().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+inline void* counted_alloc(std::size_t size, std::size_t align) {
+  allocation_counter().fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : align) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+}  // namespace pjsched::benchprobe::detail
+
+void* operator new(std::size_t size) {
+  return pjsched::benchprobe::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return pjsched::benchprobe::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return pjsched::benchprobe::detail::counted_alloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return pjsched::benchprobe::detail::counted_alloc(
+      size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // PJSCHED_ENABLE_ALLOC_PROBE

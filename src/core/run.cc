@@ -105,4 +105,11 @@ ScheduleResult run_scheduler(const Instance& instance,
   return make_scheduler(spec)->run(instance, machine, trace);
 }
 
+StreamRunResult run_scheduler_streamed(JobSource& source,
+                                       const SchedulerSpec& spec,
+                                       const MachineConfig& machine,
+                                       metrics::StreamingFlowStats* stats) {
+  return make_scheduler(spec)->run_streamed(source, machine, stats);
+}
+
 }  // namespace pjsched::core

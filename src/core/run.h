@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "src/core/job_source.h"
 #include "src/core/types.h"
 #include "src/sched/scheduler.h"
 
@@ -54,5 +55,13 @@ ScheduleResult run_scheduler(const Instance& instance,
                              const SchedulerSpec& spec,
                              const MachineConfig& machine,
                              sim::Trace* trace = nullptr);
+
+/// Memory-bounded counterpart: streams `source` through the named
+/// scheduler's engine with O(live jobs) resident state (see
+/// sched::Scheduler::run_streamed).  Throws std::logic_error for schedulers
+/// without a streamed path (kOptBound).
+StreamRunResult run_scheduler_streamed(
+    JobSource& source, const SchedulerSpec& spec, const MachineConfig& machine,
+    metrics::StreamingFlowStats* stats = nullptr);
 
 }  // namespace pjsched::core

@@ -72,6 +72,11 @@ struct EngineStats {
   std::uint64_t fast_decisions = 0;    ///< event engine: decision points served by the
                                        ///< incremental virtual-work-clock path (0 under
                                        ///< exact or a dynamic policy)
+  std::uint64_t arena_slots = 0;       ///< both engines: distinct job-arena slots ever
+                                       ///< created — the high-water mark of resident job
+                                       ///< state (slots recycle as jobs complete)
+  std::uint64_t peak_live_jobs = 0;    ///< both engines: maximum jobs simultaneously
+                                       ///< live (arrived, not yet completed)
   double idle_processor_time = 0.0;    ///< event engine: processor-time spent idle
 };
 

@@ -96,12 +96,17 @@ std::span<const NodeId> Dag::predecessors(NodeId v) const {
   return {pred_flat_.data() + pred_off_[v], pred_off_[v + 1] - pred_off_[v]};
 }
 
-ReadyTracker::ReadyTracker(const Dag& dag) : dag_(&dag) {
+ReadyTracker::ReadyTracker(const Dag& dag) { reset(dag); }
+
+void ReadyTracker::reset(const Dag& dag) {
   if (!dag.sealed())
     throw std::invalid_argument("ReadyTracker: DAG must be sealed");
+  dag_ = &dag;
+  completed_ = 0;
   const std::size_t n = dag.node_count();
   pending_preds_.resize(n);
   state_.assign(n, 0);
+  ready_.clear();
   for (std::size_t v = 0; v < n; ++v)
     pending_preds_[v] =
         static_cast<std::uint32_t>(dag.predecessors(static_cast<NodeId>(v)).size());

@@ -103,8 +103,18 @@ class Dag {
 /// node count remaining, or graph structure ahead of the frontier.
 class ReadyTracker {
  public:
+  /// Unbound tracker; call reset() before any other member.  Exists so the
+  /// simulation engines' recycling job arenas can keep tracker capacity
+  /// alive across the jobs that successively occupy one slot.
+  ReadyTracker() = default;
+
   /// Binds to a sealed DAG.  Initially every source node is ready.
   explicit ReadyTracker(const Dag& dag);
+
+  /// Rebinds to `dag` and restarts from the initial frontier, reusing the
+  /// existing vector capacity (no allocation when `dag` is no larger than
+  /// any previously bound DAG).
+  void reset(const Dag& dag);
 
   /// Nodes currently ready (unblocked, not yet claimed).  Order is
   /// deterministic: ascending node id of insertion batches.
@@ -129,7 +139,7 @@ class ReadyTracker {
   const Dag& dag() const { return *dag_; }
 
  private:
-  const Dag* dag_;
+  const Dag* dag_ = nullptr;
   std::vector<std::uint32_t> pending_preds_;  // per node: unmet predecessors
   std::vector<NodeId> ready_;
   std::vector<std::uint8_t> state_;  // 0 = blocked, 1 = ready, 2 = claimed, 3 = done

@@ -18,18 +18,28 @@ struct Summary {
   double p99 = 0.0;
 };
 
-/// Computes a Summary; does not modify `samples`.  Empty input yields an
-/// all-zero summary.
+/// Computes a Summary; does not modify `samples`.
+///
+/// Edge-case contract (relied on by StreamingFlowStats::summary, which must
+/// reproduce these results bitwise):
+///   - empty input returns the all-zero Summary (count == 0), it does NOT
+///     throw — "no samples" is an ordinary outcome of a zero-job run;
+///   - a single sample yields min == max == mean == p50 == p90 == p99 ==
+///     that sample and stddev == 0.
 Summary summarize(const std::vector<double>& samples);
 
 /// The q-th quantile (0 <= q <= 1) by linear interpolation between order
-/// statistics; `sorted` must be ascending and non-empty.
+/// statistics; `sorted` must be ascending.
+/// Throws std::invalid_argument if `sorted` is empty or q is outside
+/// [0, 1]; a one-element input returns that element for every q.
 double quantile_sorted(const std::vector<double>& sorted, double q);
 
 /// Same quantile as quantile_sorted (bit-identical result) without sorting:
 /// selects the two order statistics with std::nth_element, O(n) instead of
 /// O(n log n).  Partially reorders `samples` (pass a scratch copy if the
-/// original order matters); `samples` must be non-empty.
+/// original order matters).
+/// Throws std::invalid_argument if `samples` is empty or q is outside
+/// [0, 1]; a one-element input returns that element for every q.
 double quantile_select(std::vector<double>& samples, double q);
 
 /// Weighted maximum: max_i weights[i] * samples[i] (sizes must match).

@@ -19,11 +19,10 @@ class LifoPolicy final : public sim::OrderPolicy {
                      });
   }
   // Time-invariant: descending arrival, ties in base (index) order.
-  bool static_order(const sim::PolicyContext& ctx,
-                    std::vector<double>& keys) override {
-    for (std::size_t j = 0; j < keys.size(); ++j)
-      keys[j] = -ctx.arrival(static_cast<core::JobId>(j));
-    return true;
+  bool has_static_order() const override { return true; }
+  double static_key(const sim::PolicyContext& ctx,
+                    core::JobId job) override {
+    return -ctx.arrival(job);
   }
 };
 
@@ -76,11 +75,10 @@ class EquiPolicy final : public sim::OrderPolicy {
   // The share *order* is time-invariant (arrival order); the equal split
   // still comes from processor_cap, which both engine paths consult at
   // every decision point.
-  bool static_order(const sim::PolicyContext& ctx,
-                    std::vector<double>& keys) override {
-    for (std::size_t j = 0; j < keys.size(); ++j)
-      keys[j] = ctx.arrival(static_cast<core::JobId>(j));
-    return true;
+  bool has_static_order() const override { return true; }
+  double static_key(const sim::PolicyContext& ctx,
+                    core::JobId job) override {
+    return ctx.arrival(job);
   }
   unsigned processor_cap(const sim::PolicyContext&, core::JobId,
                          unsigned processors,
@@ -102,6 +100,21 @@ core::ScheduleResult run_with(const core::Instance& instance,
   return sim::run_event_engine(instance, policy, opt);
 }
 
+// SJF and RoundRobin are dynamic, so their streamed runs take the exact
+// per-slice path — still O(live jobs) resident state, just without the
+// incremental decision-point machinery.
+template <typename Policy>
+core::StreamRunResult run_streamed_with(core::JobSource& source,
+                                        const core::MachineConfig& machine,
+                                        metrics::StreamingFlowStats* stats,
+                                        bool exact_engine) {
+  Policy policy;
+  sim::EventEngineOptions opt;
+  opt.machine = machine;
+  opt.exact = exact_engine;
+  return sim::run_event_engine_streamed(source, policy, opt, stats);
+}
+
 }  // namespace
 
 core::ScheduleResult LifoScheduler::run(const core::Instance& instance,
@@ -110,10 +123,22 @@ core::ScheduleResult LifoScheduler::run(const core::Instance& instance,
   return run_with<LifoPolicy>(instance, machine, trace, exact_engine_);
 }
 
+core::StreamRunResult LifoScheduler::run_streamed(
+    core::JobSource& source, const core::MachineConfig& machine,
+    metrics::StreamingFlowStats* stats) {
+  return run_streamed_with<LifoPolicy>(source, machine, stats, exact_engine_);
+}
+
 core::ScheduleResult SjfScheduler::run(const core::Instance& instance,
                                        const core::MachineConfig& machine,
                                        sim::Trace* trace) {
   return run_with<SjfPolicy>(instance, machine, trace, exact_engine_);
+}
+
+core::StreamRunResult SjfScheduler::run_streamed(
+    core::JobSource& source, const core::MachineConfig& machine,
+    metrics::StreamingFlowStats* stats) {
+  return run_streamed_with<SjfPolicy>(source, machine, stats, exact_engine_);
 }
 
 core::ScheduleResult RoundRobinScheduler::run(const core::Instance& instance,
@@ -122,10 +147,23 @@ core::ScheduleResult RoundRobinScheduler::run(const core::Instance& instance,
   return run_with<RoundRobinPolicy>(instance, machine, trace, exact_engine_);
 }
 
+core::StreamRunResult RoundRobinScheduler::run_streamed(
+    core::JobSource& source, const core::MachineConfig& machine,
+    metrics::StreamingFlowStats* stats) {
+  return run_streamed_with<RoundRobinPolicy>(source, machine, stats,
+                                             exact_engine_);
+}
+
 core::ScheduleResult EquiScheduler::run(const core::Instance& instance,
                                         const core::MachineConfig& machine,
                                         sim::Trace* trace) {
   return run_with<EquiPolicy>(instance, machine, trace, exact_engine_);
+}
+
+core::StreamRunResult EquiScheduler::run_streamed(
+    core::JobSource& source, const core::MachineConfig& machine,
+    metrics::StreamingFlowStats* stats) {
+  return run_streamed_with<EquiPolicy>(source, machine, stats, exact_engine_);
 }
 
 }  // namespace pjsched::sched

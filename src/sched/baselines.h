@@ -36,6 +36,9 @@ class LifoScheduler final : public Scheduler {
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+  core::StreamRunResult run_streamed(
+      core::JobSource& source, const core::MachineConfig& machine,
+      metrics::StreamingFlowStats* stats = nullptr) override;
 
  private:
   bool exact_engine_;
@@ -51,6 +54,9 @@ class SjfScheduler final : public Scheduler {
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+  core::StreamRunResult run_streamed(
+      core::JobSource& source, const core::MachineConfig& machine,
+      metrics::StreamingFlowStats* stats = nullptr) override;
 
  private:
   bool exact_engine_;
@@ -66,6 +72,9 @@ class RoundRobinScheduler final : public Scheduler {
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+  core::StreamRunResult run_streamed(
+      core::JobSource& source, const core::MachineConfig& machine,
+      metrics::StreamingFlowStats* stats = nullptr) override;
 
  private:
   bool exact_engine_;
@@ -81,6 +90,9 @@ class EquiScheduler final : public Scheduler {
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+  core::StreamRunResult run_streamed(
+      core::JobSource& source, const core::MachineConfig& machine,
+      metrics::StreamingFlowStats* stats = nullptr) override;
 
  private:
   bool exact_engine_;

@@ -23,11 +23,10 @@ class BwfPolicy final : public sim::OrderPolicy {
   // (arrival, index).  A stable sort by -weight over the arrival base order
   // breaks weight ties exactly that way, so the key alone reproduces the
   // comparator above.
-  bool static_order(const sim::PolicyContext& ctx,
-                    std::vector<double>& keys) override {
-    for (std::size_t j = 0; j < keys.size(); ++j)
-      keys[j] = -ctx.weight(static_cast<core::JobId>(j));
-    return true;
+  bool has_static_order() const override { return true; }
+  double static_key(const sim::PolicyContext& ctx,
+                    core::JobId job) override {
+    return -ctx.weight(job);
   }
 };
 }  // namespace
@@ -41,6 +40,16 @@ core::ScheduleResult BwfScheduler::run(const core::Instance& instance,
   opt.trace = trace;
   opt.exact = exact_engine_;
   return sim::run_event_engine(instance, policy, opt);
+}
+
+core::StreamRunResult BwfScheduler::run_streamed(
+    core::JobSource& source, const core::MachineConfig& machine,
+    metrics::StreamingFlowStats* stats) {
+  BwfPolicy policy;
+  sim::EventEngineOptions opt;
+  opt.machine = machine;
+  opt.exact = exact_engine_;
+  return sim::run_event_engine_streamed(source, policy, opt, stats);
 }
 
 }  // namespace pjsched::sched

@@ -24,6 +24,9 @@ class BwfScheduler final : public Scheduler {
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+  core::StreamRunResult run_streamed(
+      core::JobSource& source, const core::MachineConfig& machine,
+      metrics::StreamingFlowStats* stats = nullptr) override;
 
  private:
   bool exact_engine_;

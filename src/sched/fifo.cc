@@ -19,11 +19,10 @@ class FifoPolicy final : public sim::OrderPolicy {
   }
   // FIFO's priority is time-invariant: ascending arrival, ties resolved by
   // the arrival base order — exactly the stable sort above.
-  bool static_order(const sim::PolicyContext& ctx,
-                    std::vector<double>& keys) override {
-    for (std::size_t j = 0; j < keys.size(); ++j)
-      keys[j] = ctx.arrival(static_cast<core::JobId>(j));
-    return true;
+  bool has_static_order() const override { return true; }
+  double static_key(const sim::PolicyContext& ctx,
+                    core::JobId job) override {
+    return ctx.arrival(job);
   }
 };
 }  // namespace
@@ -37,6 +36,16 @@ core::ScheduleResult FifoScheduler::run(const core::Instance& instance,
   opt.trace = trace;
   opt.exact = exact_engine_;
   return sim::run_event_engine(instance, policy, opt);
+}
+
+core::StreamRunResult FifoScheduler::run_streamed(
+    core::JobSource& source, const core::MachineConfig& machine,
+    metrics::StreamingFlowStats* stats) {
+  FifoPolicy policy;
+  sim::EventEngineOptions opt;
+  opt.machine = machine;
+  opt.exact = exact_engine_;
+  return sim::run_event_engine_streamed(source, policy, opt, stats);
 }
 
 }  // namespace pjsched::sched

@@ -25,6 +25,9 @@ class FifoScheduler final : public Scheduler {
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+  core::StreamRunResult run_streamed(
+      core::JobSource& source, const core::MachineConfig& machine,
+      metrics::StreamingFlowStats* stats = nullptr) override;
 
  private:
   bool exact_engine_;

@@ -3,13 +3,26 @@
 // simulation engines (src/sim) with a policy, or — for OptLowerBound — an
 // analytic computation.  Schedulers are reusable: run() may be called on
 // many instances.
+//
+// run_streamed() is the memory-bounded counterpart: it consumes a
+// core::JobSource and keeps O(live jobs) state instead of materializing the
+// instance, returning exact extremes plus reservoir-backed summary
+// statistics (core::StreamRunResult).  Every engine-backed scheduler
+// supports it; purely analytic ones (OptLowerBound) keep the throwing
+// default.
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 
+#include "src/core/job_source.h"
 #include "src/core/types.h"
 #include "src/sim/trace.h"
+
+namespace pjsched::metrics {
+class StreamingFlowStats;
+}  // namespace pjsched::metrics
 
 namespace pjsched::sched {
 
@@ -25,6 +38,21 @@ class Scheduler {
   virtual core::ScheduleResult run(const core::Instance& instance,
                                    const core::MachineConfig& machine,
                                    sim::Trace* trace = nullptr) = 0;
+
+  /// Simulates a streamed source to exhaustion with O(live jobs) resident
+  /// state; completions land in `stats` (an engine-internal default when
+  /// null).  Bit-identical extremes to run() on the materialized
+  /// equivalent.  The default throws std::logic_error — only schedulers
+  /// without a simulation engine behind them (e.g. the analytic OPT lower
+  /// bound, which needs the whole instance) keep it.
+  virtual core::StreamRunResult run_streamed(
+      core::JobSource& source, const core::MachineConfig& machine,
+      metrics::StreamingFlowStats* stats = nullptr) {
+    (void)source;
+    (void)machine;
+    (void)stats;
+    throw std::logic_error(name() + ": streamed execution is not supported");
+  }
 };
 
 }  // namespace pjsched::sched

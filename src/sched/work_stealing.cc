@@ -26,4 +26,16 @@ core::ScheduleResult WorkStealingScheduler::run(
   return sim::run_step_engine(instance, opt);
 }
 
+core::StreamRunResult WorkStealingScheduler::run_streamed(
+    core::JobSource& source, const core::MachineConfig& machine,
+    metrics::StreamingFlowStats* stats) {
+  sim::StepEngineOptions opt;
+  opt.machine = machine;
+  opt.steal_k = steal_k_;
+  opt.seed = seed_;
+  opt.admit_by_weight = admit_by_weight_;
+  opt.steal_half = steal_half_;
+  return sim::run_step_engine_streamed(source, opt, stats);
+}
+
 }  // namespace pjsched::sched

@@ -39,6 +39,9 @@ class WorkStealingScheduler final : public Scheduler {
   core::ScheduleResult run(const core::Instance& instance,
                            const core::MachineConfig& machine,
                            sim::Trace* trace = nullptr) override;
+  core::StreamRunResult run_streamed(
+      core::JobSource& source, const core::MachineConfig& machine,
+      metrics::StreamingFlowStats* stats = nullptr) override;
 
   unsigned steal_k() const { return steal_k_; }
   bool admit_by_weight() const { return admit_by_weight_; }

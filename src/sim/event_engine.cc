@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "src/dag/dag.h"
+#include "src/metrics/streaming_stats.h"
+#include "src/sim/job_arena.h"
 
 namespace pjsched::sim {
 
@@ -26,45 +28,53 @@ constexpr std::uint32_t kNoPos = std::numeric_limits<std::uint32_t>::max();
 // min(C) and the fast path reads a heap top, but fl(C - W) / s is monotone
 // in C, so the two minima are the same float — that is what makes the paths
 // bit-identical rather than merely close.
-struct JobState {
-  explicit JobState(const dag::Dag& g)
-      : tracker(g),
-        remaining(g.node_count(), 0.0),
-        coord(g.node_count(), 0.0),
-        proc_of(g.node_count(), kNoProc),
-        stint(g.node_count(), 0),
-        mark(g.node_count(), 0),
-        pos_in_available(g.node_count(), kNoPos) {}
-
-  dag::ReadyTracker tracker;
-  // Nodes available for execution: ready, or started and preempted.
-  std::vector<dag::NodeId> available;
+//
+// Engine-side per-slot state, parallel to the JobArena's slots.  The node
+// arrays are *grow-only* across slot occupants: they resize up to the
+// largest DAG the slot has hosted and are never shrunk or wholesale reset.
+// That is safe because each array's invariant is per-occupancy:
+//  * remaining/coord are written (absorb / assign) before they are read;
+//  * proc_of and pos_in_available end every occupancy all-kNoProc/kNoPos
+//    (complete_node restores them node by node), so stale values never
+//    leak into the next occupant;
+//  * stint and mark are *deliberately* never reset: stint is the lazy-
+//    deletion token for heap entries and mark the epoch stamp of the
+//    assignment diff, and both stay monotone per (slot, node) across
+//    occupants — a heap entry or epoch mark left by a previous occupant
+//    can therefore never collide with the current one.
+struct SlotState {
+  std::vector<dag::NodeId> available;  // ready or preempted nodes
   std::vector<double> remaining;  // work units left; valid while unassigned
   std::vector<double> coord;      // completion coordinate; valid while assigned
   std::vector<unsigned> proc_of;  // processor slot, kNoProc while unassigned
-  std::vector<std::uint32_t> stint;  // bumped on every assign/leave; heap
+  std::vector<std::uint64_t> stint;  // bumped on every assign/leave; heap
                                      // entries carry the stint they were
                                      // pushed with and are stale otherwise
-  std::vector<std::uint32_t> mark;   // epoch stamp for the assignment diff
+  std::vector<std::uint64_t> mark;   // epoch stamp for the assignment diff
   std::vector<std::uint32_t> pos_in_available;  // node -> index in available
-  bool arrived = false;
-  bool finished = false;
+  double processed = 0.0;  // exact path: cumulative work this occupancy
+  double absorbed = 0.0;   // fast path: work claimed from the tracker
+  double key = 0.0;        // fast path: static priority key
+  std::uint32_t pos_in_ordered = kNoPos;
 };
 
 // Completion-heap entry; lazy deletion via the stint counter.
 struct HeapEntry {
   double coord = 0.0;
-  core::JobId job = 0;
+  std::uint32_t slot = 0;
   dag::NodeId node = 0;
-  std::uint32_t stint = 0;
+  std::uint64_t stint = 0;
 };
 
 // Min-heap on coord; the remaining fields only pin a total order so heap
-// internals cannot depend on the standard library's tie handling.
+// internals cannot depend on the standard library's tie handling.  (Slot
+// rather than job id in the tie-break is observationally irrelevant: every
+// same-coordinate batch is popped whole and re-sorted by processor slot
+// before any completion is processed.)
 struct HeapLater {
   bool operator()(const HeapEntry& a, const HeapEntry& b) const {
     if (a.coord != b.coord) return a.coord > b.coord;
-    if (a.job != b.job) return a.job > b.job;
+    if (a.slot != b.slot) return a.slot > b.slot;
     if (a.node != b.node) return a.node > b.node;
     return a.stint > b.stint;
   }
@@ -72,12 +82,15 @@ struct HeapLater {
 
 class Engine {
  public:
-  Engine(const core::Instance& instance, OrderPolicy& policy,
-         const EventEngineOptions& options)
-      : inst_(instance), policy_(policy), opts_(options), ctx_(*this),
+  Engine(core::JobSource& source, OrderPolicy& policy,
+         const EventEngineOptions& options,
+         std::vector<core::Time>* completion_out,
+         metrics::StreamingFlowStats* stream)
+      : source_(source), policy_(policy), opts_(options), ctx_(*this),
+        completion_out_(completion_out), stream_(stream),
         spans_(options.trace) {}
 
-  core::ScheduleResult run();
+  core::EngineStats run();
 
  private:
   class Context final : public PolicyContext {
@@ -85,100 +98,101 @@ class Engine {
     explicit Context(Engine& e) : e_(e) {}
     core::Time now() const override { return e_.t_; }
     core::Time arrival(core::JobId j) const override {
-      return e_.inst_.jobs[j].arrival;
+      return e_.arena_[e_.arena_.slot_of(j)].arrival;
     }
     double weight(core::JobId j) const override {
-      return e_.inst_.jobs[j].weight;
+      return e_.arena_[e_.arena_.slot_of(j)].weight;
     }
     double remaining_work(core::JobId j) const override {
-      return e_.remaining_work(j);
+      return e_.remaining_work(e_.arena_.slot_of(j));
     }
 
    private:
     Engine& e_;
   };
 
-  double remaining_work(core::JobId j) const;
-  void absorb_ready(core::JobId j);
+  double remaining_work(std::uint32_t s) const;
+  void absorb_ready(std::uint32_t s);
   void apply_machine_events();
   void admit_arrivals();
   void idle_jump();
-  void allocate(const std::vector<core::JobId>& active);
+  void allocate(const std::vector<std::uint32_t>& active);
   void apply_assignment();
-  double bound_dt(double dt) const;
+  double bound_dt(double dt);
   void advance(double dt);
-  void complete_node(core::JobId j, dag::NodeId v);
-  void insert_ordered(core::JobId j);
-  void erase_ordered(core::JobId j);
+  void complete_node(std::uint32_t s, dag::NodeId v);
+  void record_completion(std::uint32_t s);
+  void insert_ordered(std::uint32_t s);
+  void erase_ordered(std::uint32_t s);
   double next_completion_dt_fast();
   void run_exact();
   void run_fast();
 
-  const core::Instance& inst_;
+  core::JobSource& source_;
   OrderPolicy& policy_;
   const EventEngineOptions& opts_;
   Context ctx_;
+  std::vector<core::Time>* completion_out_;   // materialized runs
+  metrics::StreamingFlowStats* stream_;       // streamed runs
 
   unsigned m_ = 1;
   double s_ = 1.0;
   std::vector<core::MachineEvent> machine_events_;
   std::size_t next_machine_event_ = 0;
 
-  std::size_t n_ = 0;
-  std::vector<JobState> states_;
-  std::vector<double> processed_;  // exact path: cumulative work per job
-  std::vector<double> absorbed_;   // fast path: work claimed from trackers
-  std::vector<core::JobId> by_arrival_;
-  std::size_t next_arrival_idx_ = 0;
-  std::size_t unfinished_ = 0;
+  JobArena arena_;
+  std::vector<SlotState> slots_;  // parallel to arena_, grow-only
 
   core::Time t_ = 0.0;  // wall-clock simulated time
   double W_ = 0.0;      // virtual work clock, integral of s dt
 
-  std::vector<std::pair<core::JobId, dag::NodeId>> assigned_;
-  std::vector<std::pair<core::JobId, dag::NodeId>> assigned_new_;
+  std::vector<std::pair<std::uint32_t, dag::NodeId>> assigned_;
+  std::vector<std::pair<std::uint32_t, dag::NodeId>> assigned_new_;
   std::vector<std::size_t> taken_;  // allocator pass-1 per-rank node counts
-  std::uint32_t epoch_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  // Exact path: live slots in admission (= arrival base) order, plus the
+  // engine-owned scratch the per-slice rebuild and policy call reuse.
+  std::vector<std::uint32_t> live_;
+  std::vector<core::JobId> active_jobs_;
+  std::vector<std::uint32_t> active_slots_;
 
   // Fast path only.
   bool fast_ = false;
-  std::vector<double> keys_;            // static priority key per job
-  std::vector<core::JobId> ordered_;    // active jobs in policy order
-  std::vector<std::uint32_t> pos_of_job_;
+  std::vector<std::uint32_t> ordered_;  // active slots in policy order
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> heap_;
-  std::vector<std::pair<core::JobId, dag::NodeId>> completed_;
+  std::vector<std::pair<std::uint32_t, dag::NodeId>> completed_;
   SpanRecorder spans_;
 
   std::uint64_t max_slices_ = 0;
-  core::ScheduleResult result_;
+  core::EngineStats stats_;
 };
 
-double Engine::remaining_work(core::JobId j) const {
+double Engine::remaining_work(std::uint32_t s) const {
+  const SlotState& ss = slots_[s];
   if (!fast_)
-    return static_cast<double>(inst_.jobs[j].graph.total_work()) -
-           processed_[j];
+    return static_cast<double>(arena_[s].dag->total_work()) - ss.processed;
   // Fast path (defensive: static-order policies must not call this, see the
   // OrderPolicy contract): unreached work plus what is left of every
   // available node, assigned nodes valued through their coordinate.
-  const JobState& js = states_[j];
-  double rem = static_cast<double>(inst_.jobs[j].graph.total_work()) -
-               absorbed_[j];
-  for (dag::NodeId v : js.available)
-    rem += (js.proc_of[v] == kNoProc) ? js.remaining[v] : js.coord[v] - W_;
+  double rem = static_cast<double>(arena_[s].dag->total_work()) - ss.absorbed;
+  for (dag::NodeId v : ss.available)
+    rem += (ss.proc_of[v] == kNoProc) ? ss.remaining[v] : ss.coord[v] - W_;
   return rem;
 }
 
 // Claims every currently-ready node of the tracker into the available list.
-void Engine::absorb_ready(core::JobId j) {
-  JobState& js = states_[j];
-  while (js.tracker.ready_count() > 0) {
-    const dag::NodeId v = js.tracker.ready().front();
-    js.tracker.claim(v);
-    const double w = static_cast<double>(js.tracker.dag().work_of(v));
-    js.remaining[v] = w;
-    absorbed_[j] += w;
-    js.pos_in_available[v] = static_cast<std::uint32_t>(js.available.size());
-    js.available.push_back(v);
+void Engine::absorb_ready(std::uint32_t s) {
+  SlotState& ss = slots_[s];
+  dag::ReadyTracker& tracker = arena_[s].tracker;
+  while (tracker.ready_count() > 0) {
+    const dag::NodeId v = tracker.ready().front();
+    tracker.claim(v);
+    const double w = static_cast<double>(tracker.dag().work_of(v));
+    ss.remaining[v] = w;
+    ss.absorbed += w;
+    ss.pos_in_available[v] = static_cast<std::uint32_t>(ss.available.size());
+    ss.available.push_back(v);
   }
 }
 
@@ -192,28 +206,49 @@ void Engine::apply_machine_events() {
   }
 }
 
-// Admits arrivals at the current time.
+// Pulls every job whose arrival has come out of the source and into the
+// arena.  Per-slot node arrays grow to the occupant's DAG here (amortized:
+// a recycled slot usually needs no growth); the defensive slice budget
+// grows with each admission, matching what the materialized formula would
+// have pre-computed.
 void Engine::admit_arrivals() {
-  while (next_arrival_idx_ < n_ &&
-         inst_.jobs[by_arrival_[next_arrival_idx_]].arrival <= t_ + kEps) {
-    const core::JobId j = by_arrival_[next_arrival_idx_++];
-    states_[j].arrived = true;
-    absorb_ready(j);
-    if (fast_) insert_ordered(j);
+  while (!source_.done() && source_.next_arrival() <= t_ + kEps) {
+    const std::uint32_t s = arena_.acquire(source_.take());
+    if (s >= slots_.size()) slots_.emplace_back();
+    SlotState& ss = slots_[s];
+    const std::size_t nodes = arena_[s].dag->node_count();
+    if (ss.remaining.size() < nodes) {
+      ss.remaining.resize(nodes);
+      ss.coord.resize(nodes);
+      ss.proc_of.resize(nodes, kNoProc);
+      ss.stint.resize(nodes, 0);
+      ss.mark.resize(nodes, 0);
+      ss.pos_in_available.resize(nodes, kNoPos);
+    }
+    ss.processed = 0.0;
+    ss.absorbed = 0.0;
+    max_slices_ += 2 * (1 + static_cast<std::uint64_t>(nodes));
+    absorb_ready(s);
+    if (fast_) {
+      ss.key = policy_.static_key(ctx_, arena_[s].id);
+      insert_ordered(s);
+    } else {
+      live_.push_back(s);
+    }
   }
 }
 
 // Idles until the next arrival (but not across a machine event: m may
 // change, which alters the idle-time accounting).
 void Engine::idle_jump() {
-  if (next_arrival_idx_ >= n_)
+  if (source_.done())
     throw std::logic_error(
         "run_event_engine: no active jobs but jobs unfinished");
-  core::Time t_next = inst_.jobs[by_arrival_[next_arrival_idx_]].arrival;
+  core::Time t_next = source_.next_arrival();
   if (next_machine_event_ < machine_events_.size())
     t_next = std::min(t_next, machine_events_[next_machine_event_].time);
   t_next = std::max(t_next, t_);
-  result_.stats.idle_processor_time += static_cast<double>(m_) * (t_next - t_);
+  stats_.idle_processor_time += static_cast<double>(m_) * (t_next - t_);
   t_ = t_next;
 }
 
@@ -221,17 +256,18 @@ void Engine::idle_jump() {
 // Pass 1: each job in priority order receives up to its policy cap.
 // Pass 2 (work conservation): leftover processors go to still-hungry jobs in
 // the same order, ignoring caps.
-void Engine::allocate(const std::vector<core::JobId>& active) {
+void Engine::allocate(const std::vector<std::uint32_t>& active) {
   assigned_new_.clear();
   taken_.clear();
   for (std::size_t rank = 0; rank < active.size(); ++rank) {
-    const core::JobId j = active[rank];
-    const JobState& js = states_[j];
-    const unsigned cap = policy_.processor_cap(ctx_, j, m_, active.size());
+    const std::uint32_t s = active[rank];
+    const SlotState& ss = slots_[s];
+    const unsigned cap =
+        policy_.processor_cap(ctx_, arena_[s].id, m_, active.size());
     std::size_t took = 0;
-    for (dag::NodeId v : js.available) {
+    for (dag::NodeId v : ss.available) {
       if (assigned_new_.size() >= m_ || took >= cap) break;
-      assigned_new_.emplace_back(j, v);
+      assigned_new_.emplace_back(s, v);
       ++took;
     }
     taken_.push_back(took);
@@ -239,11 +275,11 @@ void Engine::allocate(const std::vector<core::JobId>& active) {
   }
   for (std::size_t rank = 0;
        rank < active.size() && assigned_new_.size() < m_; ++rank) {
-    const core::JobId j = active[rank];
-    const JobState& js = states_[j];
+    const std::uint32_t s = active[rank];
+    const SlotState& ss = slots_[s];
     for (std::size_t vi = rank < taken_.size() ? taken_[rank] : 0;
-         vi < js.available.size() && assigned_new_.size() < m_; ++vi)
-      assigned_new_.emplace_back(j, js.available[vi]);
+         vi < ss.available.size() && assigned_new_.size() < m_; ++vi)
+      assigned_new_.emplace_back(s, ss.available[vi]);
   }
 }
 
@@ -254,43 +290,42 @@ void Engine::allocate(const std::vector<core::JobId>& active) {
 // it, so its heap entry stays valid across migrations.
 void Engine::apply_assignment() {
   ++epoch_;
-  for (std::size_t slot = 0; slot < assigned_new_.size(); ++slot) {
-    const auto [j, v] = assigned_new_[slot];
-    JobState& js = states_[j];
-    js.mark[v] = epoch_;
-    if (js.proc_of[v] == kNoProc) {
-      js.coord[v] = W_ + js.remaining[v];
+  for (std::size_t proc = 0; proc < assigned_new_.size(); ++proc) {
+    const auto [s, v] = assigned_new_[proc];
+    SlotState& ss = slots_[s];
+    ss.mark[v] = epoch_;
+    if (ss.proc_of[v] == kNoProc) {
+      ss.coord[v] = W_ + ss.remaining[v];
       if (fast_) {
-        ++js.stint[v];
-        heap_.push(HeapEntry{js.coord[v], j, v, js.stint[v]});
+        ++ss.stint[v];
+        heap_.push(HeapEntry{ss.coord[v], s, v, ss.stint[v]});
       }
     }
-    js.proc_of[v] = static_cast<unsigned>(slot);
+    ss.proc_of[v] = static_cast<unsigned>(proc);
   }
-  for (const auto& [j, v] : assigned_) {
-    JobState& js = states_[j];
-    if (js.proc_of[v] == kNoProc) continue;  // completed last slice
-    if (js.mark[v] == epoch_) continue;      // still assigned
-    js.remaining[v] = js.coord[v] - W_;
-    js.proc_of[v] = kNoProc;
-    if (fast_) ++js.stint[v];  // invalidate the heap entry
+  for (const auto& [s, v] : assigned_) {
+    SlotState& ss = slots_[s];
+    if (ss.proc_of[v] == kNoProc) continue;  // completed last slice
+    if (ss.mark[v] == epoch_) continue;      // still assigned
+    ss.remaining[v] = ss.coord[v] - W_;
+    ss.proc_of[v] = kNoProc;
+    if (fast_) ++ss.stint[v];  // invalidate the heap entry
   }
   if (fast_ && opts_.trace != nullptr) {
-    for (std::size_t slot = 0; slot < assigned_new_.size(); ++slot) {
-      const auto [j, v] = assigned_new_[slot];
-      spans_.reconcile(static_cast<unsigned>(slot), j, v, t_);
+    for (std::size_t proc = 0; proc < assigned_new_.size(); ++proc) {
+      const auto [s, v] = assigned_new_[proc];
+      spans_.reconcile(static_cast<unsigned>(proc), arena_[s].id, v, t_);
     }
-    for (std::size_t slot = assigned_new_.size(); slot < spans_.slots();
-         ++slot)
-      spans_.close(static_cast<unsigned>(slot), t_);
+    for (std::size_t proc = assigned_new_.size(); proc < spans_.slots();
+         ++proc)
+      spans_.close(static_cast<unsigned>(proc), t_);
   }
   assigned_.swap(assigned_new_);
 }
 
 // Clamps dt to the next arrival and the next machine event.
-double Engine::bound_dt(double dt) const {
-  if (next_arrival_idx_ < n_)
-    dt = std::min(dt, inst_.jobs[by_arrival_[next_arrival_idx_]].arrival - t_);
+double Engine::bound_dt(double dt) {
+  if (!source_.done()) dt = std::min(dt, source_.next_arrival() - t_);
   if (next_machine_event_ < machine_events_.size())
     dt = std::min(dt, machine_events_[next_machine_event_].time - t_);
   return std::max(dt, 0.0);
@@ -304,76 +339,88 @@ void Engine::advance(double dt) {
   const double dw = s_ * dt;
   if (!fast_) {
     unsigned proc = 0;
-    for (const auto& [j, v] : assigned_) {
-      processed_[j] += dw;
+    for (const auto& [s, v] : assigned_) {
+      slots_[s].processed += dw;
       if (opts_.trace != nullptr && dt > 0.0)
-        opts_.trace->add_interval({j, v, proc, t_, t_end});
+        opts_.trace->add_interval({arena_[s].id, v, proc, t_, t_end});
       ++proc;
     }
   }
-  result_.stats.idle_processor_time +=
+  stats_.idle_processor_time +=
       static_cast<double>(m_ - assigned_.size()) * dt;
   W_ += dw;
   t_ = t_end;
 }
 
-// Completion bookkeeping at the current time t_.
-void Engine::complete_node(core::JobId j, dag::NodeId v) {
-  JobState& js = states_[j];
-  const unsigned slot = js.proc_of[v];
-  js.remaining[v] = 0.0;
-  js.proc_of[v] = kNoProc;
+void Engine::record_completion(std::uint32_t s) {
+  const JobArena::Slot& slot = arena_[s];
+  if (completion_out_ != nullptr) (*completion_out_)[slot.id] = t_;
+  if (stream_ != nullptr)
+    stream_->record(slot.id, slot.arrival, slot.weight, t_);
+}
+
+// Completion bookkeeping at the current time t_.  When the job's last node
+// finishes, the completion is recorded and the slot retired — its DAG
+// storage is freed right here, which is what keeps a long streamed run's
+// footprint at O(live jobs).
+void Engine::complete_node(std::uint32_t s, dag::NodeId v) {
+  SlotState& ss = slots_[s];
+  const unsigned proc = ss.proc_of[v];
+  ss.remaining[v] = 0.0;
+  ss.proc_of[v] = kNoProc;
   if (fast_) {
-    ++js.stint[v];
-    spans_.close(slot, t_);
+    ++ss.stint[v];
+    spans_.close(proc, t_);
   }
   // Swap-and-pop via the position index (O(1)): `available` is an unordered
   // working set — the allocation pass takes nodes from it in whatever order
   // it holds, and no invariant depends on that order (nodes of one job are
   // interchangeable up to their precedence constraints, which the
   // ReadyTracker enforces before a node ever enters the set).
-  const std::uint32_t pos = js.pos_in_available[v];
-  const dag::NodeId back = js.available.back();
-  js.available[pos] = back;
-  js.pos_in_available[back] = pos;
-  js.available.pop_back();
-  js.pos_in_available[v] = kNoPos;
-  js.tracker.complete(v);
-  absorb_ready(j);
-  if (js.tracker.done()) {
-    js.finished = true;
-    result_.completion[j] = t_;
-    --unfinished_;
-    if (fast_) erase_ordered(j);
+  const std::uint32_t pos = ss.pos_in_available[v];
+  const dag::NodeId back = ss.available.back();
+  ss.available[pos] = back;
+  ss.pos_in_available[back] = pos;
+  ss.available.pop_back();
+  ss.pos_in_available[v] = kNoPos;
+  arena_[s].tracker.complete(v);
+  absorb_ready(s);
+  if (arena_[s].tracker.done()) {
+    record_completion(s);
+    if (fast_)
+      erase_ordered(s);
+    else
+      live_.erase(std::find(live_.begin(), live_.end(), s));
+    arena_.retire(s);
   }
 }
 
-// Inserts j into the incrementally maintained policy order.  upper_bound on
+// Inserts s into the incrementally maintained policy order.  upper_bound on
 // the static key over admissions in (arrival, index) order reproduces a
 // stable sort by that key over the arrival base order — exactly what the
 // reference path's policy.order() computes.
-void Engine::insert_ordered(core::JobId j) {
-  const double key = keys_[j];
+void Engine::insert_ordered(std::uint32_t s) {
+  const double key = slots_[s].key;
   std::size_t lo = 0;
   std::size_t hi = ordered_.size();
   while (lo < hi) {
     const std::size_t mid = (lo + hi) / 2;
-    if (keys_[ordered_[mid]] <= key)
+    if (slots_[ordered_[mid]].key <= key)
       lo = mid + 1;
     else
       hi = mid;
   }
-  ordered_.insert(ordered_.begin() + static_cast<std::ptrdiff_t>(lo), j);
+  ordered_.insert(ordered_.begin() + static_cast<std::ptrdiff_t>(lo), s);
   for (std::size_t k = lo; k < ordered_.size(); ++k)
-    pos_of_job_[ordered_[k]] = static_cast<std::uint32_t>(k);
+    slots_[ordered_[k]].pos_in_ordered = static_cast<std::uint32_t>(k);
 }
 
-void Engine::erase_ordered(core::JobId j) {
-  const std::size_t p = pos_of_job_[j];
+void Engine::erase_ordered(std::uint32_t s) {
+  const std::size_t p = slots_[s].pos_in_ordered;
   ordered_.erase(ordered_.begin() + static_cast<std::ptrdiff_t>(p));
-  pos_of_job_[j] = kNoPos;
+  slots_[s].pos_in_ordered = kNoPos;
   for (std::size_t k = p; k < ordered_.size(); ++k)
-    pos_of_job_[ordered_[k]] = static_cast<std::uint32_t>(k);
+    slots_[ordered_[k]].pos_in_ordered = static_cast<std::uint32_t>(k);
 }
 
 // Time to the earliest assigned-node completion, from the heap top.  Stale
@@ -383,7 +430,7 @@ void Engine::erase_ordered(core::JobId j) {
 double Engine::next_completion_dt_fast() {
   while (!heap_.empty()) {
     const HeapEntry& e = heap_.top();
-    if (e.stint != states_[e.job].stint[e.node]) {
+    if (e.stint != slots_[e.slot].stint[e.node]) {
       heap_.pop();
       continue;
     }
@@ -395,9 +442,8 @@ double Engine::next_completion_dt_fast() {
 // Reference loop: per slice, rebuild the active list in arrival base order,
 // let the policy sort it, scan all assigned nodes for the next completion.
 void Engine::run_exact() {
-  std::vector<core::JobId> active;
   std::uint64_t slices = 0;
-  while (unfinished_ > 0) {
+  while (arena_.live() > 0 || !source_.done()) {
     if (++slices > max_slices_)
       throw std::logic_error(
           "run_event_engine: simulation failed to make progress");
@@ -405,46 +451,51 @@ void Engine::run_exact() {
     apply_machine_events();
     admit_arrivals();
 
-    // Collect active jobs (arrival order is the deterministic base order).
-    active.clear();
-    for (std::size_t k = 0; k < next_arrival_idx_; ++k) {
-      const core::JobId j = by_arrival_[k];
-      if (!states_[j].finished) active.push_back(j);
-    }
-    if (active.empty()) {
+    // Live jobs in admission order — the deterministic (arrival, index)
+    // base order the policy's stable sort refines.
+    active_jobs_.clear();
+    for (std::uint32_t s : live_) active_jobs_.push_back(arena_[s].id);
+    if (active_jobs_.empty()) {
       idle_jump();
       continue;
     }
 
-    policy_.order(ctx_, active);
-    ++result_.stats.decision_points;
-    allocate(active);
+    policy_.order(ctx_, active_jobs_);
+    ++stats_.decision_points;
+    active_slots_.clear();
+    for (core::JobId j : active_jobs_)
+      active_slots_.push_back(arena_.slot_of(j));
+    allocate(active_slots_);
     if (assigned_new_.empty())
       throw std::logic_error(
           "run_event_engine: active jobs but nothing to run");
     apply_assignment();
 
     double dt = std::numeric_limits<double>::infinity();
-    for (const auto& [j, v] : assigned_)
-      dt = std::min(dt, (states_[j].coord[v] - W_) / s_);
+    for (const auto& [s, v] : assigned_)
+      dt = std::min(dt, (slots_[s].coord[v] - W_) / s_);
     advance(bound_dt(dt));
 
     // Process completions (coordinate within tolerance of the work clock),
-    // in processor-slot order.
-    for (const auto& [j, v] : assigned_) {
-      JobState& js = states_[j];
-      if (js.finished) continue;  // (cannot happen: one completion per node)
-      if (js.coord[v] - W_ <= kEps) complete_node(j, v);
+    // in processor-slot order.  A slot retired by an earlier pair in this
+    // scan cannot recur in a later one: retirement means every node
+    // completed, and each (slot, node) pair appears at most once.
+    for (const auto& [s, v] : assigned_) {
+      SlotState& ss = slots_[s];
+      if (ss.proc_of[v] == kNoProc) continue;  // completed earlier this scan
+      if (ss.coord[v] - W_ <= kEps) complete_node(s, v);
     }
   }
 }
 
 // Fast loop: the active list is maintained incrementally in policy order and
 // the next completion comes off the heap — no per-slice rebuild, sort, or
-// assigned-set scan.
+// assigned-set scan.  The steady state allocates nothing: every container
+// here is engine-owned and reuses its capacity across slices (the scaling
+// bench's allocation probe pins this).
 void Engine::run_fast() {
   std::uint64_t slices = 0;
-  while (unfinished_ > 0) {
+  while (arena_.live() > 0 || !source_.done()) {
     if (++slices > max_slices_)
       throw std::logic_error(
           "run_event_engine: simulation failed to make progress");
@@ -456,8 +507,8 @@ void Engine::run_fast() {
       continue;
     }
 
-    ++result_.stats.decision_points;
-    ++result_.stats.fast_decisions;
+    ++stats_.decision_points;
+    ++stats_.fast_decisions;
     allocate(ordered_);
     if (assigned_new_.empty())
       throw std::logic_error(
@@ -473,28 +524,27 @@ void Engine::run_fast() {
     completed_.clear();
     while (!heap_.empty()) {
       const HeapEntry e = heap_.top();
-      JobState& js = states_[e.job];
-      if (e.stint != js.stint[e.node]) {
+      SlotState& ss = slots_[e.slot];
+      if (e.stint != ss.stint[e.node]) {
         heap_.pop();
         continue;
       }
-      if (js.coord[e.node] - W_ > kEps) break;
+      if (ss.coord[e.node] - W_ > kEps) break;
       heap_.pop();
-      completed_.emplace_back(e.job, e.node);
+      completed_.emplace_back(e.slot, e.node);
     }
     if (completed_.size() > 1)
       std::sort(completed_.begin(), completed_.end(),
-                [this](const std::pair<core::JobId, dag::NodeId>& a,
-                       const std::pair<core::JobId, dag::NodeId>& b) {
-                  return states_[a.first].proc_of[a.second] <
-                         states_[b.first].proc_of[b.second];
+                [this](const std::pair<std::uint32_t, dag::NodeId>& a,
+                       const std::pair<std::uint32_t, dag::NodeId>& b) {
+                  return slots_[a.first].proc_of[a.second] <
+                         slots_[b.first].proc_of[b.second];
                 });
-    for (const auto& [j, v] : completed_) complete_node(j, v);
+    for (const auto& [s, v] : completed_) complete_node(s, v);
   }
 }
 
-core::ScheduleResult Engine::run() {
-  inst_.validate();
+core::EngineStats Engine::run() {
   m_ = opts_.machine.processors;
   s_ = opts_.machine.speed;
   if (m_ == 0) throw std::invalid_argument("run_event_engine: zero processors");
@@ -520,28 +570,15 @@ core::ScheduleResult Engine::run() {
                      return a.time < b.time;
                    });
 
-  n_ = inst_.size();
-  states_.reserve(n_);
-  for (const core::JobSpec& j : inst_.jobs) states_.emplace_back(j.graph);
-  processed_.assign(n_, 0.0);
-  absorbed_.assign(n_, 0.0);
-  by_arrival_ = inst_.arrival_order();
-  unfinished_ = n_;
-
-  result_.scheduler_name = policy_.name();
-  result_.completion.assign(n_, core::kNoTime);
-
   // Defensive cap: every slice either completes a node, admits an arrival,
   // applies a machine event, or some combination, so slices <= total nodes
-  // + n + machine events + 1.
-  max_slices_ = static_cast<std::uint64_t>(n_) + machine_events_.size() + 1;
-  for (const core::JobSpec& j : inst_.jobs)
-    max_slices_ += j.graph.node_count();
-  max_slices_ = max_slices_ * 2 + 16;
+  // + jobs + machine events + 1.  Jobs stream in, so the budget starts with
+  // the job-independent part and admit_arrivals() grows it per admission —
+  // the total matches what the materialized formula would pre-compute.
+  max_slices_ =
+      (static_cast<std::uint64_t>(machine_events_.size()) + 1) * 2 + 16;
 
-  keys_.assign(n_, 0.0);
-  fast_ = !opts_.exact && policy_.static_order(ctx_, keys_);
-  if (fast_) pos_of_job_.assign(n_, kNoPos);
+  fast_ = !opts_.exact && policy_.has_static_order();
 
   if (fast_)
     run_fast();
@@ -549,8 +586,9 @@ core::ScheduleResult Engine::run() {
     run_exact();
 
   if (opts_.trace != nullptr) opts_.trace->coalesce();
-  result_.finalize(inst_.jobs);
-  return result_;
+  stats_.arena_slots = arena_.size();
+  stats_.peak_live_jobs = arena_.peak_live();
+  return stats_;
 }
 
 }  // namespace
@@ -558,8 +596,35 @@ core::ScheduleResult Engine::run() {
 core::ScheduleResult run_event_engine(const core::Instance& instance,
                                       OrderPolicy& policy,
                                       const EventEngineOptions& options) {
-  Engine engine(instance, policy, options);
-  return engine.run();
+  instance.validate();
+  core::InstanceSource source(instance);
+  core::ScheduleResult result;
+  result.scheduler_name = policy.name();
+  result.completion.assign(instance.size(), core::kNoTime);
+  Engine engine(source, policy, options, &result.completion, nullptr);
+  result.stats = engine.run();
+  result.finalize(instance.jobs);
+  return result;
+}
+
+core::StreamRunResult run_event_engine_streamed(
+    core::JobSource& source, OrderPolicy& policy,
+    const EventEngineOptions& options, metrics::StreamingFlowStats* stats) {
+  metrics::StreamingFlowStats local;
+  metrics::StreamingFlowStats* sink = stats != nullptr ? stats : &local;
+  core::StreamRunResult out;
+  out.scheduler_name = policy.name();
+  Engine engine(source, policy, options, nullptr, sink);
+  out.stats = engine.run();
+  out.jobs = sink->count();
+  out.max_flow = sink->max_flow();
+  out.max_weighted_flow = sink->max_weighted_flow();
+  out.mean_flow = sink->mean_flow();
+  out.makespan = sink->makespan();
+  out.argmax_flow = sink->argmax_flow();
+  out.flow = sink->summary();
+  out.flow_quantiles_exact = sink->quantiles_exact();
+  return out;
 }
 
 }  // namespace pjsched::sim

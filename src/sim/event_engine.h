@@ -33,24 +33,44 @@
 // points, so completions, stats, and coalesced traces agree bitwise;
 // tests/event_fast_path_test.cc cross-checks them.
 //
-// Thread safety: run_event_engine keeps all simulation state on the stack
-// of the calling thread and only reads the (immutable, sealed) instance, so
+// Memory model: both paths pull jobs from a core::JobSource and keep per-job
+// state in a recycling slot arena (sim::JobArena) — a job occupies a slot
+// only between arrival and completion, and its DAG storage is freed when
+// its last node finishes.  Resident state is O(live jobs + heap entries),
+// independent of the instance length, which is what lets streamed 10^6-job
+// runs fit in memory (see docs/simulation-model.md, "Scaling to 10^6+
+// jobs").  run_event_engine(Instance, ...) is the materialized wrapper: it
+// streams the instance through the same loop (borrowing the DAGs instead of
+// owning them) and returns the classic per-job ScheduleResult, bit-identical
+// to run_event_engine_streamed on an equivalent source.
+//
+// Thread safety: each run keeps all simulation state on the stack of the
+// calling thread and only reads the (immutable, sealed) instance, so
 // concurrent calls on distinct policy objects are safe — the parallel
 // multi-trial harness (runtime::run_trials_parallel) relies on this.  The
 // OrderPolicy is mutated (order() may keep state) and must not be shared
-// across concurrent runs.
+// across concurrent runs; a JobSource is consumed by its run and must not
+// be shared at all.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/core/job_source.h"
 #include "src/core/types.h"
 #include "src/sim/trace.h"
 
+namespace pjsched::metrics {
+class StreamingFlowStats;
+}  // namespace pjsched::metrics
+
 namespace pjsched::sim {
 
-/// Read-only view the ordering policy gets at each decision point.
+/// Read-only view the ordering policy gets at each decision point.  Job
+/// lookups are valid for *live* jobs — the jobs the engine passes to the
+/// policy — and throw std::logic_error otherwise (a policy holding ids of
+/// completed jobs is a bug, not a silent stale read).
 class PolicyContext {
  public:
   virtual ~PolicyContext() = default;
@@ -73,26 +93,29 @@ class OrderPolicy {
   virtual void order(const PolicyContext& ctx,
                      std::vector<core::JobId>& active) = 0;
 
-  /// Static-order hint.  If the policy's priority order is *time-invariant*
-  /// — a fixed strict weak ordering over jobs, as for FIFO (by arrival),
-  /// BWF (by weight), and the arrival-ordered baselines — fill
-  /// `keys[j]` for every job j (the vector arrives sized to the instance)
-  /// such that ordering active jobs by ascending key, ties broken by the
-  /// arrival base order (arrival, then job index), reproduces order()
-  /// exactly, and return true.  The engine then maintains the active list
-  /// incrementally and skips the per-slice re-sort; order() is never
-  /// called.  Return false (the default) for dynamic policies — they keep
-  /// the exact per-slice path.
-  ///
-  /// Contract: a policy that declares a static order must not consult
-  /// PolicyContext::remaining_work() (its order would not be
-  /// time-invariant); processor_cap() is still consulted at every decision
-  /// point either way.
-  virtual bool static_order(const PolicyContext& ctx,
-                            std::vector<double>& keys) {
+  /// Static-order hint.  Return true if the policy's priority order is
+  /// *time-invariant* — a fixed strict weak ordering over jobs, as for FIFO
+  /// (by arrival), BWF (by weight), and the arrival-ordered baselines.  The
+  /// engine then calls static_key() once per job at admission, maintains
+  /// the active list incrementally in ascending-key order (ties broken by
+  /// admission order, i.e. the (arrival, index) base order), and skips the
+  /// per-slice re-sort; order() is never called.  Return false (the
+  /// default) for dynamic policies — they keep the exact per-slice path.
+  virtual bool has_static_order() const { return false; }
+
+  /// The time-invariant priority key of `job` (lower = higher priority).
+  /// Called exactly once per job, at its admission, so a streamed run never
+  /// materializes a whole-instance key vector.  Must satisfy: a stable sort
+  /// of any active set by this key over the admission base order reproduces
+  /// order() exactly.  Only consulted when has_static_order() is true; a
+  /// policy declaring a static order must not consult
+  /// PolicyContext::remaining_work() here or in order() (its order would
+  /// not be time-invariant).  processor_cap() is still consulted at every
+  /// decision point either way.
+  virtual double static_key(const PolicyContext& ctx, core::JobId job) {
     (void)ctx;
-    (void)keys;
-    return false;
+    (void)job;
+    return 0.0;
   }
 
   /// Maximum processors the engine may hand to `job` at this decision
@@ -120,7 +143,8 @@ struct EventEngineOptions {
   /// speed-independent.
   core::MachineConfig machine;
   /// If non-null, the engine records per-slice work intervals into *trace
-  /// (coalesced at the end).
+  /// (coalesced at the end).  Traces are O(all jobs) — leave null for
+  /// memory-bounded streamed runs.
   Trace* trace = nullptr;
   /// Reference mode: re-derive the active list, policy order, and next
   /// completion from scratch at every decision point instead of taking the
@@ -136,5 +160,19 @@ struct EventEngineOptions {
 core::ScheduleResult run_event_engine(const core::Instance& instance,
                                       OrderPolicy& policy,
                                       const EventEngineOptions& options);
+
+/// Memory-bounded entry point: runs `source` to exhaustion under the given
+/// policy, recording each completion into `stats` (an internal default
+/// StreamingFlowStats when null) instead of a per-job completion vector.
+/// The returned extremes (max flow, max weighted flow, argmax, makespan)
+/// are bit-identical to what run_event_engine computes on the materialized
+/// equivalent of `source`; see StreamRunResult for the exactness contract
+/// of the remaining fields.  Throws std::invalid_argument on invalid jobs
+/// (unsealed DAG, negative arrival, non-positive weight, out-of-order
+/// arrivals) or options.
+core::StreamRunResult run_event_engine_streamed(
+    core::JobSource& source, OrderPolicy& policy,
+    const EventEngineOptions& options,
+    metrics::StreamingFlowStats* stats = nullptr);
 
 }  // namespace pjsched::sim

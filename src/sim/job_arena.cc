@@ -1,0 +1,76 @@
+#include "src/sim/job_arena.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pjsched::sim {
+
+std::uint32_t JobArena::acquire(core::StreamedJob&& job) {
+  const dag::Dag& g = job.dag();
+  if (!g.sealed())
+    throw std::invalid_argument("JobArena: job DAG must be sealed");
+  if (g.node_count() == 0)
+    throw std::invalid_argument("JobArena: job DAG is empty");
+  if (job.arrival < 0.0)
+    throw std::invalid_argument("JobArena: negative arrival time");
+  if (!(job.weight > 0.0))
+    throw std::invalid_argument("JobArena: weight must be > 0");
+  if (any_acquired_ && job.arrival < last_arrival_)
+    throw std::invalid_argument(
+        "JobArena: jobs must be acquired in non-decreasing arrival order");
+  last_arrival_ = job.arrival;
+  any_acquired_ = true;
+
+  std::uint32_t s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[s];
+  slot.id = job.id;
+  slot.arrival = job.arrival;
+  slot.weight = job.weight;
+  if (job.borrowed != nullptr) {
+    slot.dag = job.borrowed;
+  } else {
+    slot.owned_ = std::move(job.graph);
+    slot.dag = &slot.owned_;
+  }
+  slot.tracker.reset(*slot.dag);
+
+  if (!slot_of_.emplace(slot.id, s).second) {
+    free_.push_back(s);
+    slot.dag = nullptr;
+    slot.owned_ = dag::Dag{};
+    throw std::invalid_argument("JobArena: duplicate live job id");
+  }
+  ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
+  return s;
+}
+
+void JobArena::retire(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.dag == nullptr)
+    throw std::logic_error("JobArena::retire: slot is not live");
+  slot_of_.erase(s.id);
+  // Free the DAG's CSR storage now — this, not the slot bookkeeping, is the
+  // bulk of a retired job's memory.  The tracker deliberately keeps its
+  // vectors' capacity for the slot's next occupant.
+  s.owned_ = dag::Dag{};
+  s.dag = nullptr;
+  free_.push_back(slot);
+  --live_;
+}
+
+std::uint32_t JobArena::slot_of(core::JobId id) const {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end())
+    throw std::logic_error("JobArena::slot_of: job is not live");
+  return it->second;
+}
+
+}  // namespace pjsched::sim

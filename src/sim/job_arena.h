@@ -1,0 +1,91 @@
+// Recycling per-run job arena shared by the two simulation engines.
+//
+// Both engines used to key every per-job structure by JobId, sized to the
+// whole instance — O(all jobs) resident state even though only the jobs
+// between arrival and completion are ever touched.  The arena replaces that
+// indexing scheme: a live job occupies a dense *slot*, slots are retired and
+// reused as jobs complete (LIFO freelist, so the hottest slot's caches are
+// reused first), and a retired slot's owned DAG storage is freed
+// immediately.  Resident state is therefore O(peak live jobs), which for a
+// stable system is O(1) in the instance length — the property the 10^6-job
+// scaling gate (bench_sim_engine's BM_Scaling suite) asserts.
+//
+// The arena owns what both engines need per job — identity, arrival,
+// weight, the DAG, and its ReadyTracker (whose internal vectors' capacity
+// survives recycling, see ReadyTracker::reset) — plus the live id->slot map
+// the event engine's policy context uses.  Engine-specific per-slot arrays
+// (completion coordinates, deques, ...) live in the engines, indexed by the
+// slot ids this class hands out; `size()` never shrinks, so grow-only
+// parallel arrays stay in sync by resizing whenever acquire() returns a
+// fresh slot.
+//
+// acquire() also centralizes the per-job validation that Instance::validate
+// performed up front for materialized runs (sealed non-empty DAG,
+// non-negative arrival, positive weight) and enforces the JobSource
+// contract that arrivals be non-decreasing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/job_source.h"
+#include "src/core/types.h"
+#include "src/dag/dag.h"
+
+namespace pjsched::sim {
+
+class JobArena {
+ public:
+  /// One live job's engine-independent state.  Slot references are stable:
+  /// slots live in a deque and are never destroyed until the arena is.
+  struct Slot {
+    core::JobId id = 0;
+    core::Time arrival = 0.0;
+    double weight = 1.0;
+    /// The DAG in play: &owned_ for streamed jobs, the source's storage for
+    /// borrowed ones.  Null while the slot is free.
+    const dag::Dag* dag = nullptr;
+    dag::ReadyTracker tracker;
+
+   private:
+    friend class JobArena;
+    dag::Dag owned_;
+  };
+
+  /// Claims a slot (recycling a retired one when available) for `job`,
+  /// taking ownership of its DAG if it owns one.  Validates the job and
+  /// throws std::invalid_argument on an unsealed/empty DAG, negative
+  /// arrival, non-positive weight, out-of-order arrival, or a duplicate
+  /// live id.  Returns the slot index.
+  std::uint32_t acquire(core::StreamedJob&& job);
+
+  /// Releases a live slot: frees its owned DAG storage (the tracker keeps
+  /// its capacity for the next occupant) and recycles the index.
+  void retire(std::uint32_t slot);
+
+  Slot& operator[](std::uint32_t slot) { return slots_[slot]; }
+  const Slot& operator[](std::uint32_t slot) const { return slots_[slot]; }
+
+  /// Slots ever created (== the engines' parallel-array length).  Monotone.
+  std::size_t size() const { return slots_.size(); }
+
+  std::size_t live() const { return live_; }
+  std::uint64_t peak_live() const { return peak_live_; }
+
+  /// Slot of a live job.  Throws std::logic_error for ids not currently
+  /// live (the engines only look up jobs they know to be active).
+  std::uint32_t slot_of(core::JobId id) const;
+
+ private:
+  std::deque<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // retired slot indices, LIFO
+  std::unordered_map<core::JobId, std::uint32_t> slot_of_;
+  std::size_t live_ = 0;
+  std::uint64_t peak_live_ = 0;
+  core::Time last_arrival_ = 0.0;
+  bool any_acquired_ = false;
+};
+
+}  // namespace pjsched::sim

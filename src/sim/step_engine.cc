@@ -6,16 +6,22 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/dag/dag.h"
+#include "src/metrics/streaming_stats.h"
+#include "src/sim/job_arena.h"
 
 namespace pjsched::sim {
 
 namespace {
 
+// Deque/queue entries reference arena slots, not job ids: a slot is only
+// retired when its job's last node completes, and every entry is a
+// claimed-but-unexecuted node, so no entry can outlive its slot.
 struct NodeRef {
-  core::JobId job;
+  std::uint32_t slot;
   dag::NodeId node;
 };
 
@@ -28,51 +34,46 @@ struct Worker {
   std::uint64_t work_start = 0;    // step at which current's execution began
 };
 
-struct JobRun {
-  explicit JobRun(const dag::Dag& g) : tracker(g) {}
-  dag::ReadyTracker tracker;
-  bool finished = false;
-};
-
 // The global admission queue.  FIFO admission is a plain deque; weighted
 // admission keeps a binary max-heap on (weight, enqueue order) so each
 // admission pops the heaviest job — earliest-queued on ties — in O(log q)
 // instead of rescanning the whole queue.  Jobs only leave via admission, so
 // no lazy deletion is needed and the heap pop picks exactly the job the old
 // linear scan picked (strict `>` comparison kept the earliest maximum).
+// Weights are captured at push time: entries hold slots, and the weight is
+// part of the slot's occupancy.
 class GlobalQueue {
  public:
-  GlobalQueue(bool by_weight, const core::Instance& instance)
-      : by_weight_(by_weight), instance_(instance) {}
+  explicit GlobalQueue(bool by_weight) : by_weight_(by_weight) {}
 
   bool empty() const { return by_weight_ ? heap_.empty() : fifo_.empty(); }
 
-  void push(core::JobId j) {
+  void push(std::uint32_t slot, double weight) {
     if (!by_weight_) {
-      fifo_.push_back(j);
+      fifo_.push_back(slot);
       return;
     }
-    heap_.push_back({instance_.jobs[j].weight, seq_++, j});
+    heap_.push_back({weight, seq_++, slot});
     std::push_heap(heap_.begin(), heap_.end());
   }
 
-  core::JobId pop() {
+  std::uint32_t pop() {
     if (!by_weight_) {
-      const core::JobId j = fifo_.front();
+      const std::uint32_t s = fifo_.front();
       fifo_.pop_front();
-      return j;
+      return s;
     }
     std::pop_heap(heap_.begin(), heap_.end());
-    const core::JobId j = heap_.back().job;
+    const std::uint32_t s = heap_.back().slot;
     heap_.pop_back();
-    return j;
+    return s;
   }
 
  private:
   struct Entry {
     double weight;
     std::uint64_t seq;
-    core::JobId job;
+    std::uint32_t slot;
     // Max-heap priority: heavier first, then earlier-queued.
     bool operator<(const Entry& o) const {
       if (weight != o.weight) return weight < o.weight;
@@ -81,17 +82,15 @@ class GlobalQueue {
   };
 
   const bool by_weight_;
-  const core::Instance& instance_;
-  std::deque<core::JobId> fifo_;
+  std::deque<std::uint32_t> fifo_;
   std::vector<Entry> heap_;
   std::uint64_t seq_ = 0;
 };
 
-}  // namespace
-
-core::ScheduleResult run_step_engine(const core::Instance& instance,
-                                     const StepEngineOptions& options) {
-  instance.validate();
+core::EngineStats run_impl(core::JobSource& source,
+                           const StepEngineOptions& options,
+                           std::vector<core::Time>* completion_out,
+                           metrics::StreamingFlowStats* stream) {
   const unsigned m = options.machine.processors;
   const double s = options.machine.speed;
   if (m == 0) throw std::invalid_argument("run_step_engine: zero processors");
@@ -119,25 +118,15 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
   for (const core::MachineEvent& e : machine_events)
     total_workers = std::max(total_workers, e.processors);
 
-  const std::size_t n = instance.size();
-  std::vector<JobRun> jobs;
-  jobs.reserve(n);
-  for (const core::JobSpec& j : instance.jobs) jobs.emplace_back(j.graph);
+  // Jobs enter the global queue at the first step boundary at or after
+  // their arrival time (step T spans real time [T/s, (T+1)/s)).
+  const auto arrival_to_step = [s](core::Time arrival) {
+    return static_cast<std::uint64_t>(std::ceil(arrival * s - 1e-9));
+  };
 
-  // Step at which each job enters the global queue: the first step boundary
-  // at or after its arrival time (step T spans real time [T/s, (T+1)/s)).
-  const std::vector<core::JobId> by_arrival = instance.arrival_order();
-  std::vector<std::uint64_t> arrival_step(n);
-  for (core::JobId j = 0; j < n; ++j)
-    arrival_step[j] = static_cast<std::uint64_t>(
-        std::ceil(instance.jobs[j].arrival * s - 1e-9));
-
-  core::ScheduleResult result;
-  result.scheduler_name =
-      k == 0 ? "admit-first" : ("steal-" + std::to_string(k) + "-first");
-  if (options.admit_by_weight) result.scheduler_name += "-bwf";
-  if (options.steal_half) result.scheduler_name += "-half";
-  result.completion.assign(n, core::kNoTime);
+  core::EngineStats stats;
+  JobArena arena;
+  std::vector<std::uint64_t> arrival_step;  // per slot, set at acquisition
 
   Rng rng(options.seed);
   std::vector<Worker> workers(total_workers);
@@ -149,52 +138,56 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
     machine_event_step[e] = static_cast<std::uint64_t>(
         std::ceil(machine_events[e].time * s - 1e-9));
   std::size_t next_machine_event = 0;
-  GlobalQueue global_queue(options.admit_by_weight, instance);
+  GlobalQueue global_queue(options.admit_by_weight);
 
+  // Defensive step budget.  The automatic budget is the materialized
+  // formula — last arrival + total work per failure interval + per-job
+  // admission slack — but jobs stream in, so its components grow with each
+  // acquisition (and with idle fast-forward targets); once every job has
+  // been acquired it equals what the materialized computation would have
+  // produced up front.  Each failure event can discard one in-flight
+  // node's progress, so budget one extra total_work per event.
+  const bool auto_budget = options.max_steps == 0;
+  std::uint64_t budget_last_arrival = 0;
+  std::uint64_t budget_total_work = 0;
+  std::uint64_t budget_jobs = 0;
   std::uint64_t max_steps = options.max_steps;
-  if (max_steps == 0) {
-    const std::uint64_t last_arrival =
-        *std::max_element(arrival_step.begin(), arrival_step.end());
-    // Each failure event can discard one in-flight node's progress, so
-    // budget one extra total_work per event.
-    max_steps = last_arrival +
-                instance.total_work() * (machine_events.size() + 1) +
-                (static_cast<std::uint64_t>(n) + 1) * (k + total_workers + 1) +
-                1024;
-    if (!machine_event_step.empty())
-      max_steps += machine_event_step.back();
+  const auto recompute_budget = [&] {
+    max_steps = budget_last_arrival +
+                budget_total_work * (machine_events.size() + 1) +
+                (budget_jobs + 1) * (k + total_workers + 1) + 1024;
+    if (!machine_event_step.empty()) max_steps += machine_event_step.back();
     max_steps *= 4;
-  }
-
-  std::size_t next_arrival_idx = 0;
-  std::size_t unfinished = n;
+  };
+  if (auto_budget) recompute_budget();
 
   std::vector<unsigned> perm(total_workers);
   std::iota(perm.begin(), perm.end(), 0);
   std::vector<dag::NodeId> enabled;
 
-  // Claims all of a job's currently-ready nodes: the first becomes the
+  // Claims all of a slot's currently-ready nodes: the first becomes the
   // worker's current node, the rest go to the bottom of its deque.
-  const auto take_ready = [&](Worker& w, core::JobId j, std::uint64_t step) {
-    JobRun& jr = jobs[j];
+  const auto take_ready = [&](Worker& w, std::uint32_t slot,
+                              std::uint64_t step) {
+    dag::ReadyTracker& tracker = arena[slot].tracker;
     bool first = true;
-    while (jr.tracker.ready_count() > 0) {
-      const dag::NodeId v = jr.tracker.ready().front();
-      jr.tracker.claim(v);
+    while (tracker.ready_count() > 0) {
+      const dag::NodeId v = tracker.ready().front();
+      tracker.claim(v);
       if (first) {
-        w.current = {j, v};
+        w.current = {slot, v};
         w.has_current = true;
-        w.remaining = instance.jobs[j].graph.work_of(v);
+        w.remaining = tracker.dag().work_of(v);
         w.work_start = step;
         first = false;
       } else {
-        w.deque.push_back({j, v});
+        w.deque.push_back({slot, v});
       }
     }
   };
 
   std::uint64_t step = 0;
-  for (; unfinished > 0; ++step) {
+  for (; arena.live() > 0 || !source.done(); ++step) {
     if (step >= max_steps)
       throw std::logic_error("run_step_engine: step budget exhausted");
 
@@ -217,16 +210,26 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
       ++next_machine_event;
     }
 
-    // Release arrivals whose step has come.
-    while (next_arrival_idx < n &&
-           arrival_step[by_arrival[next_arrival_idx]] <= step)
-      global_queue.push(by_arrival[next_arrival_idx++]);
+    // Pull arrivals whose step has come into the arena and global queue.
+    while (!source.done() && arrival_to_step(source.next_arrival()) <= step) {
+      const std::uint32_t slot = arena.acquire(source.take());
+      if (slot >= arrival_step.size()) arrival_step.emplace_back();
+      arrival_step[slot] = arrival_to_step(arena[slot].arrival);
+      if (auto_budget) {
+        budget_last_arrival =
+            std::max(budget_last_arrival, arrival_step[slot]);
+        budget_total_work += arena[slot].dag->total_work();
+        ++budget_jobs;
+        recompute_budget();
+      }
+      global_queue.push(slot, arena[slot].weight);
+    }
 
     // Fast-forward across machine-wide idle gaps: if no worker holds work,
     // all deques are empty, and no job is admissible, nothing can change
     // until the next arrival.  The skipped steps are pure idling; a real
     // machine would burn them on failed steals, so saturate fail counters.
-    if (global_queue.empty() && next_arrival_idx < n) {
+    if (global_queue.empty() && !source.done()) {
       bool any_work = false;
       for (const Worker& w : workers)
         if (w.has_current || !w.deque.empty()) {
@@ -234,14 +237,20 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
           break;
         }
       if (!any_work) {
-        std::uint64_t next = arrival_step[by_arrival[next_arrival_idx]];
+        std::uint64_t next = arrival_to_step(source.next_arrival());
         // Never skip across a machine event: the live set changes there.
         if (next_machine_event < machine_events.size())
           next = std::min(next, machine_event_step[next_machine_event]);
         if (next > step) {
           const std::uint64_t skipped = next - step;
-          result.stats.idle_steps += skipped * live_count;
+          stats.idle_steps += skipped * live_count;
           for (Worker& w : workers) w.fail_count = std::max(w.fail_count, k);
+          // The jump target must fit the incremental budget even though
+          // the job landing there is not yet acquired.
+          if (auto_budget && next > budget_last_arrival) {
+            budget_last_arrival = next;
+            recompute_budget();
+          }
           step = next - 1;  // ++step in the loop header lands on `next`
           continue;
         }
@@ -274,16 +283,16 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
     // per-step machinery below.
     if (!interactive && min_remaining > 1 && !options.exact_steps) {
       std::uint64_t delta = min_remaining;
-      if (next_arrival_idx < n)
-        delta = std::min(delta, arrival_step[by_arrival[next_arrival_idx]] - step);
+      if (!source.done())
+        delta = std::min(delta, arrival_to_step(source.next_arrival()) - step);
       if (next_machine_event < machine_events.size())
         delta = std::min(delta, machine_event_step[next_machine_event] - step);
       if (delta > 1) {
         const std::uint64_t advance = delta - 1;
         for (unsigned wi = 0; wi < live_count; ++wi)
           workers[wi].remaining -= advance;
-        result.stats.work_steps += advance * live_count;
-        ++result.stats.macro_jumps;
+        stats.work_steps += advance * live_count;
+        ++stats.macro_jumps;
         step += advance;
         if (step >= max_steps)
           throw std::logic_error("run_step_engine: step budget exhausted");
@@ -311,22 +320,22 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
           w.deque.pop_back();
           w.current = r;
           w.has_current = true;
-          w.remaining = instance.jobs[r.job].graph.work_of(r.node);
+          w.remaining = arena[r.slot].dag->work_of(r.node);
           w.work_start = step;
         } else if (w.fail_count >= k && !global_queue.empty()) {
           // Admit from the global queue: the FIFO head, or — under the
           // weighted-admission extension — the heaviest queued job
           // (ties: earliest queued).  Admission itself is free.
-          const core::JobId j = global_queue.pop();
-          ++result.stats.admissions;
+          const std::uint32_t slot = global_queue.pop();
+          ++stats.admissions;
           if (options.trace != nullptr)
-            options.trace->add_admission({perm[wi], j, step});
+            options.trace->add_admission({perm[wi], arena[slot].id, step});
           w.fail_count = 0;
-          take_ready(w, j, step);
+          take_ready(w, slot, step);
         } else {
           // Steal attempt: consumes the whole step.
-          ++result.stats.steal_attempts;
-          ++result.stats.idle_steps;
+          ++stats.steal_attempts;
+          ++stats.idle_steps;
           bool success = false;
           unsigned victim = perm[wi];
           if (total_workers > 1) {
@@ -345,7 +354,7 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
               v.deque.pop_front();
               w.current = r;
               w.has_current = true;
-              w.remaining = instance.jobs[r.job].graph.work_of(r.node);
+              w.remaining = arena[r.slot].dag->work_of(r.node);
               w.work_start = step + 1;  // execution begins next step
               for (std::size_t g = 1; g < grab; ++g) {
                 w.deque.push_back(v.deque.front());
@@ -357,7 +366,7 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
           if (options.trace != nullptr)
             options.trace->add_steal({perm[wi], victim, success, step});
           if (success)
-            ++result.stats.successful_steals, w.fail_count = 0;
+            ++stats.successful_steals, w.fail_count = 0;
           else
             ++w.fail_count;
           continue;  // the step is spent; no work this step
@@ -366,31 +375,80 @@ core::ScheduleResult run_step_engine(const core::Instance& instance,
 
       // Execute one unit of work on the current node.
       --w.remaining;
-      ++result.stats.work_steps;
+      ++stats.work_steps;
       if (w.remaining == 0) {
-        const core::JobId j = w.current.job;
+        const std::uint32_t slot = w.current.slot;
         const dag::NodeId v = w.current.node;
         if (options.trace != nullptr)
           options.trace->add_interval(
-              {j, v, perm[wi], static_cast<double>(w.work_start) / s,
+              {arena[slot].id, v, perm[wi],
+               static_cast<double>(w.work_start) / s,
                static_cast<double>(step + 1) / s});
         w.has_current = false;
-        JobRun& jr = jobs[j];
+        dag::ReadyTracker& tracker = arena[slot].tracker;
         enabled.clear();
-        jr.tracker.complete(v, &enabled);
-        if (!enabled.empty()) take_ready(w, j, step + 1);
-        if (jr.tracker.done()) {
-          jr.finished = true;
-          result.completion[j] = static_cast<double>(step + 1) / s;
-          --unfinished;
+        tracker.complete(v, &enabled);
+        if (!enabled.empty()) take_ready(w, slot, step + 1);
+        if (tracker.done()) {
+          const core::Time completion = static_cast<double>(step + 1) / s;
+          if (completion_out != nullptr)
+            (*completion_out)[arena[slot].id] = completion;
+          if (stream != nullptr)
+            stream->record(arena[slot].id, arena[slot].arrival,
+                           arena[slot].weight, completion);
+          arena.retire(slot);
         }
       }
     }
   }
 
   if (options.trace != nullptr) options.trace->coalesce();
+  stats.arena_slots = arena.size();
+  stats.peak_live_jobs = arena.peak_live();
+  return stats;
+}
+
+std::string step_scheduler_name(const StepEngineOptions& options) {
+  std::string name =
+      options.steal_k == 0
+          ? "admit-first"
+          : ("steal-" + std::to_string(options.steal_k) + "-first");
+  if (options.admit_by_weight) name += "-bwf";
+  if (options.steal_half) name += "-half";
+  return name;
+}
+
+}  // namespace
+
+core::ScheduleResult run_step_engine(const core::Instance& instance,
+                                     const StepEngineOptions& options) {
+  instance.validate();
+  core::InstanceSource source(instance);
+  core::ScheduleResult result;
+  result.scheduler_name = step_scheduler_name(options);
+  result.completion.assign(instance.size(), core::kNoTime);
+  result.stats = run_impl(source, options, &result.completion, nullptr);
   result.finalize(instance.jobs);
   return result;
+}
+
+core::StreamRunResult run_step_engine_streamed(
+    core::JobSource& source, const StepEngineOptions& options,
+    metrics::StreamingFlowStats* stats) {
+  metrics::StreamingFlowStats local;
+  metrics::StreamingFlowStats* sink = stats != nullptr ? stats : &local;
+  core::StreamRunResult out;
+  out.scheduler_name = step_scheduler_name(options);
+  out.stats = run_impl(source, options, nullptr, sink);
+  out.jobs = sink->count();
+  out.max_flow = sink->max_flow();
+  out.max_weighted_flow = sink->max_weighted_flow();
+  out.mean_flow = sink->mean_flow();
+  out.makespan = sink->makespan();
+  out.argmax_flow = sink->argmax_flow();
+  out.flow = sink->summary();
+  out.flow_quantiles_exact = sink->quantiles_exact();
+  return out;
 }
 
 }  // namespace pjsched::sim

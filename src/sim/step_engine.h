@@ -35,13 +35,27 @@
 // docs/simulation-model.md "Performance model").  Setting `exact_steps`
 // keeps the per-step loop for every step; both modes draw the same RNG
 // stream and produce bit-identical results.
+// Memory model: the engine pulls jobs from a core::JobSource and keeps
+// per-job state (tracker, DAG) in a recycling slot arena (sim::JobArena);
+// deque and queue entries reference slots, and a job's slot — including its
+// DAG storage — is freed when its last node completes.  Resident state is
+// O(live jobs), independent of the instance length.  run_step_engine is the
+// materialized wrapper over the same loop; run_step_engine_streamed is the
+// memory-bounded entry point (see docs/simulation-model.md, "Scaling to
+// 10^6+ jobs").  The two draw the same RNG stream, so they are
+// bit-identical on equivalent inputs.
 #pragma once
 
 #include <cstdint>
 
+#include "src/core/job_source.h"
 #include "src/core/types.h"
 #include "src/sim/rng.h"
 #include "src/sim/trace.h"
+
+namespace pjsched::metrics {
+class StreamingFlowStats;
+}  // namespace pjsched::metrics
 
 namespace pjsched::sim {
 
@@ -84,5 +98,18 @@ struct StepEngineOptions {
 /// returns per-job completion times plus steal/admission counters.
 core::ScheduleResult run_step_engine(const core::Instance& instance,
                                      const StepEngineOptions& options);
+
+/// Memory-bounded entry point: runs `source` to exhaustion, recording each
+/// completion into `stats` (an internal default StreamingFlowStats when
+/// null) instead of a per-job completion vector.  Draws the same RNG stream
+/// as run_step_engine, so the returned extremes (max flow, max weighted
+/// flow, argmax, makespan) and EngineStats counters are bit-identical to a
+/// materialized run of the equivalent instance; see StreamRunResult for the
+/// exactness contract of the remaining fields.  Note the automatic step
+/// budget (max_steps == 0) grows incrementally with the jobs acquired so
+/// far — the final budget matches the materialized formula.
+core::StreamRunResult run_step_engine_streamed(
+    core::JobSource& source, const StepEngineOptions& options,
+    metrics::StreamingFlowStats* stats = nullptr);
 
 }  // namespace pjsched::sim

@@ -3,8 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/core/job_source.h"
 #include "src/dag/builders.h"
-#include "src/workload/arrivals.h"
+#include "src/workload/streaming_source.h"
 
 namespace pjsched::workload {
 
@@ -28,6 +29,11 @@ dag::Dag make_parallel_for_job(double work_ms, std::size_t grains,
       /*root_work=*/1, /*join_work=*/1);
 }
 
+// Both generators are thin materializations of the streaming sources in
+// streaming_source.h: validate (keeping the historical messages), build the
+// source, drain it.  Streamed ids are generation order, so the materialized
+// job list is bit-identical to what the loop-based implementations built.
+
 core::Instance generate_instance_with_arrivals(
     const WorkDistribution& dist, const GeneratorConfig& cfg,
     const std::vector<double>& arrivals_ms) {
@@ -38,22 +44,8 @@ core::Instance generate_instance_with_arrivals(
   if (cfg.weight_classes.empty())
     throw std::invalid_argument("generate_instance_with_arrivals: no weight classes");
 
-  sim::Rng root(cfg.seed);
-  sim::Rng size_rng = root.fork(1);
-  sim::Rng weight_rng = root.fork(3);
-
-  core::Instance inst;
-  inst.jobs.reserve(arrivals_ms.size());
-  for (double at_ms : arrivals_ms) {
-    core::JobSpec job;
-    job.arrival = at_ms * cfg.units_per_ms;
-    job.weight =
-        cfg.weight_classes[weight_rng.uniform_int(cfg.weight_classes.size())];
-    job.graph = make_parallel_for_job(dist.sample_ms(size_rng), cfg.grains,
-                                      cfg.units_per_ms);
-    inst.jobs.push_back(std::move(job));
-  }
-  return inst;
+  ArrivalListJobSource source(dist, cfg, arrivals_ms);
+  return core::materialize(source);
 }
 
 core::Instance generate_instance(const WorkDistribution& dist,
@@ -65,25 +57,8 @@ core::Instance generate_instance(const WorkDistribution& dist,
   if (cfg.weight_classes.empty())
     throw std::invalid_argument("generate_instance: no weight classes");
 
-  sim::Rng root(cfg.seed);
-  sim::Rng size_rng = root.fork(1);
-  sim::Rng arrival_rng = root.fork(2);
-  sim::Rng weight_rng = root.fork(3);
-
-  PoissonArrivals arrivals(cfg.qps, arrival_rng);
-
-  core::Instance inst;
-  inst.jobs.reserve(cfg.num_jobs);
-  for (std::size_t i = 0; i < cfg.num_jobs; ++i) {
-    core::JobSpec job;
-    job.arrival = arrivals.next_ms() * cfg.units_per_ms;  // ms -> unit time
-    job.weight =
-        cfg.weight_classes[weight_rng.uniform_int(cfg.weight_classes.size())];
-    job.graph = make_parallel_for_job(dist.sample_ms(size_rng), cfg.grains,
-                                      cfg.units_per_ms);
-    inst.jobs.push_back(std::move(job));
-  }
-  return inst;
+  GeneratedJobSource source(dist, cfg);
+  return core::materialize(source);
 }
 
 }  // namespace pjsched::workload

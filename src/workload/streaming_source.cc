@@ -1,0 +1,74 @@
+#include "src/workload/streaming_source.h"
+
+#include <stdexcept>
+
+namespace pjsched::workload {
+
+namespace {
+
+void validate_common(const GeneratorConfig& cfg, const char* who) {
+  if (!(cfg.units_per_ms > 0.0))
+    throw std::invalid_argument(std::string(who) + ": units_per_ms <= 0");
+  if (cfg.weight_classes.empty())
+    throw std::invalid_argument(std::string(who) + ": no weight classes");
+}
+
+}  // namespace
+
+GeneratedJobSource::GeneratedJobSource(const WorkDistribution& dist,
+                                       const GeneratorConfig& cfg)
+    : dist_(&dist),
+      cfg_(cfg),
+      // Same derivation as a materialized generate_instance: root = Rng(seed),
+      // size stream = fork(1), arrivals = fork(2), weights = fork(3).  fork()
+      // depends only on the root's seed, so forking from three temporaries is
+      // bit-identical to forking one root three times.
+      arrivals_(cfg.qps, sim::Rng(cfg.seed).fork(2)),
+      size_rng_(sim::Rng(cfg.seed).fork(1)),
+      weight_rng_(sim::Rng(cfg.seed).fork(3)) {
+  if (cfg.num_jobs == 0)
+    throw std::invalid_argument("GeneratedJobSource: num_jobs == 0");
+  validate_common(cfg, "GeneratedJobSource");
+}
+
+bool GeneratedJobSource::produce(core::StreamedJob& out) {
+  if (next_ >= cfg_.num_jobs) return false;
+  out.id = next_++;
+  out.arrival = arrivals_.next_ms() * cfg_.units_per_ms;  // ms -> unit time
+  out.weight =
+      cfg_.weight_classes[weight_rng_.uniform_int(cfg_.weight_classes.size())];
+  out.graph = make_parallel_for_job(dist_->sample_ms(size_rng_), cfg_.grains,
+                                    cfg_.units_per_ms);
+  out.borrowed = nullptr;
+  return true;
+}
+
+ArrivalListJobSource::ArrivalListJobSource(const WorkDistribution& dist,
+                                           const GeneratorConfig& cfg,
+                                           std::vector<double> arrivals_ms)
+    : dist_(&dist),
+      cfg_(cfg),
+      arrivals_ms_(std::move(arrivals_ms)),
+      // generate_instance_with_arrivals forks streams 1 and 3 only (no
+      // Poisson stream) — mirror that exactly.
+      size_rng_(sim::Rng(cfg.seed).fork(1)),
+      weight_rng_(sim::Rng(cfg.seed).fork(3)) {
+  if (arrivals_ms_.empty())
+    throw std::invalid_argument("ArrivalListJobSource: no arrivals");
+  validate_common(cfg, "ArrivalListJobSource");
+}
+
+bool ArrivalListJobSource::produce(core::StreamedJob& out) {
+  if (next_ >= arrivals_ms_.size()) return false;
+  out.id = next_;
+  out.arrival = arrivals_ms_[next_] * cfg_.units_per_ms;
+  ++next_;
+  out.weight =
+      cfg_.weight_classes[weight_rng_.uniform_int(cfg_.weight_classes.size())];
+  out.graph = make_parallel_for_job(dist_->sample_ms(size_rng_), cfg_.grains,
+                                    cfg_.units_per_ms);
+  out.borrowed = nullptr;
+  return true;
+}
+
+}  // namespace pjsched::workload

@@ -54,6 +54,36 @@ TEST(QuantileTest, BadInputsRejected) {
   EXPECT_THROW(quantile_select(one, -0.1), std::invalid_argument);
 }
 
+// The documented edge-case contract: empty input always throws (it is a
+// caller bug, unlike summarize's "no samples yet" all-zero Summary), and a
+// one-element input returns that element for every q — including the
+// endpoints, where interpolation would otherwise index a second order
+// statistic that does not exist.
+TEST(QuantileTest, OneSampleContract) {
+  const std::vector<double> one_sorted{42.5};
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile_sorted(one_sorted, q), 42.5) << "q=" << q;
+    std::vector<double> scratch{42.5};
+    EXPECT_DOUBLE_EQ(quantile_select(scratch, q), 42.5) << "q=" << q;
+  }
+  // Bad q is rejected even when the answer would not depend on q.
+  EXPECT_THROW(quantile_sorted(one_sorted, 1.0000001), std::invalid_argument);
+}
+
+// summarize's side of the contract: empty returns the all-zero Summary
+// (count distinguishes "no samples" from a genuine all-zero sample set).
+TEST(SummaryTest, EmptyInputIsAllZeroNotThrow) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p90, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
 // quantile_select must return the *same float* as sort + quantile_sorted:
 // the selection only swaps which algorithm finds the two order statistics,
 // not the interpolation arithmetic.

@@ -4,7 +4,7 @@
 Usage:
     make_bench_baseline.py <sim-json> <output-json>
         [--runtime <runtime-json>] [--before <runtime-before-json>]
-        [--service <service-json>]
+        [--service <service-json>] [--scaling <scaling-json>]
 
 <sim-json> is what `bench_sim_engine --benchmark_filter=Baseline
 --benchmark_out=<file> --benchmark_out_format=json` writes; the optional
@@ -13,7 +13,12 @@ output, distilled into a `runtime` section, --before is a committed raw
 snapshot of the same suite from before the hot-path work (tasks/sec
 speedups are reported against it), and --service is the matching
 `bench_service --benchmark_filter=Service` output, distilled into a
-`service` section (ingest jobs/sec at each degradation-ladder rung).  The output is the repo's
+`service` section (ingest jobs/sec at each degradation-ladder rung), and
+--scaling is the `bench_sim_engine --benchmark_filter=Scaling` output,
+distilled into a `scaling` section (the 10^4 -> 10^6-job decade curves:
+jobs/sec, peak RSS, allocations/job per decade and engine, streamed vs
+materialized, plus the materialized/streamed RSS ratio — the asymptotic
+memory gate).  The output is the repo's
 perf-trajectory file (see docs/simulation-model.md, "Performance model").
 
 The snapshot is loudly annotated — a `warnings` array in the output, and
@@ -25,6 +30,7 @@ the expected artifact, not a regression).  Stdlib only — no third-party
 dependencies.
 """
 import json
+import re
 import sys
 
 _TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
@@ -139,9 +145,94 @@ def _service_section(service_path):
     }
 
 
+# Streamed peak RSS at the largest decade may exceed the smallest decade's
+# by at most this factor before the snapshot is loudly flagged: a truly
+# O(live jobs) run's footprint is decade-independent, so growth beyond
+# allocator noise means per-job state is being retained.
+_SCALING_RSS_GROWTH_LIMIT = 4.0
+
+_SCALING_NAME = re.compile(
+    r"^BM_Scaling(Event|Step)Engine(Streamed|Materialized)/(\d+)"
+    r"(?:/iterations:\d+)?$")
+
+
+def _scaling_section(scaling_path, warnings):
+    _, by_name = _load_report(scaling_path)
+    # engines["event_engine"]["streamed"][jobs] = {...}
+    engines = {}
+    for name, bench in by_name.items():
+        m = _SCALING_NAME.match(name)
+        if m is None:
+            continue
+        engine = "event_engine" if m.group(1) == "Event" else "step_engine"
+        mode = m.group(2).lower()
+        jobs = int(m.group(3))
+        point = {
+            "jobs_per_sec": bench.get("items_per_second"),
+            "peak_rss_bytes": bench.get("peak_rss_bytes"),
+            "peak_live_jobs": bench.get("peak_live_jobs"),
+            "wall_seconds": _wall_seconds(bench),
+        }
+        if "allocs_per_job" in bench:
+            point["allocs_per_job"] = bench["allocs_per_job"]
+        if "error_occurred" in bench and bench["error_occurred"]:
+            warnings.append(
+                f"SCALING BENCH FAILED: {name}: "
+                f"{bench.get('error_message', 'unknown error')}")
+        engines.setdefault(engine, {}).setdefault(mode, {})[jobs] = point
+    if not engines:
+        warnings.append(f"--scaling snapshot {scaling_path} contained no "
+                        "BM_Scaling* benchmarks; scaling section empty")
+        return {}
+
+    section = {
+        "workload": "streamed bing jobs @ 1000 qps, m=16 s=1 (u ~ 0.69), "
+                    "FIFO (event engine) / admit-first (step engine); "
+                    "peak_rss via VmHWM, reset per point "
+                    "(bench/bench_sim_engine.cc BM_Scaling*)",
+        "decades_jobs": sorted({jobs
+                                for modes in engines.values()
+                                for points in modes.values()
+                                for jobs in points}),
+    }
+    for engine, modes in sorted(engines.items()):
+        entry = {mode: {str(jobs): point
+                        for jobs, point in sorted(points.items())}
+                 for mode, points in sorted(modes.items())}
+        streamed = modes.get("streamed", {})
+        materialized = modes.get("materialized", {})
+        common = sorted(set(streamed) & set(materialized))
+        ratios = {}
+        for jobs in common:
+            srss = streamed[jobs].get("peak_rss_bytes")
+            mrss = materialized[jobs].get("peak_rss_bytes")
+            if srss and mrss:
+                ratios[str(jobs)] = mrss / srss
+        if ratios:
+            entry["rss_ratio_materialized_over_streamed"] = ratios
+        # The O(live jobs) budget: streamed footprint must not grow with the
+        # decade.  (The ratio check above is headroom; this is the gate.)
+        if len(streamed) >= 2:
+            decades = sorted(streamed)
+            lo, hi = streamed[decades[0]], streamed[decades[-1]]
+            if lo.get("peak_rss_bytes") and hi.get("peak_rss_bytes"):
+                growth = hi["peak_rss_bytes"] / lo["peak_rss_bytes"]
+                entry["streamed_rss_growth_smallest_to_largest"] = growth
+                if growth > _SCALING_RSS_GROWTH_LIMIT:
+                    warnings.append(
+                        f"O(live jobs) BUDGET EXCEEDED ({engine}): streamed "
+                        f"peak RSS grew {growth:.1f}x from "
+                        f"{decades[0]:,} to {decades[-1]:,} jobs "
+                        f"(limit {_SCALING_RSS_GROWTH_LIMIT:.1f}x) — "
+                        "resident state is not O(live jobs); see "
+                        "bench/bench_sim_engine.cc BM_Scaling*.")
+        section[engine] = entry
+    return section
+
+
 def main(argv):
     args = list(argv[1:])
-    runtime_path = before_path = service_path = None
+    runtime_path = before_path = service_path = scaling_path = None
     if "--before" in args:
         i = args.index("--before")
         before_path = args[i + 1]
@@ -153,6 +244,10 @@ def main(argv):
     if "--service" in args:
         i = args.index("--service")
         service_path = args[i + 1]
+        del args[i:i + 2]
+    if "--scaling" in args:
+        i = args.index("--scaling")
+        scaling_path = args[i + 1]
         del args[i:i + 2]
     if len(args) != 2:
         sys.exit(__doc__)
@@ -235,6 +330,8 @@ def main(argv):
         out["runtime"] = _runtime_section(runtime_path, before_path, warnings)
     if service_path is not None:
         out["service"] = _service_section(service_path)
+    if scaling_path is not None:
+        out["scaling"] = _scaling_section(scaling_path, warnings)
 
     with open(out_path, "w") as f:
         json.dump(out, f, indent=2)
@@ -251,6 +348,13 @@ def main(argv):
     if "service" in out:
         normal = out["service"]["ingest_jobs_per_sec"]["normal"]
         line += f", service ingest {normal:,.0f} jobs/s (normal rung)"
+    if out.get("scaling", {}).get("event_engine", {}).get(
+            "rss_ratio_materialized_over_streamed"):
+        ratios = out["scaling"]["event_engine"][
+            "rss_ratio_materialized_over_streamed"]
+        top = max(ratios, key=int)
+        line += (f", scaling RSS headroom {ratios[top]:.0f}x at "
+                 f"{int(top):,} jobs")
     print(line + f" ({num_cpus} cpus, {build_type})")
 
 
