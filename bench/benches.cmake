@@ -35,6 +35,8 @@ pjsched_add_gbench(bench_runtime)
 pjsched_add_gbench(bench_sim_engine)
 pjsched_add_gbench(bench_service)
 target_link_libraries(bench_service PRIVATE pjsched_service)
+pjsched_add_gbench(bench_ingest)
+target_link_libraries(bench_ingest PRIVATE pjsched_service)
 pjsched_add_bench(bench_stretch)
 
 # Perf-snapshot target: runs the BM_Baseline* simulation suite and the
@@ -68,6 +70,10 @@ add_custom_target(bench_baseline
           --benchmark_filter=Service
           --benchmark_out=${CMAKE_BINARY_DIR}/bench_service_raw.json
           --benchmark_out_format=json
+  COMMAND $<TARGET_FILE:bench_ingest>
+          --benchmark_filter=Ingest
+          --benchmark_out=${CMAKE_BINARY_DIR}/bench_ingest_raw.json
+          --benchmark_out_format=json
   COMMAND ${PJSCHED_PYTHON} ${CMAKE_SOURCE_DIR}/tools/make_bench_baseline.py
           ${CMAKE_BINARY_DIR}/bench_sim_raw.json
           ${CMAKE_SOURCE_DIR}/BENCH_sim.json
@@ -75,8 +81,9 @@ add_custom_target(bench_baseline
           --before ${CMAKE_SOURCE_DIR}/bench/runtime_before.json
           --service ${CMAKE_BINARY_DIR}/bench_service_raw.json
           --scaling ${CMAKE_BINARY_DIR}/bench_scaling_raw.json
-  DEPENDS bench_sim_engine bench_runtime bench_service
-  COMMENT "Running BM_Baseline* + BM_Scaling* + BM_Runtime* + BM_Service* and writing BENCH_sim.json"
+          --ingest ${CMAKE_BINARY_DIR}/bench_ingest_raw.json
+  DEPENDS bench_sim_engine bench_runtime bench_service bench_ingest
+  COMMENT "Running BM_Baseline* + BM_Scaling* + BM_Runtime* + BM_Service* + BM_Ingest* and writing BENCH_sim.json"
   VERBATIM)
 pjsched_add_bench(bench_weighted_admission)
 pjsched_add_bench(bench_mean_vs_max)

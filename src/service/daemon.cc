@@ -1,10 +1,13 @@
 #include "src/service/daemon.h"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -16,6 +19,50 @@
 namespace pjsched::service {
 
 namespace {
+
+/// Entries per parse_batch scan on the io shards: large enough that a full
+/// 16 KB read buffer of minimal records drains in a few scans, small
+/// enough that the per-shard scratch stays cache-resident.
+constexpr std::size_t kParseBatchEntries = 256;
+
+/// Reservoir capacity for the per-tenant p99 flow export: tenants are few
+/// and long-lived, so a modest reservoir keeps snapshot cost low while the
+/// estimate stays exact for the first 1024 completions.
+constexpr std::size_t kTenantFlowReservoir = 1024;
+
+int make_wake_pipe(int* rd, int* wr) {
+  int fds[2];
+  if (::pipe(fds) != 0) return -1;
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  *rd = fds[0];
+  *wr = fds[1];
+  return 0;
+}
+
+void wake_shard(int wake_wr) {
+  const char byte = 'w';
+  // Best effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr, &byte, 1);
+}
+
+/// Sends without ever blocking the io loop: a peer that requests metrics
+/// but refuses to read the reply would otherwise wedge its whole shard.
+/// False = would block or dead; the caller closes the connection.
+bool write_nonblocking(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
 
 /// Spins `units` of work in small quanta, polling for cooperative
 /// cancellation between quanta so a deadline or shutdown cancels a long
@@ -36,6 +83,7 @@ void spin_cancellable(runtime::TaskContext& ctx, double units,
 
 Daemon::Daemon(const DaemonConfig& config)
     : config_(config), pool_(config.pool), router_(config.router) {
+  started_ = Clock::now();
   std::string error;
   if (!config_.unix_socket_path.empty()) {
     unix_listen_fd_ = listen_unix(config_.unix_socket_path, &error);
@@ -54,15 +102,45 @@ Daemon::Daemon(const DaemonConfig& config)
   }
   dispatcher_ = std::thread([this] { dispatcher_main(); });
   maintenance_ = std::thread([this] { maintenance_main(); });
-  if (unix_listen_fd_ >= 0 || tcp_listen_fd_ >= 0)
-    io_ = std::thread([this] { io_main(); });
+  if (unix_listen_fd_ >= 0 || tcp_listen_fd_ >= 0) {
+    std::size_t n = config_.io_threads;
+    if (n == 0)
+      n = std::max<std::size_t>(1, std::thread::hardware_concurrency() / 4);
+    io_shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto shard = std::make_unique<IoShard>();
+      if (make_wake_pipe(&shard->wake_rd, &shard->wake_wr) != 0) {
+        // Tear down what exists; the daemon cannot run half-sharded.
+        for (auto& s : io_shards_) {
+          close_fd(s->wake_rd);
+          close_fd(s->wake_wr);
+        }
+        close_fd(unix_listen_fd_);
+        close_fd(tcp_listen_fd_);
+        stop_.store(true, std::memory_order_release);
+        work_cv_.notify_all();
+        dispatcher_.join();
+        maintenance_.join();
+        pool_.shutdown();
+        throw std::runtime_error("pjschedd: wake pipe creation failed");
+      }
+      io_shards_.push_back(std::move(shard));
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      io_shards_[i]->thread = std::thread([this, i] { io_shard_main(i); });
+  }
 }
 
 Daemon::~Daemon() {
   router_.begin_drain();
   stop_.store(true, std::memory_order_release);
   work_cv_.notify_all();
-  if (io_.joinable()) io_.join();
+  for (auto& shard : io_shards_) wake_shard(shard->wake_wr);
+  for (auto& shard : io_shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+    close_fd(shard->wake_rd);
+    close_fd(shard->wake_wr);
+  }
   if (dispatcher_.joinable()) dispatcher_.join();
   if (maintenance_.joinable()) maintenance_.join();
 
@@ -108,7 +186,14 @@ bool Daemon::feed_line(std::string_view line) {
   switch (parse_record(line, &record, &error)) {
     case ParseStatus::kEmpty:
       return true;
+    case ParseStatus::kCommand: {
+      // In-process feeds have no reply channel; count and move on.
+      runtime::MutexLock lock(state_mu_);
+      ++feed_.commands;
+      return true;
+    }
     case ParseStatus::kMalformed:
+    case ParseStatus::kOversize:  // parse_record folds this into kMalformed
       quarantine_line(line, error);
       return false;
     case ParseStatus::kRecord:
@@ -229,10 +314,11 @@ void Daemon::maintenance_main() {
   }
 }
 
-void Daemon::account_shed_reason(const std::string& tenant,
-                                 ShedReason reason) {
-  runtime::MutexLock lock(state_mu_);
-  TenantCounters& t = tenants_[tenant];
+namespace {
+
+/// The reason->counter mapping shared by the per-record and batched
+/// accounting paths (callers hold state_mu_).
+void bump_shed_counter(TenantCounters& t, ShedReason reason) {
   switch (reason) {
     case ShedReason::kFairShare:
     case ShedReason::kShedNew:
@@ -244,6 +330,14 @@ void Daemon::account_shed_reason(const std::string& tenant,
       ++t.rejected;
       break;
   }
+}
+
+}  // namespace
+
+void Daemon::account_shed_reason(const std::string& tenant,
+                                 ShedReason reason) {
+  runtime::MutexLock lock(state_mu_);
+  bump_shed_counter(tenants_[tenant], reason);
 }
 
 void Daemon::account_shed(const QueuedRecord& rec, ShedReason reason) {
@@ -274,6 +368,15 @@ std::size_t Daemon::reap_finished() {
         t.max_flow_seconds = std::max(t.max_flow_seconds, flow);
         t.sum_flow_seconds += flow;
         ++t.flow_samples;
+        auto fit = flow_.find(p.tenant);
+        if (fit == flow_.end()) {
+          metrics::StreamingFlowStats::Options opts;
+          opts.reservoir = kTenantFlowReservoir;
+          fit = flow_.emplace(p.tenant, metrics::StreamingFlowStats(opts))
+                    .first;
+        }
+        // Arrival 0 / completion `flow` records the flow value itself.
+        fit->second.record(t.flow_samples, 0.0, 1.0, flow);
         break;
       }
       case runtime::JobOutcome::kFailed:
@@ -309,9 +412,10 @@ bool Daemon::drain(std::chrono::milliseconds timeout) {
   return false;
 }
 
-void Daemon::quarantine_line(std::string_view line, const std::string& why) {
+void Daemon::quarantine_line(std::string_view line, std::string_view why,
+                             bool count_malformed) {
   runtime::MutexLock lock(state_mu_);
-  ++feed_.malformed;
+  if (count_malformed) ++feed_.malformed;
   std::string sample(line.substr(0, 96));
   sample += "  <- ";
   sample += why;
@@ -330,6 +434,11 @@ DaemonSnapshot Daemon::snapshot() const {
   snap.tenants = tenants_;
   snap.inflight = pending_.size();
   snap.quarantine.assign(quarantine_.begin(), quarantine_.end());
+  for (const auto& [name, stats] : flow_) {
+    const auto it = snap.tenants.find(name);
+    if (it != snap.tenants.end())
+      it->second.p99_flow_seconds = stats.summary().p99;
+  }
   return snap;
 }
 
@@ -346,7 +455,9 @@ std::string Daemon::metrics_text() const {
       << " failed=" << s.pool.jobs_failed << "]"
       << " feed[records=" << s.feed.records << " malformed=" << s.feed.malformed
       << " oversize=" << s.feed.oversize << " conns=" << s.feed.connections
-      << " timeouts=" << s.feed.read_timeouts << "]"
+      << " timeouts=" << s.feed.read_timeouts
+      << " slow_drip=" << s.feed.slow_drip << " batches=" << s.feed.batches
+      << "]"
       << " inflight=" << s.inflight << "\n";
   for (const auto& [name, t] : s.tenants) {
     out << "  tenant " << name << ": submitted=" << t.submitted
@@ -362,50 +473,232 @@ std::string Daemon::metrics_text() const {
   return out.str();
 }
 
-void Daemon::io_main() {
+std::string Daemon::metrics_machine() const {
+  const DaemonSnapshot s = snapshot();
+  std::ostringstream out;
+  out << "rung " << to_string(s.rung) << "\n"
+      << "uptime_seconds "
+      << std::chrono::duration<double>(Clock::now() - started_).count() << "\n"
+      << "inflight " << s.inflight << "\n"
+      << "router.depth " << s.router.depth << "\n"
+      << "router.peak_depth " << s.router.peak_depth << "\n"
+      << "router.accepted " << s.router.accepted << "\n"
+      << "router.popped " << s.router.popped << "\n"
+      << "router.shed_fair_share " << s.router.shed_fair_share << "\n"
+      << "router.shed_arrival_full " << s.router.shed_arrival_full << "\n"
+      << "router.shed_new " << s.router.shed_new << "\n"
+      << "router.shed_queued " << s.router.shed_queued << "\n"
+      << "router.rejected_tenant " << s.router.rejected_tenant << "\n"
+      << "router.rejected_drain " << s.router.rejected_drain << "\n"
+      << "pool.tasks_executed " << s.pool.tasks_executed << "\n"
+      << "pool.jobs_failed " << s.pool.jobs_failed << "\n"
+      << "pool.jobs_deadline_expired " << s.pool.jobs_deadline_expired << "\n"
+      << "pool.jobs_shed " << s.pool.jobs_shed << "\n"
+      << "pool.jobs_rejected " << s.pool.jobs_rejected << "\n"
+      << "ingest.records " << s.feed.records << "\n"
+      << "ingest.batches " << s.feed.batches << "\n"
+      << "ingest.malformed " << s.feed.malformed << "\n"
+      << "ingest.oversize " << s.feed.oversize << "\n"
+      << "ingest.partial " << s.feed.partial << "\n"
+      << "ingest.connections " << s.feed.connections << "\n"
+      << "ingest.refused " << s.feed.refused << "\n"
+      << "ingest.disconnects " << s.feed.disconnects << "\n"
+      << "ingest.read_timeouts " << s.feed.read_timeouts << "\n"
+      << "ingest.slow_drip " << s.feed.slow_drip << "\n"
+      << "ingest.commands " << s.feed.commands << "\n";
+  for (const auto& [name, t] : s.tenants) {
+    const std::string prefix = "tenant." + name + ".";
+    out << prefix << "submitted " << t.submitted << "\n"
+        << prefix << "completed " << t.completed << "\n"
+        << prefix << "failed " << t.failed << "\n"
+        << prefix << "deadline_expired " << t.deadline_expired << "\n"
+        << prefix << "shed " << t.shed << "\n"
+        << prefix << "rejected " << t.rejected << "\n"
+        << prefix << "max_flow_seconds " << t.max_flow_seconds << "\n"
+        << prefix << "mean_flow_seconds "
+        << (t.flow_samples > 0
+                ? t.sum_flow_seconds / static_cast<double>(t.flow_samples)
+                : 0.0)
+        << "\n"
+        << prefix << "p99_flow_seconds " << t.p99_flow_seconds << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+void Daemon::accept_ready(int listen_fd) {
+  const int fd = accept_client(listen_fd);
+  if (fd < 0) return;
+  // order: relaxed — the bound is advisory (a race can overshoot by one);
+  // exact accounting happens under state_mu_ below.
+  if (open_conns_.load(std::memory_order_relaxed) >= config_.max_connections) {
+    close_fd(fd);
+    runtime::MutexLock lock(state_mu_);
+    ++feed_.refused;
+    return;
+  }
+  // Balance onto the least-loaded shard; ties go to the lowest index.
+  std::size_t target = 0;
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < io_shards_.size(); ++i) {
+    // order: relaxed — an approximate balance signal, not a publication.
+    const std::size_t load = io_shards_[i]->load.load(std::memory_order_relaxed);
+    if (load < best) {
+      best = load;
+      target = i;
+    }
+  }
+  // order: relaxed — counters only; the fd itself is published under mu.
+  open_conns_.fetch_add(1, std::memory_order_relaxed);
+  io_shards_[target]->load.fetch_add(1, std::memory_order_relaxed);
+  {
+    runtime::MutexLock lock(io_shards_[target]->mu);
+    io_shards_[target]->incoming.push_back(fd);
+  }
+  wake_shard(io_shards_[target]->wake_wr);
+  runtime::MutexLock lock(state_mu_);
+  ++feed_.connections;
+}
+
+bool Daemon::drain_parsed(Connection& c, std::span<ParsedRecord> parsed,
+                          std::vector<JobRecord>& batch,
+                          std::vector<TenantRouter::BatchOutcome>& outcomes,
+                          std::vector<ShedRecord>& evictions,
+                          TenantRouter::BatchScratch& scratch) {
+  bool keep = true;
+  for (;;) {
+    const BatchParse bp = c.buffer.parse(parsed);
+    if (bp.produced == 0 && bp.consumed == 0) break;
+    if (bp.consumed > 0) c.last_progress = Clock::now();
+    std::uint64_t oversize = 0;
+    bool want_metrics = false;
+    batch.clear();
+    for (std::size_t i = 0; i < bp.produced; ++i) {
+      ParsedRecord& entry = parsed[i];
+      switch (entry.status) {
+        case ParseStatus::kRecord:
+          batch.push_back(std::move(entry.record));
+          break;
+        case ParseStatus::kMalformed:
+          quarantine_line(entry.line,
+                          entry.error != nullptr ? entry.error : "malformed");
+          break;
+        case ParseStatus::kOversize:
+          ++oversize;
+          break;
+        case ParseStatus::kCommand:
+          want_metrics = true;
+          break;
+        case ParseStatus::kEmpty:
+          break;  // parse_batch never emits these
+      }
+    }
+    if (oversize > 0) {
+      runtime::MutexLock lock(state_mu_);
+      feed_.oversize += oversize;
+    }
+    admit_records(batch, outcomes, evictions, scratch);
+    if (want_metrics) {
+      {
+        runtime::MutexLock lock(state_mu_);
+        ++feed_.commands;
+      }
+      // Reply AFTER admitting the records that preceded the command, so a
+      // client that writes records then `metrics` sees its own submissions
+      // counted.  A peer that will not read its reply is closed, never
+      // waited on.
+      if (!write_nonblocking(c.fd, metrics_machine())) keep = false;
+    }
+  }
+  return keep;
+}
+
+void Daemon::admit_records(std::vector<JobRecord>& records,
+                           std::vector<TenantRouter::BatchOutcome>& outcomes,
+                           std::vector<ShedRecord>& evictions,
+                           TenantRouter::BatchScratch& scratch) {
+  if (records.empty()) return;
+  {
+    // Books first: `submitted` covers the whole batch before any outcome
+    // can land, so a concurrent snapshot never sees terminal > submitted.
+    runtime::MutexLock lock(state_mu_);
+    feed_.records += records.size();
+    ++feed_.batches;
+    for (const JobRecord& r : records) ++tenants_[r.tenant].submitted;
+  }
+  evictions.clear();
+  router_.admit_batch({records.data(), records.size()}, &outcomes, &evictions,
+                      &scratch);
+  bool admitted_any = false;
+  {
+    runtime::MutexLock lock(state_mu_);
+    for (const ShedRecord& s : evictions)
+      bump_shed_counter(tenants_[s.item.record.tenant], s.reason);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (outcomes[i].outcome == PushOutcome::kShed)
+        bump_shed_counter(tenants_[records[i].tenant], outcomes[i].reason);
+      else
+        admitted_any = true;
+    }
+  }
+  if (admitted_any) work_cv_.notify_one();
+  records.clear();
+}
+
+void Daemon::io_shard_main(std::size_t shard_index) {
+  IoShard& self = *io_shards_[shard_index];
+  const bool acceptor = shard_index == 0;
   std::vector<Connection> conns;
   std::vector<pollfd> pfds;
-  const LineReader::Sink sink = [this](std::string_view line, bool oversized) {
-    if (oversized) {
-      runtime::MutexLock lock(state_mu_);
-      ++feed_.oversize;
-      return;
-    }
-    feed_line(line);
-  };
+  // Parse/admission scratch, reused across batches: the steady-state
+  // ingest path allocates nothing here after warmup.
+  std::vector<ParsedRecord> parsed(kParseBatchEntries);
+  std::vector<JobRecord> batch;
+  batch.reserve(kParseBatchEntries);
+  std::vector<TenantRouter::BatchOutcome> outcomes;
+  std::vector<ShedRecord> evictions;
+  TenantRouter::BatchScratch scratch;
 
   while (!stop_.load(std::memory_order_acquire)) {
+    // Adopt connections the acceptor handed over.
+    {
+      runtime::MutexLock lock(self.mu);
+      for (const int fd : self.incoming) {
+        Connection c;
+        c.fd = fd;
+        c.last_activity = c.last_progress = Clock::now();
+        conns.push_back(std::move(c));
+      }
+      self.incoming.clear();
+    }
+
     pfds.clear();
-    if (unix_listen_fd_ >= 0)
-      pfds.push_back(pollfd{unix_listen_fd_, POLLIN, 0});
-    if (tcp_listen_fd_ >= 0) pfds.push_back(pollfd{tcp_listen_fd_, POLLIN, 0});
-    const std::size_t first_conn = pfds.size();
+    pfds.push_back(pollfd{self.wake_rd, POLLIN, 0});
+    std::size_t first_listener = pfds.size();
+    std::size_t first_conn = first_listener;
+    if (acceptor) {
+      if (unix_listen_fd_ >= 0)
+        pfds.push_back(pollfd{unix_listen_fd_, POLLIN, 0});
+      if (tcp_listen_fd_ >= 0)
+        pfds.push_back(pollfd{tcp_listen_fd_, POLLIN, 0});
+      first_conn = pfds.size();
+    }
     for (const Connection& c : conns) pfds.push_back(pollfd{c.fd, POLLIN, 0});
 
     const int rc = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/50);
     if (rc < 0 && errno != EINTR) break;
     const Clock::time_point now = Clock::now();
 
-    // Listeners first: accept (or refuse over the connection bound).
-    for (std::size_t i = 0; i < first_conn; ++i) {
-      if ((pfds[i].revents & POLLIN) == 0) continue;
-      const int fd = accept_client(pfds[i].fd);
-      if (fd < 0) continue;
-      if (conns.size() >= config_.max_connections) {
-        close_fd(fd);
-        runtime::MutexLock lock(state_mu_);
-        ++feed_.refused;
-        continue;
+    if ((pfds[0].revents & POLLIN) != 0) {
+      // Drain the wake pipe (nonblocking; content is meaningless).
+      char sink[64];
+      while (::read(self.wake_rd, sink, sizeof(sink)) > 0) {
       }
-      Connection c;
-      c.fd = fd;
-      c.last_activity = now;
-      conns.push_back(std::move(c));
-      runtime::MutexLock lock(state_mu_);
-      ++feed_.connections;
     }
+    if (acceptor)
+      for (std::size_t i = first_listener; i < first_conn; ++i)
+        if ((pfds[i].revents & POLLIN) != 0) accept_ready(pfds[i].fd);
 
-    // Connections: read what is ready, close what is dead or silent.
     std::size_t kept = 0;
     for (std::size_t i = 0; i < conns.size(); ++i) {
       Connection& c = conns[i];
@@ -413,21 +706,23 @@ void Daemon::io_main() {
       const short revents =
           first_conn + i < pfds.size() ? pfds[first_conn + i].revents : 0;
       if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        char buf[4096];
-        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+        const std::size_t cap = c.buffer.tail_capacity();
+        const ssize_t n =
+            cap > 0 ? ::read(c.fd, c.buffer.tail(), cap) : ssize_t{-1};
+        if (cap == 0) errno = EAGAIN;  // defensive; parse always frees space
         if (n > 0) {
           c.last_activity = now;
-          c.reader.feed(buf, static_cast<std::size_t>(n), sink);
+          c.buffer.commit(static_cast<std::size_t>(n));
+          open = drain_parsed(c, {parsed.data(), parsed.size()}, batch,
+                              outcomes, evictions, scratch);
         } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
           // Disconnect: a trailing unterminated line is NOT a record — it
-          // could be the front half of one — so it is quarantined, never
-          // submitted.
-          if (c.reader.finish([](std::string_view, bool) {})) {
-            runtime::MutexLock lock(state_mu_);
-            ++feed_.partial;
-          }
+          // could be the front half of one — so it is counted as a
+          // partial, never submitted.
+          const bool partial = c.buffer.has_partial();
           open = false;
           runtime::MutexLock lock(state_mu_);
+          if (partial) ++feed_.partial;
           ++feed_.disconnects;
         }
       } else if (now - c.last_activity > config_.read_deadline) {
@@ -435,16 +730,43 @@ void Daemon::io_main() {
         runtime::MutexLock lock(state_mu_);
         ++feed_.read_timeouts;
       }
+      if (open && c.buffer.has_partial()) {
+        // Slow-dribble guard: bytes are flowing but no line has completed
+        // within the read deadline, or the partial has outgrown the byte
+        // cap.  ONE event per connection — the connection closes with it —
+        // counted apart from malformed lines.
+        const bool too_slow = now - c.last_progress > config_.read_deadline;
+        const bool too_big =
+            c.buffer.bytes_since_line() > config_.slow_drip_byte_cap;
+        if (too_slow || too_big) {
+          open = false;
+          quarantine_line(c.buffer.partial_sample(),
+                          too_big ? "slow drip: byte cap exceeded"
+                                  : "slow drip: no line within deadline",
+                          /*count_malformed=*/false);
+          runtime::MutexLock lock(state_mu_);
+          ++feed_.slow_drip;
+        }
+      }
       if (open) {
         if (kept != i) conns[kept] = std::move(c);
         ++kept;
       } else {
         close_fd(c.fd);
+        // order: relaxed — counters only (see accept_ready).
+        open_conns_.fetch_sub(1, std::memory_order_relaxed);
+        self.load.fetch_sub(1, std::memory_order_relaxed);
       }
     }
     conns.resize(kept);
   }
+
+  // Shutdown: close owned connections and anything handed over but never
+  // adopted.
   for (Connection& c : conns) close_fd(c.fd);
+  runtime::MutexLock lock(self.mu);
+  for (const int fd : self.incoming) close_fd(fd);
+  self.incoming.clear();
 }
 
 }  // namespace pjsched::service

@@ -10,11 +10,16 @@
 //   maintenance  ticks the degradation ladder (utilization + watchdog
 //                stall signal), accounts tick-time evictions, and reaps
 //                finished pool jobs into per-tenant counters;
-//   io (optional) a poll()-based loop over the configured Unix/TCP
-//                listeners and their connections: bounded line lengths,
-//                per-connection read deadlines, malformed-record
-//                quarantine.  One thread regardless of connection count —
-//                a flood of connections cannot exhaust daemon threads.
+//   io shards (optional) N poll()-based event loops (--io-threads; default
+//                hw_concurrency/4) over the configured Unix/TCP listeners
+//                and their connections.  Shard 0 accepts and hands each new
+//                connection to the least-loaded shard over a wake pipe;
+//                every shard owns its connections' read buffers outright
+//                (zero-copy batched parsing via IngestBuffer/parse_batch,
+//                batched admission via TenantRouter::admit_batch), so io
+//                shards never share connection state and a flood of
+//                connections still cannot exhaust daemon threads: the
+//                thread count is fixed at startup.
 //
 // The accounting invariant the chaos campaign leans on: every record that
 // enters submit_record() reaches EXACTLY ONE terminal outcome —
@@ -25,15 +30,19 @@
 // counted, never submitted, never crashes the daemon.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "src/metrics/streaming_stats.h"
 #include "src/runtime/annotations.h"
 #include "src/runtime/mutex.h"
 #include "src/runtime/thread_pool.h"
@@ -53,8 +62,17 @@ struct DaemonConfig {
   /// Daemon::tcp_port() for the bound port).
   int tcp_port = -1;
   /// A connection that sends no bytes for this long is closed (a stalled
-  /// feed must not pin a connection slot forever).
+  /// feed must not pin a connection slot forever).  The same deadline
+  /// bounds line progress: a peer that keeps dribbling bytes without ever
+  /// completing a line is cut off (one slow_drip event) once this long
+  /// passes without a completed line.
   std::chrono::milliseconds read_deadline{5000};
+  /// Sharded io event loops: how many io threads serve the configured
+  /// listeners.  0 = auto (hardware_concurrency / 4, at least 1).
+  std::size_t io_threads = 0;
+  /// Byte cap on the slow-dribble guard: a connection is closed once this
+  /// many bytes arrive without a completed line, however fast they come.
+  std::size_t slow_drip_byte_cap = 16 * kMaxLineBytes;
   /// Ladder/reaper cadence.
   std::chrono::milliseconds tick_interval{10};
   /// Connections beyond this are accepted and immediately closed.
@@ -89,6 +107,9 @@ struct TenantCounters {
   double max_flow_seconds = 0.0;
   double sum_flow_seconds = 0.0;
   std::uint64_t flow_samples = 0;
+  /// Reservoir-estimated p99 flow (exact while samples fit the per-tenant
+  /// reservoir).  Filled in snapshot(); 0 with no completed records.
+  double p99_flow_seconds = 0.0;
 
   std::uint64_t terminal() const {
     return completed + failed + deadline_expired + shed + rejected;
@@ -104,7 +125,14 @@ struct FeedStats {
   std::uint64_t connections = 0;    ///< accepted
   std::uint64_t refused = 0;        ///< over max_connections
   std::uint64_t disconnects = 0;    ///< peer closed
-  std::uint64_t read_timeouts = 0;  ///< closed by the read deadline
+  std::uint64_t read_timeouts = 0;  ///< closed by the read deadline (silent)
+  std::uint64_t slow_drip = 0;      ///< closed by the dribble guard: bytes
+                                    ///< flowed but no line completed within
+                                    ///< the deadline/byte cap (ONE event per
+                                    ///< connection, distinct from malformed)
+  std::uint64_t commands = 0;       ///< control verbs served ("metrics")
+  std::uint64_t batches = 0;        ///< admission batches (records/batches
+                                    ///< is the achieved coalescing factor)
 };
 
 /// One coherent cross-layer snapshot (each layer contributes its own
@@ -163,6 +191,12 @@ class Daemon {
   DaemonSnapshot snapshot() const;
   /// Human-readable snapshot (the `pjschedd` status output).
   std::string metrics_text() const;
+  /// Machine-readable snapshot: newline-delimited `key value` pairs ending
+  /// with `end` — the payload of the feed protocol's `metrics` command, so
+  /// callers scrape this instead of parsing metrics_text().  Includes the
+  /// ladder rung, router/pool/ingest counters, and per-tenant books with
+  /// reservoir p99 flow.
+  std::string metrics_machine() const;
 
   TenantRouter& router() { return router_; }
   runtime::ThreadPool& pool() { return pool_; }
@@ -176,16 +210,53 @@ class Daemon {
     Clock::time_point ingest{};
   };
 
-  /// One live feed connection (io thread only).
+  /// One live feed connection, owned by exactly one io shard.
   struct Connection {
     int fd = -1;
-    LineReader reader{kMaxLineBytes};
+    IngestBuffer buffer{kMaxLineBytes};
     Clock::time_point last_activity{};
+    /// Last time a complete line was parsed (or the accept time): the
+    /// slow-dribble guard fires when a partial line outlives this by
+    /// read_deadline.
+    Clock::time_point last_progress{};
+  };
+
+  /// One io event loop.  Loop-local state (connections, pollfds, parse and
+  /// admission scratch) lives on the shard thread's stack; only the accept
+  /// handoff is shared, under `mu`.
+  struct IoShard {
+    runtime::Mutex mu;
+    std::vector<int> incoming PJSCHED_GUARDED_BY(mu);  ///< accepted fds
+                                                       ///< awaiting adoption
+    int wake_rd = -1;  ///< wake pipe: poke the shard out of poll()
+    int wake_wr = -1;
+    /// Connections currently owned (approximate: the acceptor reads it to
+    /// balance; the owner updates it on adopt/close).
+    std::atomic<std::size_t> load{0};
+    std::thread thread;
   };
 
   void dispatcher_main();
   void maintenance_main();
-  void io_main();
+  void io_shard_main(std::size_t shard_index);
+  /// Accept-side of shard 0: drains a readable listener, balancing new
+  /// connections across shards.
+  void accept_ready(int listen_fd);
+  /// Runs the parse->classify->admit pipeline over a connection's buffered
+  /// bytes (io shard threads).  Returns false when the connection must be
+  /// closed (unresponsive metrics peer).
+  bool drain_parsed(Connection& c, std::span<ParsedRecord> parsed,
+                    std::vector<JobRecord>& batch,
+                    std::vector<TenantRouter::BatchOutcome>& outcomes,
+                    std::vector<ShedRecord>& evictions,
+                    TenantRouter::BatchScratch& scratch);
+  /// Batched submission: books `submitted` for the whole batch under one
+  /// state lock, admits via TenantRouter::admit_batch, accounts sheds under
+  /// one more lock hold.  Clears `records`.
+  void admit_records(std::vector<JobRecord>& records,
+                     std::vector<TenantRouter::BatchOutcome>& outcomes,
+                     std::vector<ShedRecord>& evictions,
+                     TenantRouter::BatchScratch& scratch);
 
   /// Submits one popped record to the pool (dispatcher thread).
   void dispatch(QueuedRecord rec);
@@ -196,7 +267,10 @@ class Daemon {
   /// Moves finished pending jobs into tenant counters; returns how many
   /// jobs are still in flight.
   std::size_t reap_finished();
-  void quarantine_line(std::string_view line, const std::string& why);
+  /// Saves a quarantine sample for diagnosis.  `count_malformed` is false
+  /// for slow-drip closes, which have their own counter.
+  void quarantine_line(std::string_view line, std::string_view why,
+                       bool count_malformed = true);
 
   const DaemonConfig config_;
   runtime::ThreadPool pool_;
@@ -204,6 +278,9 @@ class Daemon {
 
   mutable runtime::Mutex state_mu_;
   std::map<std::string, TenantCounters> tenants_ PJSCHED_GUARDED_BY(state_mu_);
+  /// Per-tenant completed-flow reservoirs backing the p99 export.
+  std::map<std::string, metrics::StreamingFlowStats> flow_
+      PJSCHED_GUARDED_BY(state_mu_);
   std::vector<PendingJob> pending_ PJSCHED_GUARDED_BY(state_mu_);
   FeedStats feed_ PJSCHED_GUARDED_BY(state_mu_);
   std::deque<std::string> quarantine_ PJSCHED_GUARDED_BY(state_mu_);
@@ -214,14 +291,17 @@ class Daemon {
 
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> last_watchdog_dumps_{0};
+  /// Open connections across all io shards (max_connections gate).
+  std::atomic<std::size_t> open_conns_{0};
 
   int unix_listen_fd_ = -1;
   int tcp_listen_fd_ = -1;
   int tcp_port_ = -1;
+  Clock::time_point started_{};
 
   std::thread dispatcher_;
   std::thread maintenance_;
-  std::thread io_;
+  std::vector<std::unique_ptr<IoShard>> io_shards_;
 };
 
 }  // namespace pjsched::service

@@ -13,12 +13,25 @@
 //   deadline_ms=D  per-job deadline budget, 1..kMaxDeadlineMs
 //   id=N         client-chosen tag (uint64), echoed in accounting
 //
+// One control verb rides on the same framing:
+//
+//   metrics      request a machine-readable metrics snapshot; the daemon
+//                replies with `key value` lines terminated by `end`.
+//
 // Blank lines and '#'-to-end-of-line comments are ignored.  Lines longer
 // than kMaxLineBytes are malformed by definition (the stream layer
 // quarantines them and resyncs at the next newline).
+//
+// Two parse entry points share one core: parse_record() is the per-line
+// convenience API (std::string error, record untouched on failure), and
+// parse_batch() is the zero-copy ingest path — it scans a whole read
+// buffer in place, emitting string_view line slices and static error
+// strings, allocating nothing beyond each record's tenant assignment
+// (which is SSO-free for short names and at most one allocation per job).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -45,14 +58,52 @@ enum class ParseStatus {
   kRecord,     ///< a job record was parsed into *out
   kEmpty,      ///< blank line or comment — nothing to do
   kMalformed,  ///< quarantine the line; *error says why
+  kCommand,    ///< a control verb ("metrics"); no record was produced
+  kOversize,   ///< batch path only: a complete line over kMaxLineBytes
 };
 
 /// Parses one line of the feed.  Never throws: malformed input — bad
 /// numbers, out-of-range values, oversize tokens, unknown keys — comes
 /// back as kMalformed with a diagnostic in *error.  `line` must not
-/// contain the trailing newline.
+/// contain the trailing newline.  Never returns kOversize (an over-limit
+/// line is kMalformed here); *out is untouched unless kRecord.
 ParseStatus parse_record(std::string_view line, JobRecord* out,
                          std::string* error);
+
+/// Zero-allocation core shared by parse_record and parse_batch: the error
+/// comes back as a pointer to a static string, and *out is written in
+/// place (its tenant string's capacity is reused — the reason the batch
+/// path stays at <= 1 allocation per job).  On kMalformed *out may hold a
+/// partially-updated record; callers must treat it as garbage.  Lines over
+/// kMaxLineBytes are kOversize.
+ParseStatus parse_record_view(std::string_view line, JobRecord* out,
+                              const char** error);
+
+/// One entry of a parse batch.  `line` (and therefore any diagnostics
+/// derived from it) points into the scanned buffer and is valid only until
+/// the buffer's bytes are overwritten or compacted.
+struct ParsedRecord {
+  ParseStatus status = ParseStatus::kEmpty;
+  JobRecord record;             ///< valid when status == kRecord
+  std::string_view line;        ///< the raw line, newline excluded
+  const char* error = nullptr;  ///< static diagnostic when malformed/oversize
+};
+
+/// Result of one parse_batch scan.
+struct BatchParse {
+  std::size_t consumed = 0;  ///< buffer bytes consumed (complete lines only)
+  std::size_t produced = 0;  ///< entries of `out` filled
+};
+
+/// Scans `buffer` in place for newline-terminated lines, filling `out`
+/// with one entry per non-empty line (blank/comment lines are consumed but
+/// produce no entry).  Stops when `out` is full or no complete line
+/// remains; trailing bytes without a newline are never consumed — the
+/// caller carries them into the next read (see IngestBuffer).  Per-field
+/// parsing allocates nothing; each kRecord entry's tenant assignment reuses
+/// the slot's string capacity, so a warm batch over short tenant names is
+/// allocation-free.
+BatchParse parse_batch(std::string_view buffer, std::span<ParsedRecord> out);
 
 /// Renders a record as a feed line (inverse of parse_record; used by the
 /// load generator and replay-file writer).

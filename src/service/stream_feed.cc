@@ -54,6 +54,70 @@ bool LineReader::finish(const Sink& sink) {
   return true;
 }
 
+char* IngestBuffer::tail() {
+  // Deferred compaction: parse() only advances head_, so the entries it
+  // returned keep referencing stable bytes; the memmove happens here, when
+  // the caller is about to overwrite the buffer anyway.
+  if (head_ > 0) {
+    std::memmove(buf_.data(), buf_.data() + head_, size_);
+    head_ = 0;
+  }
+  return buf_.data() + size_;
+}
+
+void IngestBuffer::commit(std::size_t n) {
+  size_ += n;
+  since_line_ += n;
+}
+
+BatchParse IngestBuffer::parse(std::span<ParsedRecord> out) {
+  BatchParse result;
+  if (discarding_) {
+    // Inside an oversize line that was already reported: drop bytes until
+    // the resync newline, silently.
+    const void* nl = std::memchr(buf_.data() + head_, '\n', size_);
+    if (nl == nullptr) {
+      head_ = 0;
+      size_ = 0;
+      return result;
+    }
+    const std::size_t skip = static_cast<std::size_t>(
+                                 static_cast<const char*>(nl) -
+                                 (buf_.data() + head_)) +
+                             1;
+    head_ += skip;
+    size_ -= skip;
+    result.consumed += skip;
+    discarding_ = false;
+    since_line_ = size_;
+  }
+  const BatchParse scanned =
+      parse_batch(std::string_view(buf_.data() + head_, size_), out);
+  result.produced = scanned.produced;
+  result.consumed += scanned.consumed;
+  if (scanned.consumed > 0) {
+    // A completed line (even an oversize resync) is progress, so the
+    // slow-dribble counter resets to just the pending partial.
+    head_ += scanned.consumed;
+    size_ -= scanned.consumed;
+    since_line_ = size_;
+  }
+  if (head_ == 0 && size_ == buf_.size() && result.produced < out.size()) {
+    // The whole buffer is one line with no newline in sight: report it
+    // once (truncated prefix only), drop the bytes, and discard until the
+    // resync newline.
+    ParsedRecord& entry = out[result.produced];
+    entry.status = ParseStatus::kOversize;
+    entry.line =
+        std::string_view(buf_.data(), std::min(size_, max_line_bytes_));
+    entry.error = "line overflowed the read buffer without a newline";
+    ++result.produced;
+    size_ = 0;
+    discarding_ = true;
+  }
+  return result;
+}
+
 int listen_unix(const std::string& path, std::string* error) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;

@@ -98,45 +98,23 @@ TenantRouter::Tenant* TenantRouter::most_loaded_locked(
   return best;
 }
 
-PushOutcome TenantRouter::push(JobRecord record,
-                               std::vector<ShedRecord>* evictions,
-                               ShedReason* reason) {
-  QueuedRecord queued;
-  queued.record = std::move(record);
-  queued.ingest = Clock::now();
-  // order: relaxed — a pure ticket; the sequence only needs uniqueness and
-  // rough arrival order for tie-breaks, no payload is published through it.
-  queued.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-
-  const Rung rung =
-      static_cast<Rung>(rung_mirror_.load(std::memory_order_acquire));
+PushOutcome TenantRouter::admit_locked(RouterShard& shard,
+                                       QueuedRecord& queued, Rung rung,
+                                       const std::string* offender,
+                                       std::vector<ShedRecord>* evictions,
+                                       ShedReason* reason) {
   if (rung == Rung::kDrain) {
-    RouterShard& shard = *shards_[shard_of(queued.record.tenant)];
-    runtime::MutexLock lock(shard.mu);
     ++shard.rejected_drain;
     *reason = ShedReason::kRejectDrain;
     return PushOutcome::kShed;
   }
-  if (rung == Rung::kRejectTenant) {
-    // Lock order is always ladder_mu_ -> shard.mu (tick() holds the ladder
-    // lock while walking shards), so the offender check happens before the
-    // shard lock below.
-    bool is_offender = false;
-    {
-      runtime::MutexLock lock(ladder_mu_);
-      is_offender = !offender_.empty() && queued.record.tenant == offender_;
-    }
-    if (is_offender) {
-      RouterShard& shard = *shards_[shard_of(queued.record.tenant)];
-      runtime::MutexLock lock(shard.mu);
-      ++shard.rejected_tenant;
-      *reason = ShedReason::kRejectTenant;
-      return PushOutcome::kShed;
-    }
+  if (rung == Rung::kRejectTenant && offender != nullptr &&
+      queued.record.tenant == *offender) {
+    ++shard.rejected_tenant;
+    *reason = ShedReason::kRejectTenant;
+    return PushOutcome::kShed;
   }
 
-  RouterShard& shard = *shards_[shard_of(queued.record.tenant)];
-  runtime::MutexLock lock(shard.mu);
   Tenant& tenant = tenant_slot(shard, queued.record.tenant);
 
   if (rung >= Rung::kShedNew) {
@@ -184,6 +162,106 @@ PushOutcome TenantRouter::push(JobRecord record,
   shard.peak_depth = std::max(shard.peak_depth, shard.depth);
   ++shard.accepted;
   return PushOutcome::kAdmitted;
+}
+
+PushOutcome TenantRouter::push(JobRecord record,
+                               std::vector<ShedRecord>* evictions,
+                               ShedReason* reason) {
+  QueuedRecord queued;
+  queued.record = std::move(record);
+  queued.ingest = Clock::now();
+  // order: relaxed — a pure ticket; the sequence only needs uniqueness and
+  // rough arrival order for tie-breaks, no payload is published through it.
+  queued.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  const Rung rung =
+      static_cast<Rung>(rung_mirror_.load(std::memory_order_acquire));
+  // Lock order is always ladder_mu_ -> shard.mu (tick() holds the ladder
+  // lock while walking shards), so the offender snapshot happens before
+  // the shard lock below.
+  std::string offender_copy;
+  const std::string* offender = nullptr;
+  if (rung == Rung::kRejectTenant) {
+    runtime::MutexLock lock(ladder_mu_);
+    if (!offender_.empty()) {
+      offender_copy = offender_;
+      offender = &offender_copy;
+    }
+  }
+
+  RouterShard& shard = *shards_[shard_of(queued.record.tenant)];
+  runtime::MutexLock lock(shard.mu);
+  return admit_locked(shard, queued, rung, offender, evictions, reason);
+}
+
+void TenantRouter::admit_batch(std::span<JobRecord> records,
+                               std::vector<BatchOutcome>* outcomes,
+                               std::vector<ShedRecord>* evictions,
+                               BatchScratch* scratch) {
+  const std::size_t n = records.size();
+  outcomes->clear();
+  outcomes->resize(n);
+  if (n == 0) return;
+
+  // One ticket block for the whole batch: record i gets first_seq + i, the
+  // exact sequence a push() loop would hand out.
+  // order: relaxed — same pure-ticket semantics as push().
+  const std::uint64_t first_seq =
+      next_seq_.fetch_add(n, std::memory_order_relaxed);
+  const Clock::time_point ingest = Clock::now();
+  // order: acquire — pairs with the release stores in tick()/begin_drain(),
+  // exactly as push()'s rung read.
+  const Rung rung =
+      static_cast<Rung>(rung_mirror_.load(std::memory_order_acquire));
+  // Offender snapshot BEFORE any shard lock (lock order ladder_mu_ ->
+  // shard.mu), once per batch.
+  const std::string* offender = nullptr;
+  if (rung == Rung::kRejectTenant) {
+    runtime::MutexLock lock(ladder_mu_);
+    scratch->offender = offender_;
+    if (!scratch->offender.empty()) offender = &scratch->offender;
+  }
+
+  // Stable counting sort of record indices by shard: per-shard order is
+  // batch order, and records of different shards never interact, so the
+  // per-shard admit_locked replay below is observationally identical to a
+  // sequential push() loop.
+  const std::size_t m = shards_.size();
+  scratch->shard_index.resize(n);
+  scratch->bucket.assign(m + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<std::uint32_t>(shard_of(records[i].tenant));
+    scratch->shard_index[i] = s;
+    ++scratch->bucket[s + 1];
+  }
+  for (std::size_t s = 0; s < m; ++s) scratch->bucket[s + 1] += scratch->bucket[s];
+  scratch->cursor.assign(scratch->bucket.begin(), scratch->bucket.end());
+  scratch->order.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scratch->order[scratch->cursor[scratch->shard_index[i]]++] =
+        static_cast<std::uint32_t>(i);
+
+  QueuedRecord queued;
+  for (std::size_t s = 0; s < m; ++s) {
+    const std::uint32_t begin = scratch->bucket[s];
+    const std::uint32_t end = scratch->bucket[s + 1];
+    if (begin == end) continue;
+    RouterShard& shard = *shards_[s];
+    runtime::MutexLock lock(shard.mu);  // ONE lock hold per shard per batch
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const std::uint32_t i = scratch->order[k];
+      queued.record = std::move(records[i]);
+      queued.ingest = ingest;
+      queued.seq = first_seq + i;
+      BatchOutcome& out = (*outcomes)[i];
+      out.outcome =
+          admit_locked(shard, queued, rung, offender, evictions, &out.reason);
+      if (out.outcome == PushOutcome::kShed)
+        // Hand the record back so the caller can account the shed by
+        // tenant (admit_locked moves from `queued` only on admission).
+        records[i] = std::move(queued.record);
+    }
+  }
 }
 
 bool TenantRouter::try_pop(QueuedRecord* out) {

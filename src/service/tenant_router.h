@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -116,6 +117,40 @@ class TenantRouter {
   /// *reason says why.  `evictions` and `reason` must be non-null.
   PushOutcome push(JobRecord record, std::vector<ShedRecord>* evictions,
                    ShedReason* reason);
+
+  /// Per-record outcome of admit_batch (the batch analog of push()'s
+  /// return + *reason).
+  struct BatchOutcome {
+    PushOutcome outcome = PushOutcome::kAdmitted;
+    ShedReason reason{};  ///< valid when outcome == kShed
+  };
+
+  /// Caller-owned scratch reused across admit_batch calls so the
+  /// steady-state ingest path allocates nothing after warmup.
+  struct BatchScratch {
+    std::vector<std::uint32_t> shard_index;  ///< per record
+    std::vector<std::uint32_t> order;        ///< record indices, shard-grouped
+    std::vector<std::uint32_t> bucket;       ///< prefix offsets (shards + 1)
+    std::vector<std::uint32_t> cursor;       ///< counting-sort write heads
+    std::string offender;                    ///< reject-tenant snapshot
+  };
+
+  /// Batched ingest (the sharded-io fast path): admits every record of
+  /// `records`, grouping by shard so each shard lock is taken ONCE per
+  /// batch instead of once per record.  Records are grouped stably and
+  /// processed per shard in batch order with sequence tickets assigned in
+  /// batch order, so the outcome of every record — including which queued
+  /// record a full shard evicts, via the shared admit_locked core — is
+  /// bit-identical to calling push() on each record in order (records of
+  /// different shards never interact; pinned by test).  One ingest
+  /// timestamp covers the whole batch.
+  ///
+  /// A record is moved from on admission; one shed at the door is left
+  /// intact so the caller can account it by tenant.  *outcomes is resized
+  /// to the batch; evicted records are appended to *evictions as in push().
+  void admit_batch(std::span<JobRecord> records,
+                   std::vector<BatchOutcome>* outcomes,
+                   std::vector<ShedRecord>* evictions, BatchScratch* scratch);
 
   /// Dispatcher side: pops the weighted-fair next record.  Shards are
   /// scanned round-robin from a rotating cursor so no shard is structurally
@@ -198,6 +233,16 @@ class TenantRouter {
   std::size_t shard_of(const std::string& tenant) const;
   Tenant& tenant_slot(RouterShard& shard, const std::string& name)
       PJSCHED_REQUIRES(shard.mu);
+  /// The admission core shared bit-for-bit by push() and admit_batch():
+  /// rung gates, weighted-fair full-shard eviction, activation catch-up,
+  /// enqueue + accounting.  Moves from `queued` only on kAdmitted; on
+  /// kShed the record is left intact for the caller.  `offender` is the
+  /// reject-tenant snapshot taken under ladder_mu_ BEFORE this shard lock
+  /// (lock order: ladder_mu_ -> shard.mu), or nullptr outside that rung.
+  PushOutcome admit_locked(RouterShard& shard, QueuedRecord& queued, Rung rung,
+                           const std::string* offender,
+                           std::vector<ShedRecord>* evictions,
+                           ShedReason* reason) PJSCHED_REQUIRES(shard.mu);
   /// Weighted fair share (in records) of `tenant` within its shard.
   double fair_share_locked(const RouterShard& shard,
                            const Tenant& tenant) const

@@ -210,7 +210,12 @@ core::EngineStats run_impl(core::JobSource& source,
       ++next_machine_event;
     }
 
-    // Pull arrivals whose step has come into the arena and global queue.
+    // Pull ALL arrivals whose step has come into the arena and global
+    // queue as one batch: the budget accumulators are folded per arrival
+    // but the (multiplicative) budget formula is recomputed once per
+    // batch.  Bit-identical to per-arrival recomputation — the budget is
+    // only consulted at the top of the step loop, never mid-batch.
+    bool any_arrivals = false;
     while (!source.done() && arrival_to_step(source.next_arrival()) <= step) {
       const std::uint32_t slot = arena.acquire(source.take());
       if (slot >= arrival_step.size()) arrival_step.emplace_back();
@@ -220,10 +225,11 @@ core::EngineStats run_impl(core::JobSource& source,
             std::max(budget_last_arrival, arrival_step[slot]);
         budget_total_work += arena[slot].dag->total_work();
         ++budget_jobs;
-        recompute_budget();
+        any_arrivals = true;
       }
       global_queue.push(slot, arena[slot].weight);
     }
+    if (auto_budget && any_arrivals) recompute_budget();
 
     // Fast-forward across machine-wide idle gaps: if no worker holds work,
     // all deques are empty, and no job is admissible, nothing can change

@@ -6,6 +6,7 @@
 #include "src/service/daemon.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <fstream>
@@ -138,6 +139,107 @@ TEST(ServiceDaemon, DisconnectMidLineQuarantinesThePartial) {
   const DaemonSnapshot snap = daemon.snapshot();
   EXPECT_EQ(snap.feed.records, 1u);
   EXPECT_EQ(snap.tenants.at("delta").submitted, 1u);
+  expect_books_balance(snap);
+}
+
+TEST(ServiceDaemon, MetricsCommandRepliesInMachineFormat) {
+  DaemonConfig config = small_config();
+  config.tcp_port = 0;
+  Daemon daemon(config);
+
+  std::string error;
+  const int fd = connect_tcp("127.0.0.1",
+                             static_cast<std::uint16_t>(daemon.tcp_port()),
+                             &error);
+  ASSERT_GE(fd, 0) << error;
+  // The reply must be ordered after the records that preceded the command
+  // on the same connection: the client sees its own submissions counted.
+  ASSERT_TRUE(write_all(fd, "job mtx 1\njob mtx 1\nmetrics\n"));
+
+  std::string reply;
+  char buf[4096];
+  while (reply.find("end\n") == std::string::npos) {
+    ASSERT_TRUE(wait_readable(fd, 5000ms)) << "no metrics reply";
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  close_fd(fd);
+
+  EXPECT_NE(reply.find("rung normal\n"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("tenant.mtx.submitted 2\n"), std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("ingest.records 2\n"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("ingest.commands 1\n"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("router.accepted "), std::string::npos);
+  EXPECT_NE(reply.find("pool.tasks_executed "), std::string::npos);
+
+  ASSERT_TRUE(daemon.drain(5000ms));
+  const DaemonSnapshot snap = daemon.snapshot();
+  EXPECT_EQ(snap.feed.commands, 1u);
+  EXPECT_EQ(snap.feed.records, 2u);
+  expect_books_balance(snap);
+}
+
+TEST(ServiceDaemon, SlowDripPeerIsCutOffWithOneEvent) {
+  DaemonConfig config = small_config();
+  config.tcp_port = 0;
+  config.read_deadline = 150ms;  // line-progress deadline under test
+  Daemon daemon(config);
+
+  std::string error;
+  const int fd = connect_tcp("127.0.0.1",
+                             static_cast<std::uint16_t>(daemon.tcp_port()),
+                             &error);
+  ASSERT_GE(fd, 0) << error;
+  // One clean record, then a line that never ends, dribbled byte by byte:
+  // activity keeps flowing (so the silent-peer timeout never fires) but no
+  // line completes, so the dribble guard must cut the connection — ONCE.
+  ASSERT_TRUE(write_all(fd, "job drip 1\njob drip "));
+  for (int i = 0; i < 100; ++i) {
+    if (!write_all(fd, "x")) break;  // daemon closed us: the guard fired
+    std::this_thread::sleep_for(20ms);
+    if (daemon.snapshot().feed.slow_drip > 0) break;
+  }
+  ASSERT_TRUE(eventually([&] {
+    return daemon.snapshot().feed.slow_drip == 1;
+  }));
+  close_fd(fd);
+
+  ASSERT_TRUE(daemon.drain(5000ms));
+  const DaemonSnapshot snap = daemon.snapshot();
+  EXPECT_EQ(snap.feed.slow_drip, 1u);   // one event per connection, total
+  EXPECT_EQ(snap.feed.malformed, 0u);   // counted apart from parse errors
+  EXPECT_EQ(snap.feed.records, 1u);     // the partial was never submitted
+  EXPECT_EQ(snap.feed.read_timeouts, 0u);
+  ASSERT_EQ(snap.quarantine.size(), 1u);
+  EXPECT_NE(snap.quarantine[0].find("slow drip"), std::string::npos);
+  expect_books_balance(snap);
+}
+
+TEST(ServiceDaemon, SlowDripByteCapCutsFastLinelessFloods) {
+  DaemonConfig config = small_config();
+  config.tcp_port = 0;
+  config.slow_drip_byte_cap = 256;  // tiny cap; deadline stays long
+  Daemon daemon(config);
+
+  std::string error;
+  const int fd = connect_tcp("127.0.0.1",
+                             static_cast<std::uint16_t>(daemon.tcp_port()),
+                             &error);
+  ASSERT_GE(fd, 0) << error;
+  // A kilobyte of line-less bytes at full speed: the cap — not the
+  // deadline — must fire, exactly once.
+  ASSERT_TRUE(write_all(fd, "job cap 1\n" + std::string(1024, 'y')));
+
+  ASSERT_TRUE(eventually([&] {
+    return daemon.snapshot().feed.slow_drip == 1;
+  }));
+  close_fd(fd);
+  ASSERT_TRUE(daemon.drain(5000ms));
+  const DaemonSnapshot snap = daemon.snapshot();
+  EXPECT_EQ(snap.feed.slow_drip, 1u);
+  EXPECT_EQ(snap.feed.records, 1u);
   expect_books_balance(snap);
 }
 

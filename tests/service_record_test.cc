@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
+#include <vector>
+
+#include "src/service/stream_feed.h"
 
 namespace pjsched::service {
 namespace {
@@ -101,6 +105,184 @@ TEST(ServiceRecord, FormatRoundTrips) {
 
   // Defaults are omitted from the wire form.
   EXPECT_EQ(format_record(JobRecord{"t", 1.0, 1, 1.0, 0, 0}), "job t 1");
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy batched parsing: parse_batch over an IngestBuffer must classify
+// a byte stream identically no matter where the read boundaries fall.
+
+/// One classified feed event, with enough of the payload captured to prove
+/// the parse was not just the same status but the same parse.
+struct FeedEvent {
+  ParseStatus status = ParseStatus::kEmpty;
+  std::string tenant;
+  double work = 0.0;
+  std::uint64_t id = 0;
+  std::string sample;  // the offending line (malformed/oversize)
+
+  bool operator==(const FeedEvent& o) const {
+    return status == o.status && tenant == o.tenant && work == o.work &&
+           id == o.id && sample == o.sample;
+  }
+};
+
+/// Feeds `corpus` through an IngestBuffer in reads of at most `chunk`
+/// bytes, draining parse_batch after every read — exactly the io-shard
+/// loop's structure.
+std::vector<FeedEvent> feed_chunked(std::string_view corpus,
+                                    std::size_t chunk) {
+  IngestBuffer buf;
+  std::vector<ParsedRecord> entries(8);
+  std::vector<FeedEvent> events;
+  std::size_t off = 0;
+  while (off < corpus.size()) {
+    const std::size_t n =
+        std::min({chunk, corpus.size() - off, buf.tail_capacity()});
+    std::memcpy(buf.tail(), corpus.data() + off, n);
+    buf.commit(n);
+    off += n;
+    for (;;) {
+      const BatchParse bp = buf.parse({entries.data(), entries.size()});
+      if (bp.produced == 0 && bp.consumed == 0) break;
+      for (std::size_t i = 0; i < bp.produced; ++i) {
+        FeedEvent e;
+        e.status = entries[i].status;
+        if (entries[i].status == ParseStatus::kRecord) {
+          e.tenant = entries[i].record.tenant;
+          e.work = entries[i].record.work;
+          e.id = entries[i].record.client_id;
+        } else {
+          e.sample = std::string(entries[i].line);
+        }
+        events.push_back(std::move(e));
+      }
+    }
+  }
+  EXPECT_FALSE(buf.has_partial()) << "chunk=" << chunk;
+  return events;
+}
+
+TEST(ServiceRecordBatch, EveryReadBoundarySplitClassifiesIdentically) {
+  // The full hostile corpus — every malformed case the per-line tests pin,
+  // interleaved with good records, comments, commands, an in-buffer
+  // oversize line, and a line that overflows the whole read buffer — so
+  // every parser state can be cut at every read boundary.
+  const std::vector<std::string> lines = {
+      "job acme 4",
+      "jib a 1",
+      "job",
+      "job a",
+      "job a 0",
+      "job a -3",
+      "# a comment",
+      "job t-1.a_b 2.5 fanout=8 weight=0.25 deadline_ms=900 id=7",
+      "job a 1e400",
+      "job a nan",
+      "job a 1x",
+      "job a/etc 1",
+      "job " + std::string(kMaxTenantBytes + 1, 'a') + " 1",
+      "",
+      "   \t ",
+      "job a 1 fanout=0",
+      "job a 1 fanout=99999999",
+      "job a 1 fanout=-2",
+      "job a 1 weight=0",
+      "job a 1 deadline_ms=0",
+      "job a 1 deadline_ms=99999999999",
+      "metrics",
+      "job a 1 nice=true",
+      "job a 1 =v",
+      "job a 1 k=",
+      "job a 1 orphan",
+      "metrics now",
+      std::string(kMaxLineBytes + 1, 'a'),      // oversize, complete in-buffer
+      "job after1 1 id=42",                     // resync proof
+      std::string(5 * kMaxLineBytes, 'x'),      // overflows the read buffer
+      "job after2 2",                           // resync proof
+  };
+  std::string corpus;
+  for (const std::string& l : lines) {
+    corpus += l;
+    corpus += '\n';
+  }
+
+  const std::vector<FeedEvent> reference =
+      feed_chunked(corpus, corpus.size());
+
+  // The reference classification itself: 4 records (in order), 21
+  // malformed, 2 oversize, 1 command; empties and comments emit nothing.
+  std::size_t records = 0, malformed = 0, oversize = 0, commands = 0;
+  for (const FeedEvent& e : reference) {
+    switch (e.status) {
+      case ParseStatus::kRecord: ++records; break;
+      case ParseStatus::kMalformed: ++malformed; break;
+      case ParseStatus::kOversize: ++oversize; break;
+      case ParseStatus::kCommand: ++commands; break;
+      case ParseStatus::kEmpty: FAIL() << "kEmpty must never be emitted";
+    }
+  }
+  EXPECT_EQ(records, 4u);
+  EXPECT_EQ(malformed, 21u);
+  EXPECT_EQ(oversize, 2u);
+  EXPECT_EQ(commands, 1u);
+  ASSERT_GE(reference.size(), 3u);
+  EXPECT_EQ(reference.front().tenant, "acme");
+  EXPECT_DOUBLE_EQ(reference.front().work, 4.0);
+
+  // Every read-boundary split — byte-at-a-time through page-ish reads and
+  // the buffer-capacity edge cases — produces the identical event stream.
+  const std::size_t chunks[] = {1,    2,    3,    5,    7,    13,   64,
+                                256,  1024, 4095, 4096, 4097, 8192, 16383,
+                                16384, 16385};
+  for (const std::size_t chunk : chunks) {
+    SCOPED_TRACE(chunk);
+    const std::vector<FeedEvent> got = feed_chunked(corpus, chunk);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_TRUE(got[i] == reference[i]) << "event " << i;
+  }
+}
+
+TEST(ServiceRecordBatch, OverflowEmitsExactlyOneOversizeEvent) {
+  // A line that dwarfs the read buffer: ONE kOversize event at the
+  // overflow, silence until the resync newline, then a clean record.
+  const std::string corpus =
+      std::string(20 * kMaxLineBytes, 'z') + "\njob ok 1\n";
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{4096},
+                                  std::size_t{100000}}) {
+    SCOPED_TRACE(chunk);
+    const std::vector<FeedEvent> events = feed_chunked(corpus, chunk);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].status, ParseStatus::kOversize);
+    // The sample is the truncated prefix, never the whole flood.
+    EXPECT_LE(events[0].sample.size(), kMaxLineBytes);
+    EXPECT_EQ(events[1].status, ParseStatus::kRecord);
+    EXPECT_EQ(events[1].tenant, "ok");
+  }
+}
+
+TEST(ServiceRecordBatch, PartialLineStaysPendingAcrossReads) {
+  IngestBuffer buf;
+  std::vector<ParsedRecord> entries(4);
+  const std::string_view half = "job pend";
+  std::memcpy(buf.tail(), half.data(), half.size());
+  buf.commit(half.size());
+  BatchParse bp = buf.parse({entries.data(), entries.size()});
+  EXPECT_EQ(bp.produced, 0u);
+  EXPECT_TRUE(buf.has_partial());
+  EXPECT_EQ(buf.bytes_since_line(), half.size());
+  EXPECT_EQ(buf.partial_sample(), half);
+
+  const std::string_view rest = "ing 3\n";
+  std::memcpy(buf.tail(), rest.data(), rest.size());
+  buf.commit(rest.size());
+  bp = buf.parse({entries.data(), entries.size()});
+  ASSERT_EQ(bp.produced, 1u);
+  EXPECT_EQ(entries[0].status, ParseStatus::kRecord);
+  EXPECT_EQ(entries[0].record.tenant, "pending");
+  EXPECT_DOUBLE_EQ(entries[0].record.work, 3.0);
+  EXPECT_FALSE(buf.has_partial());
+  EXPECT_EQ(buf.bytes_since_line(), 0u);
 }
 
 }  // namespace

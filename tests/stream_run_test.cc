@@ -193,6 +193,28 @@ TEST(StreamRunTest, StreamedTraceMatchesMaterialized) {
   }
 }
 
+// Batched arrival admission: with a burst-heavy feed (tens of arrivals
+// landing on the same engine step) the streamed step engine drains every
+// due arrival in one batch — one budget recomputation per batch, one
+// JobSource pull loop — before the quantum decision.  The result must stay
+// bit-identical to the materialized run, which admits the same set.
+TEST(StreamRunTest, BurstArrivalsBatchedAdmissionMatchesMaterialized) {
+  const auto dist = workload::bing_distribution();
+  workload::GeneratorConfig cfg = base_config(600);
+  cfg.qps = 50000.0;  // deep same-step arrival batches
+
+  for (const char* name : {"steal-16-first", "admit-first", "fifo", "bwf"}) {
+    SCOPED_TRACE(name);
+    const core::Instance inst = workload::generate_instance(dist, cfg);
+    const core::ScheduleResult mat =
+        run_scheduler(inst, core::parse_scheduler(name), machine16());
+    workload::GeneratedJobSource source(dist, cfg);
+    const core::StreamRunResult str =
+        run_scheduler_streamed(source, core::parse_scheduler(name), machine16());
+    expect_identical(mat, str);
+  }
+}
+
 // The memory claim itself: under a stable load, the arena recycles slots, so
 // slots_allocated is a small multiple of peak_live_jobs and far below the
 // job count — this is what makes 10^6-job runs O(live jobs) resident.

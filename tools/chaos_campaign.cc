@@ -68,6 +68,9 @@ service::DaemonConfig make_config(std::uint64_t seed, bool chaos) {
   config.tick_interval = std::chrono::milliseconds(1);
   config.ns_per_unit = 2000.0;
   config.read_deadline = std::chrono::milliseconds(2000);
+  // Sharded ingest even on small hosts: the campaign must exercise the
+  // accept-handoff and cross-shard batched-admission paths.
+  config.io_threads = 2;
   if (chaos) {
     config.tcp_port = 0;  // ephemeral loopback listener for the feed thread
     config.pool.fault_plan.seed = seed;

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""CI gate over the daemon ingest smoke (pjschedd + multi-connection
+pjsched_loadgen + the alloc-probed ingest bench).
+
+Usage:
+    check_ingest_smoke.py --metrics <metrics-file> --loadgen <loadgen-log>
+        [--bench <ingest-bench-json>] [--min-rate <rec/s>]
+        [--max-allocs-per-job <n>]
+
+<metrics-file> is what `pjschedd --metrics-out=FILE` writes on exit (the
+machine-readable `key value` dump, taken AFTER a successful drain);
+<loadgen-log> is pjsched_loadgen's stdout, whose final line reports sent
+records and the achieved open-loop rate; the optional <ingest-bench-json>
+is `bench_ingest --benchmark_filter=IngestParseAdmit` JSON output.
+
+Asserts:
+
+  1. ZERO LOST JOBS — every record the load generator sent is accounted by
+     the daemon: loadgen sent == ingest.records, with no reconnects (a
+     reconnect means the daemon dropped a healthy loopback connection) and
+     nothing quarantined (the feed is well-formed by construction);
+  2. BOOKS BALANCE — per tenant, submitted == completed + failed +
+     deadline_expired + shed + rejected (the drain ran, so nothing is in
+     flight), the tenants' submitted sum to ingest.records, and the router
+     obeys its conservation law (accepted == popped + fair-share/queued
+     evictions + depth; every push attempt lands in exactly one counter);
+  3. THROUGHPUT FLOOR — the loadgen's achieved rec/s stays above
+     --min-rate (default 20000: an order of magnitude under what one io
+     shard sustains, so only a real ingest collapse trips it);
+  4. ALLOC GATE (with --bench) — BM_IngestParseAdmit's alloc probe reports
+     at most --max-allocs-per-job (default 1.0) on the zero-copy
+     parse+admit path.
+
+Exits non-zero with per-violation messages; prints the measured numbers
+either way.  Stdlib only.
+"""
+import json
+import re
+import sys
+
+_LOADGEN_LINE = re.compile(
+    r"pjsched_loadgen: sent (\d+) records in ([0-9.eE+-]+)s "
+    r"\(([0-9.eE+-]+) rec/s, (\d+) reconnects, (\d+) connections\)")
+
+
+def _parse_metrics(path):
+    metrics = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line == "end":
+                continue
+            key, _, value = line.partition(" ")
+            metrics[key] = value
+    return metrics
+
+
+def _num(metrics, key, violations):
+    if key not in metrics:
+        violations.append(f"metrics file is missing '{key}'")
+        return 0
+    return int(metrics[key])
+
+
+def main(argv):
+    args = list(argv[1:])
+    metrics_path = loadgen_path = bench_path = None
+    min_rate = 20000.0
+    max_allocs = 1.0
+    while args:
+        flag = args.pop(0)
+        if flag == "--metrics":
+            metrics_path = args.pop(0)
+        elif flag == "--loadgen":
+            loadgen_path = args.pop(0)
+        elif flag == "--bench":
+            bench_path = args.pop(0)
+        elif flag == "--min-rate":
+            min_rate = float(args.pop(0))
+        elif flag == "--max-allocs-per-job":
+            max_allocs = float(args.pop(0))
+        else:
+            sys.exit(__doc__)
+    if metrics_path is None or loadgen_path is None:
+        sys.exit(__doc__)
+
+    violations = []
+
+    with open(loadgen_path) as f:
+        matches = [_LOADGEN_LINE.search(line) for line in f]
+    matches = [m for m in matches if m is not None]
+    if not matches:
+        sys.exit(f"check_ingest_smoke.py: no loadgen summary line in "
+                 f"{loadgen_path}")
+    m = matches[-1]
+    sent, rate = int(m.group(1)), float(m.group(3))
+    reconnects, connections = int(m.group(4)), int(m.group(5))
+
+    metrics = _parse_metrics(metrics_path)
+    records = _num(metrics, "ingest.records", violations)
+
+    # 1. Zero lost jobs.
+    if records != sent:
+        violations.append(
+            f"LOST JOBS: loadgen sent {sent} records but the daemon "
+            f"counted {records} (delta {sent - records})")
+    if reconnects != 0:
+        violations.append(
+            f"RECONNECTS: loadgen reconnected {reconnects} times on a "
+            "healthy loopback feed — the daemon dropped connections")
+    for key in ("ingest.malformed", "ingest.oversize", "ingest.partial",
+                "ingest.slow_drip", "ingest.refused"):
+        if _num(metrics, key, violations) != 0:
+            violations.append(
+                f"QUARANTINE: {key} = {metrics[key]} on a well-formed feed")
+
+    # 2. Books balance.
+    tenants = {}
+    for key in metrics:
+        mt = re.match(r"^tenant\.(.+)\.submitted$", key)
+        if mt:
+            tenants[mt.group(1)] = None
+    submitted_sum = 0
+    for tenant in sorted(tenants):
+        prefix = f"tenant.{tenant}."
+        submitted = _num(metrics, prefix + "submitted", violations)
+        terminal = sum(
+            _num(metrics, prefix + k, violations)
+            for k in ("completed", "failed", "deadline_expired", "shed",
+                      "rejected"))
+        submitted_sum += submitted
+        if submitted != terminal:
+            violations.append(
+                f"BOOKS IMBALANCE ({tenant}): submitted {submitted} != "
+                f"terminal {terminal} after drain")
+    if submitted_sum != records:
+        violations.append(
+            f"BOOKS IMBALANCE: tenant submitted sum {submitted_sum} != "
+            f"ingest.records {records}")
+    accepted = _num(metrics, "router.accepted", violations)
+    conserved = (_num(metrics, "router.popped", violations) +
+                 _num(metrics, "router.shed_fair_share", violations) +
+                 _num(metrics, "router.shed_queued", violations) +
+                 _num(metrics, "router.depth", violations))
+    if accepted != conserved:
+        violations.append(
+            f"ROUTER CONSERVATION: accepted {accepted} != popped + "
+            f"evictions + depth {conserved}")
+    attempts = (accepted +
+                _num(metrics, "router.shed_arrival_full", violations) +
+                _num(metrics, "router.shed_new", violations) +
+                _num(metrics, "router.rejected_tenant", violations) +
+                _num(metrics, "router.rejected_drain", violations))
+    if attempts != records:
+        violations.append(
+            f"ROUTER CONSERVATION: push attempts {attempts} != "
+            f"ingest.records {records}")
+
+    # 3. Throughput floor.
+    if rate < min_rate:
+        violations.append(
+            f"THROUGHPUT FLOOR: loadgen achieved {rate:,.0f} rec/s over "
+            f"{connections} connections (floor {min_rate:,.0f})")
+
+    # 4. Alloc gate.
+    allocs = None
+    if bench_path is not None:
+        with open(bench_path) as f:
+            report = json.load(f)
+        for bench in report.get("benchmarks", []):
+            if (bench.get("run_type") != "aggregate" and
+                    bench["name"] == "BM_IngestParseAdmit"):
+                allocs = bench.get("allocs_per_job")
+        if allocs is None:
+            violations.append(
+                f"ALLOC GATE: BM_IngestParseAdmit (with its allocs_per_job "
+                f"counter) missing from {bench_path}")
+        elif allocs > max_allocs:
+            violations.append(
+                f"ALLOC GATE: {allocs:.2f} allocs/job on the parse+admit "
+                f"path (limit {max_allocs:.1f}) — a per-line or per-field "
+                "allocation crept back in")
+
+    alloc_note = f", {allocs:.2f} allocs/job" if allocs is not None else ""
+    print(f"check_ingest_smoke.py: {sent} records over {connections} "
+          f"connections at {rate:,.0f} rec/s; daemon counted {records} "
+          f"({len(tenants)} tenants){alloc_note}")
+    if violations:
+        for v in violations:
+            print(f"check_ingest_smoke.py: VIOLATION: {v}", file=sys.stderr)
+        return 1
+    print("check_ingest_smoke.py: ingest smoke clean: no lost jobs, books "
+          "balanced, floors met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,15 +6,22 @@
 // full jitter, and a total deadline budget after which the client gives
 // up cleanly instead of hammering a struggling daemon forever.
 //
+// With --connections=N the record count is split across N concurrent
+// client threads, each with its own socket, seeded rng, reconnect budget,
+// and open-loop pacing schedule (--rate is the AGGREGATE rate; each
+// connection paces at rate/N); the final line reports merged stats.
+//
 //   pjsched_loadgen --tcp-port=7133 --tenant=acme --records=10000
 //                   --rate=2000 --work=8 --fanout=4
 //   pjsched_loadgen --unix=/tmp/pjsched.sock --tenant=bulk
 //                   --records=100000 --budget-ms=30000 --seed=7
+//   pjsched_loadgen --tcp-port=7133 --connections=8 --records=800000
 #include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/service/record.h"
 #include "src/service/stream_feed.h"
@@ -40,6 +47,7 @@ struct Options {
   unsigned max_retries = 8;
   std::uint64_t backoff_base_ms = 10;
   std::uint64_t seed = 1;
+  std::uint64_t connections = 1;  // concurrent client threads
 };
 
 bool parse_flag(const std::string& arg, const std::string& name,
@@ -55,7 +63,8 @@ int usage(const char* argv0) {
             << "[--tcp-host=H] [--tenant=T]\n"
             << "  [--records=N] [--work=W] [--fanout=F] [--weight=W]\n"
             << "  [--deadline-ms=D] [--rate=R] [--budget-ms=B]\n"
-            << "  [--max-retries=N] [--backoff-base-ms=N] [--seed=S]\n";
+            << "  [--max-retries=N] [--backoff-base-ms=N] [--seed=S]\n"
+            << "  [--connections=N]\n";
   return 2;
 }
 
@@ -82,11 +91,14 @@ bool parse_args(int argc, char** argv, Options* o) {
       else if (parse_flag(arg, "backoff-base-ms", &v))
         o->backoff_base_ms = std::stoull(v);
       else if (parse_flag(arg, "seed", &v)) o->seed = std::stoull(v);
+      else if (parse_flag(arg, "connections", &v))
+        o->connections = std::stoull(v);
       else return false;
     } catch (const std::exception&) {
       return false;
     }
   }
+  if (o->connections == 0) return false;
   return !o->unix_path.empty() || o->tcp_port >= 0;
 }
 
@@ -122,13 +134,20 @@ int connect_with_retry(const Options& o, pjsched::sim::Rng& rng,
   return -1;
 }
 
-}  // namespace
+/// One connection's merged-stats contribution.
+struct ConnResult {
+  std::uint64_t sent = 0;
+  std::uint64_t reconnects = 0;
+  bool failed = false;
+  std::string error;
+};
 
-int main(int argc, char** argv) {
-  Options opts;
-  if (!parse_args(argc, argv, &opts)) return usage(argv[0]);
-
-  pjsched::sim::Rng rng(opts.seed);
+/// Streams `records` records over one connection (its own socket, rng,
+/// reconnect budget, and pacing schedule at `rate` records/sec).
+/// client_id is globally unique: conn_index * stride + i + 1.
+void run_connection(const Options& opts, std::uint64_t conn_index,
+                    std::uint64_t records, double rate, ConnResult* out) {
+  pjsched::sim::Rng rng(opts.seed + conn_index);
   const Clock::time_point start = Clock::now();
   const Clock::time_point budget_deadline =
       start + std::chrono::milliseconds(opts.budget_ms);
@@ -136,8 +155,9 @@ int main(int argc, char** argv) {
   std::string error;
   int fd = connect_with_retry(opts, rng, budget_deadline, &error);
   if (fd < 0) {
-    std::cerr << "pjsched_loadgen: connect failed: " << error << "\n";
-    return 1;
+    out->failed = true;
+    out->error = "connect failed: " + error;
+    return;
   }
 
   service::JobRecord record;
@@ -147,15 +167,16 @@ int main(int argc, char** argv) {
   record.weight = opts.weight;
   record.deadline_ms = opts.deadline_ms;
 
-  std::uint64_t sent = 0, reconnects = 0;
-  for (std::uint64_t i = 0; i < opts.records; ++i) {
+  const std::uint64_t stride = opts.records + 1;
+  for (std::uint64_t i = 0; i < records; ++i) {
     if (Clock::now() >= budget_deadline) {
-      std::cerr << "pjsched_loadgen: budget exhausted after " << sent
-                << " records\n";
+      out->failed = true;
+      out->error = "budget exhausted after " + std::to_string(out->sent) +
+                   " records";
       service::close_fd(fd);
-      return 1;
+      return;
     }
-    record.client_id = i + 1;
+    record.client_id = conn_index * stride + i + 1;
     const std::string line = service::format_record(record) + "\n";
     if (!service::write_all(fd, line)) {
       // Dead connection: reconnect under the same backoff/budget rules and
@@ -163,34 +184,76 @@ int main(int argc, char** argv) {
       service::close_fd(fd);
       fd = connect_with_retry(opts, rng, budget_deadline, &error);
       if (fd < 0) {
-        std::cerr << "pjsched_loadgen: reconnect failed: " << error << "\n";
-        return 1;
+        out->failed = true;
+        out->error = "reconnect failed: " + error;
+        return;
       }
-      ++reconnects;
+      ++out->reconnects;
       if (!service::write_all(fd, line)) {
-        std::cerr << "pjsched_loadgen: write failed after reconnect\n";
+        out->failed = true;
+        out->error = "write failed after reconnect";
         service::close_fd(fd);
-        return 1;
+        return;
       }
     }
-    ++sent;
-    if (opts.rate > 0.0) {
+    ++out->sent;
+    if (rate > 0.0) {
       // Open-loop pacing against the schedule, not sleep-per-record: the
       // i-th record is due at start + i/rate, so a slow stretch is made up
       // instead of compounding.
-      const auto due =
-          start + std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double>((i + 1) / opts.rate));
+      const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>((i + 1) / rate));
       while (Clock::now() < due && Clock::now() < budget_deadline)
         std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
   service::close_fd(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, &opts)) return usage(argv[0]);
+
+  const std::uint64_t conns = std::min(opts.connections, opts.records > 0
+                                                             ? opts.records
+                                                             : std::uint64_t{1});
+  const double per_conn_rate =
+      opts.rate > 0.0 ? opts.rate / static_cast<double>(conns) : 0.0;
+  const Clock::time_point start = Clock::now();
+
+  // Split the record count across connections; the first `extra`
+  // connections take one more so every record is owned by exactly one.
+  std::vector<ConnResult> results(conns);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  const std::uint64_t base = opts.records / conns;
+  const std::uint64_t extra = opts.records % conns;
+  for (std::uint64_t c = 0; c < conns; ++c) {
+    const std::uint64_t n = base + (c < extra ? 1 : 0);
+    threads.emplace_back(run_connection, std::cref(opts), c, n, per_conn_rate,
+                         &results[c]);
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::uint64_t sent = 0, reconnects = 0;
+  bool failed = false;
+  for (std::uint64_t c = 0; c < conns; ++c) {
+    sent += results[c].sent;
+    reconnects += results[c].reconnects;
+    if (results[c].failed) {
+      failed = true;
+      std::cerr << "pjsched_loadgen: connection " << c << ": "
+                << results[c].error << "\n";
+    }
+  }
 
   const double secs =
       std::chrono::duration<double>(Clock::now() - start).count();
   std::cout << "pjsched_loadgen: sent " << sent << " records in " << secs
             << "s (" << (secs > 0 ? static_cast<double>(sent) / secs : 0)
-            << " rec/s, " << reconnects << " reconnects)\n";
-  return 0;
+            << " rec/s, " << reconnects << " reconnects, " << conns
+            << " connections)\n";
+  return failed ? 1 : 0;
 }

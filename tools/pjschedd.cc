@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -34,6 +35,7 @@ struct Options {
   double time_scale = 0.0;
   std::uint64_t duration_ms = 0;  // 0 = run until the feed ends (or forever)
   std::uint64_t status_interval_ms = 0;
+  std::string metrics_out;  // write machine-readable metrics here on exit
   std::vector<std::pair<std::string, double>> weights;
 };
 
@@ -60,7 +62,10 @@ int usage(const char* argv0) {
       << "  --ns-per-unit=N         CPU ns rendered per work unit\n"
       << "  --duration-ms=N         run this long, then drain and exit\n"
       << "  --status-interval-ms=N  print metrics periodically\n"
-      << "  --read-deadline-ms=N    idle-connection deadline (default 5000)\n";
+      << "  --read-deadline-ms=N    idle-connection deadline (default 5000)\n"
+      << "  --io-threads=N          sharded io event loops (0 = auto)\n"
+      << "  --max-connections=N     open-connection bound (default 64)\n"
+      << "  --metrics-out=FILE      write machine-readable metrics on exit\n";
   return 2;
 }
 
@@ -95,6 +100,12 @@ bool parse_args(int argc, char** argv, Options* opts) {
         opts->status_interval_ms = std::stoull(v);
       } else if (parse_flag(arg, "read-deadline-ms", &v)) {
         opts->config.read_deadline = std::chrono::milliseconds(std::stoull(v));
+      } else if (parse_flag(arg, "io-threads", &v)) {
+        opts->config.io_threads = std::stoul(v);
+      } else if (parse_flag(arg, "max-connections", &v)) {
+        opts->config.max_connections = std::stoul(v);
+      } else if (parse_flag(arg, "metrics-out", &v)) {
+        opts->metrics_out = v;
       } else if (parse_flag(arg, "weights", &v)) {
         std::size_t pos = 0;
         while (pos < v.size()) {
@@ -134,12 +145,13 @@ int main(int argc, char** argv) {
     Daemon daemon(opts.config);
     for (const auto& [tenant, weight] : opts.weights)
       daemon.set_weight(tenant, weight);
+    // Flushed eagerly: smoke scripts poll stdout for the ephemeral port.
     if (daemon.tcp_port() >= 0)
       std::cout << "pjschedd: listening on tcp 127.0.0.1:" << daemon.tcp_port()
-                << "\n";
+                << std::endl;
     if (!opts.config.unix_socket_path.empty())
       std::cout << "pjschedd: listening on unix "
-                << opts.config.unix_socket_path << "\n";
+                << opts.config.unix_socket_path << std::endl;
 
     if (!opts.feed_file.empty()) {
       const std::size_t n = daemon.feed_replay_file(
@@ -170,6 +182,10 @@ int main(int argc, char** argv) {
 
     const bool drained = daemon.drain(std::chrono::milliseconds(30000));
     std::cout << daemon.metrics_text();
+    if (!opts.metrics_out.empty()) {
+      std::ofstream out(opts.metrics_out);
+      out << daemon.metrics_machine();
+    }
     if (!drained) {
       std::cerr << "pjschedd: drain timed out\n";
       return 1;
