@@ -336,7 +336,10 @@ class ThreadPool {
   std::atomic<std::uint64_t> jobs_shed_{0};
   std::atomic<std::uint64_t> jobs_rejected_{0};
   std::atomic<std::uint64_t> watchdog_dumps_{0};
-  Mutex idle_mu_;       ///< pairs with idle_cv_ only; guards no data
+  // lint: allow(wait-lock): pairs with idle_cv_ only; guards no data — the
+  // idle-backoff predicate reads atomics, the lock just closes the
+  // check-then-block window.
+  Mutex idle_mu_;
   CondVar idle_cv_;     ///< idle-backoff wakeup; notified by submit()
   mutable Mutex done_mu_;  // dump_state() is const and snapshots jobs
   CondVar done_cv_;

@@ -286,6 +286,9 @@ class Daemon {
   std::deque<std::string> quarantine_ PJSCHED_GUARDED_BY(state_mu_);
 
   /// Dispatcher wakeup: submit_record notifies after a successful push.
+  // lint: allow(wait-lock): pairs with work_cv_ only; guards no data — the
+  // dispatcher's pop predicate reads the router under its own locks, this
+  // lock just closes the check-then-block window.
   runtime::Mutex work_mu_;
   runtime::CondVar work_cv_;
 

@@ -11,12 +11,12 @@
 #include "src/dag/dag.h"
 #include "src/metrics/streaming_stats.h"
 #include "src/sim/job_arena.h"
+#include "src/sim/sim_math.h"
 
 namespace pjsched::sim {
 
 namespace {
 
-constexpr double kEps = 1e-9;
 constexpr unsigned kNoProc = std::numeric_limits<unsigned>::max();
 constexpr std::uint32_t kNoPos = std::numeric_limits<std::uint32_t>::max();
 
@@ -199,7 +199,7 @@ void Engine::absorb_ready(std::uint32_t s) {
 // Applies machine events whose time has come.
 void Engine::apply_machine_events() {
   while (next_machine_event_ < machine_events_.size() &&
-         machine_events_[next_machine_event_].time <= t_ + kEps) {
+         event_due(machine_events_[next_machine_event_].time, t_)) {
     m_ = machine_events_[next_machine_event_].processors;
     s_ = machine_events_[next_machine_event_].speed;
     ++next_machine_event_;
@@ -212,7 +212,7 @@ void Engine::apply_machine_events() {
 // grows with each admission, matching what the materialized formula would
 // have pre-computed.
 void Engine::admit_arrivals() {
-  while (!source_.done() && source_.next_arrival() <= t_ + kEps) {
+  while (!source_.done() && event_due(source_.next_arrival(), t_)) {
     const std::uint32_t s = arena_.acquire(source_.take());
     if (s >= slots_.size()) slots_.emplace_back();
     SlotState& ss = slots_[s];
@@ -434,7 +434,7 @@ double Engine::next_completion_dt_fast() {
       heap_.pop();
       continue;
     }
-    return (e.coord - W_) / s_;
+    return completion_dt(e.coord, W_, s_);
   }
   return std::numeric_limits<double>::infinity();
 }
@@ -473,7 +473,7 @@ void Engine::run_exact() {
 
     double dt = std::numeric_limits<double>::infinity();
     for (const auto& [s, v] : assigned_)
-      dt = std::min(dt, (slots_[s].coord[v] - W_) / s_);
+      dt = std::min(dt, completion_dt(slots_[s].coord[v], W_, s_));
     advance(bound_dt(dt));
 
     // Process completions (coordinate within tolerance of the work clock),
@@ -483,7 +483,7 @@ void Engine::run_exact() {
     for (const auto& [s, v] : assigned_) {
       SlotState& ss = slots_[s];
       if (ss.proc_of[v] == kNoProc) continue;  // completed earlier this scan
-      if (ss.coord[v] - W_ <= kEps) complete_node(s, v);
+      if (coord_due(ss.coord[v], W_)) complete_node(s, v);
     }
   }
 }
@@ -529,7 +529,7 @@ void Engine::run_fast() {
         heap_.pop();
         continue;
       }
-      if (ss.coord[e.node] - W_ > kEps) break;
+      if (!coord_due(ss.coord[e.node], W_)) break;
       heap_.pop();
       completed_.emplace_back(e.slot, e.node);
     }

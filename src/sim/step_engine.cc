@@ -12,6 +12,7 @@
 #include "src/dag/dag.h"
 #include "src/metrics/streaming_stats.h"
 #include "src/sim/job_arena.h"
+#include "src/sim/sim_math.h"
 
 namespace pjsched::sim {
 
@@ -121,7 +122,7 @@ core::EngineStats run_impl(core::JobSource& source,
   // Jobs enter the global queue at the first step boundary at or after
   // their arrival time (step T spans real time [T/s, (T+1)/s)).
   const auto arrival_to_step = [s](core::Time arrival) {
-    return static_cast<std::uint64_t>(std::ceil(arrival * s - 1e-9));
+    return time_to_step(arrival, s);
   };
 
   core::EngineStats stats;
@@ -135,8 +136,7 @@ core::EngineStats run_impl(core::JobSource& source,
   unsigned live_count = m;
   std::vector<std::uint64_t> machine_event_step(machine_events.size());
   for (std::size_t e = 0; e < machine_events.size(); ++e)
-    machine_event_step[e] = static_cast<std::uint64_t>(
-        std::ceil(machine_events[e].time * s - 1e-9));
+    machine_event_step[e] = time_to_step(machine_events[e].time, s);
   std::size_t next_machine_event = 0;
   GlobalQueue global_queue(options.admit_by_weight);
 
@@ -386,17 +386,16 @@ core::EngineStats run_impl(core::JobSource& source,
         const std::uint32_t slot = w.current.slot;
         const dag::NodeId v = w.current.node;
         if (options.trace != nullptr)
-          options.trace->add_interval(
-              {arena[slot].id, v, perm[wi],
-               static_cast<double>(w.work_start) / s,
-               static_cast<double>(step + 1) / s});
+          options.trace->add_interval({arena[slot].id, v, perm[wi],
+                                       step_time(w.work_start, s),
+                                       step_time(step + 1, s)});
         w.has_current = false;
         dag::ReadyTracker& tracker = arena[slot].tracker;
         enabled.clear();
         tracker.complete(v, &enabled);
         if (!enabled.empty()) take_ready(w, slot, step + 1);
         if (tracker.done()) {
-          const core::Time completion = static_cast<double>(step + 1) / s;
+          const core::Time completion = step_time(step + 1, s);
           if (completion_out != nullptr)
             (*completion_out)[arena[slot].id] = completion;
           if (stream != nullptr)

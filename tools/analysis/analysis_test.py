@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Tests for pjsched_analysis: every rule of the four passes has pass and
+fail fixtures in testdata/, staged into a temporary repo layout (the
+lock/blocking rules look at anything under src/, the determinism rules at
+src/sim + src/sched), plus gate tests that run the analyzer over the real
+tree with the committed golden lock-order graph — the same invocation the
+`lint` CMake target and CI use."""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DRIVER = os.path.join(HERE, "pjsched_analysis.py")
+TESTDATA = os.path.join(HERE, "testdata")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+
+def run_analysis(args, cwd=None):
+    proc = subprocess.run(
+        [sys.executable, DRIVER] + args,
+        capture_output=True, text=True, cwd=cwd, check=False)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+class FixtureCase(unittest.TestCase):
+    """Stages fixtures into a tmp repo layout and runs one pass."""
+
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="pjsched_analysis_test_")
+        os.makedirs(os.path.join(self.tmp, "src", "runtime"))
+
+    def tearDown(self):
+        shutil.rmtree(self.tmp, ignore_errors=True)
+
+    def stage(self, fixture, rel_dir, rename=None):
+        dst_dir = os.path.join(self.tmp, rel_dir)
+        os.makedirs(dst_dir, exist_ok=True)
+        dst = os.path.join(dst_dir, rename or fixture)
+        shutil.copy(os.path.join(TESTDATA, fixture), dst)
+        return dst
+
+    def analyze(self, passname, *extra):
+        return run_analysis(["--root", self.tmp, "--engine", "regex",
+                             "--pass", passname, *extra])
+
+    def assert_rule_fires(self, passname, rule, min_findings=1, extra=()):
+        code, out, err = self.analyze(passname, *extra)
+        self.assertEqual(code, 1,
+                         f"expected findings, got code {code}:\n{out}\n{err}")
+        hits = [l for l in out.splitlines() if f"[{rule}]" in l]
+        self.assertGreaterEqual(
+            len(hits), min_findings,
+            f"expected >={min_findings} [{rule}] findings, got:\n{out}")
+
+    def assert_clean(self, passname, extra=()):
+        code, out, err = self.analyze(passname, *extra)
+        self.assertEqual(code, 0, f"expected clean, got:\n{out}\n{err}")
+
+    def hierarchy(self, name="hierarchy.md"):
+        return ("--hierarchy", os.path.join(TESTDATA, name))
+
+    # lock-order -----------------------------------------------------------
+    def test_lock_cycle_fail(self):
+        self.stage("lock_cycle_fail.h", "src/runtime")
+        self.assert_rule_fires("lock-order", "lock-cycle")
+
+    def test_interprocedural_cycle_fail(self):
+        self.stage("interproc_cycle_fail.h", "src/runtime")
+        self.assert_rule_fires("lock-order", "lock-cycle")
+
+    def test_lock_order_pass(self):
+        self.stage("lock_order_pass.h", "src/runtime")
+        self.assert_clean("lock-order")
+
+    def test_unresolved_lock_fail(self):
+        self.stage("unresolved_lock_fail.h", "src/runtime")
+        self.assert_rule_fires("lock-order", "unresolved-lock")
+
+    def test_hierarchy_pass(self):
+        self.stage("hierarchy_pass.h", "src/runtime")
+        self.assert_clean("lock-order", extra=self.hierarchy())
+
+    def test_rank_violation_fail(self):
+        self.stage("rank_violation_fail.h", "src/runtime")
+        self.assert_rule_fires("lock-order", "rank-violation",
+                               extra=self.hierarchy())
+
+    def test_wait_lock_edge_fail(self):
+        self.stage("wait_lock_edge_fail.h", "src/runtime")
+        self.assert_rule_fires("lock-order", "wait-lock-edge",
+                               extra=self.hierarchy())
+
+    def test_undocumented_lock_fail(self):
+        self.stage("undocumented_lock_fail.h", "src/runtime")
+        self.assert_rule_fires("lock-order", "undocumented-lock",
+                               extra=self.hierarchy())
+
+    def test_stale_hierarchy_fail(self):
+        self.stage("hierarchy_pass.h", "src/runtime")
+        self.assert_rule_fires("lock-order", "stale-hierarchy",
+                               extra=self.hierarchy("hierarchy_stale.md"))
+
+    def test_dot_out_and_check_roundtrip(self):
+        self.stage("lock_order_pass.h", "src/runtime")
+        dot = os.path.join(self.tmp, "lock-order.dot")
+        code, out, err = self.analyze("lock-order", "--dot-out", dot)
+        self.assertEqual(code, 0, out + err)
+        self.assert_clean("lock-order", extra=("--check-dot", dot))
+        with open(dot, "a", encoding="utf-8") as f:
+            f.write("// drift\n")
+        self.assert_rule_fires("lock-order", "lock-order-dot",
+                               extra=("--check-dot", dot))
+
+    # blocking -------------------------------------------------------------
+    def test_blocking_syscall_fail(self):
+        self.stage("blocking_fail.cc", "src/service")
+        self.assert_rule_fires("blocking", "blocking-under-lock")
+
+    def test_blocking_interprocedural_fail(self):
+        self.stage("blocking_interproc_fail.cc", "src/service")
+        self.assert_rule_fires("blocking", "blocking-under-lock")
+
+    def test_cv_extra_lock_fail(self):
+        self.stage("cv_extra_lock_fail.cc", "src/service")
+        self.assert_rule_fires("blocking", "cv-wait-extra-lock")
+
+    def test_blocking_pass(self):
+        self.stage("blocking_pass.cc", "src/service")
+        self.assert_clean("blocking")
+
+    def test_blocking_allow_marker_pass(self):
+        self.stage("blocking_allow_pass.cc", "src/service")
+        self.assert_clean("blocking")
+
+    def test_mutex_h_exempt(self):
+        # The CV primitive itself waits under its own lock by definition.
+        self.stage("blocking_fail.cc", "src/runtime", rename="mutex.h")
+        self.assert_clean("blocking")
+
+    # annotations ----------------------------------------------------------
+    def test_raw_mutex_fail(self):
+        self.stage("raw_mutex_fail.h", "src/service")
+        self.assert_rule_fires("annotations", "raw-mutex")
+
+    def test_mutex_unannotated_fail(self):
+        self.stage("mutex_unannotated_fail.h", "src/service")
+        self.assert_rule_fires("annotations", "mutex-unannotated")
+
+    def test_unguarded_field_fail(self):
+        self.stage("unguarded_field_fail.h", "src/service")
+        self.assert_rule_fires("annotations", "unguarded-field")
+
+    def test_annotations_pass(self):
+        self.stage("annotations_pass.h", "src/service")
+        self.assert_clean("annotations")
+
+    # determinism ----------------------------------------------------------
+    def test_dup_formula_fail(self):
+        self.stage("dup_formula_fail.cc", "src/sim",
+                   rename="event_engine.cc")
+        self.assert_rule_fires("determinism", "dup-fp-formula",
+                               min_findings=4)
+
+    def test_determinism_pass(self):
+        self.stage("determinism_pass.cc", "src/sim",
+                   rename="event_engine.cc")
+        self.assert_clean("determinism")
+
+    def test_formula_scope_is_engines_only(self):
+        # The same formulas elsewhere in src/sim are not the engines'
+        # bit-identity surface.
+        self.stage("dup_formula_fail.cc", "src/sim", rename="helpers.cc")
+        self.assert_clean("determinism")
+
+    def test_unordered_iteration_fail(self):
+        self.stage("unordered_iter_fail.cc", "src/sched")
+        self.assert_rule_fires("determinism", "unordered-iteration")
+
+    def test_entropy_fail(self):
+        self.stage("entropy_fail.cc", "src/sim")
+        self.assert_rule_fires("determinism", "entropy-source")
+
+    def test_entropy_rng_exempt(self):
+        self.stage("entropy_fail.cc", "src/sim", rename="rng.cc")
+        self.assert_clean("determinism")
+
+    def _write_compile_commands(self, flag):
+        tu = self.stage("determinism_pass.cc", "src/sim",
+                        rename="engine.cc")
+        cc = os.path.join(self.tmp, "compile_commands.json")
+        cmd = f"g++ {flag} -std=c++20 -c {tu} -o engine.o".strip()
+        with open(cc, "w", encoding="utf-8") as f:
+            json.dump([{"directory": self.tmp, "command": cmd,
+                        "file": tu}], f)
+        return cc
+
+    def test_fp_contract_fail(self):
+        cc = self._write_compile_commands("")
+        self.assert_rule_fires("determinism", "fp-contract",
+                               extra=("--compile-commands", cc))
+
+    def test_fp_contract_pass(self):
+        cc = self._write_compile_commands("-ffp-contract=off")
+        self.assert_clean("determinism", extra=("--compile-commands", cc))
+
+    # discovery ------------------------------------------------------------
+    def test_build_dirs_excluded(self):
+        self.stage("lock_cycle_fail.h", "src/runtime/build-scratch")
+        self.assert_clean("lock-order")
+
+    def test_stale_compile_commands(self):
+        tu = self.stage("determinism_pass.cc", "src/sim",
+                        rename="engine.cc")
+        cc = os.path.join(self.tmp, "compile_commands.json")
+        with open(cc, "w", encoding="utf-8") as f:
+            json.dump([{"directory": self.tmp, "command": "g++ -c gone.cc",
+                        "file": os.path.join(self.tmp, "gone.cc")}], f)
+        code, out, err = self.analyze("determinism",
+                                      "--compile-commands", cc)
+        self.assertEqual(code, 2, out + err)
+        self.assertIn("no longer exists", err)
+        del tu
+
+
+class GateCase(unittest.TestCase):
+    """The real tree must be clean and match the committed golden graph —
+    the same check the lint target and CI run."""
+
+    def _args(self):
+        args = ["--root", REPO_ROOT]
+        compile_commands = os.path.join(REPO_ROOT, "build",
+                                        "compile_commands.json")
+        if os.path.isfile(compile_commands):
+            args += ["--compile-commands", compile_commands]
+        return args
+
+    def test_repo_is_clean_all_passes(self):
+        code, out, err = run_analysis(self._args())
+        self.assertEqual(
+            code, 0,
+            f"pjsched_analysis found violations in the tree:\n{out}\n{err}")
+
+    def test_committed_dot_matches_extraction(self):
+        golden = os.path.join(REPO_ROOT, "docs", "lock-order.dot")
+        self.assertTrue(os.path.isfile(golden),
+                        "docs/lock-order.dot missing — run "
+                        "tools/analysis/regen_lock_order.sh")
+        code, out, err = run_analysis(
+            self._args() + ["--pass", "lock-order", "--check-dot", golden])
+        self.assertEqual(
+            code, 0,
+            "docs/lock-order.dot drifted from the code — run "
+            f"tools/analysis/regen_lock_order.sh:\n{out}\n{err}")
+
+
+class LibclangEngineCase(unittest.TestCase):
+    """Engine parity: the libclang token stripper and the regex stripper
+    must produce identical findings (only stripping precision differs)."""
+
+    def setUp(self):
+        try:
+            import clang.cindex  # noqa: F401
+        except ImportError:
+            self.skipTest("python-clang not installed")
+
+    def test_libclang_matches_regex_on_fixtures(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dst_dir = os.path.join(tmp, "src", "runtime")
+            os.makedirs(dst_dir)
+            for fixture in ("lock_cycle_fail.h", "blocking_fail.cc"):
+                shutil.copy(os.path.join(TESTDATA, fixture),
+                            os.path.join(dst_dir, fixture))
+            results = {}
+            for engine in ("libclang", "regex"):
+                code, out, _ = run_analysis(
+                    ["--root", tmp, "--engine", engine,
+                     "--pass", "lock-order"])
+                results[engine] = (code, sorted(
+                    l.split(": ", 1)[0] for l in out.splitlines()
+                    if ": [" in l))
+            self.assertEqual(results["libclang"], results["regex"])
+
+
+if __name__ == "__main__":
+    unittest.main()

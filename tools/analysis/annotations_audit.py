@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Annotation-completeness audit.
+
+Clang's thread-safety analysis (-Werror=thread-safety-analysis in clang
+builds) only checks what is annotated; this pass closes the gap by
+requiring the annotations to exist in the first place.
+
+Rules:
+  raw-mutex          a std::mutex-family member outside src/runtime/
+                     mutex.h — use the annotated runtime::Mutex wrapper so
+                     capability analysis sees it
+  mutex-unannotated  a Mutex member that no GUARDED_BY / PT_GUARDED_BY /
+                     REQUIRES / ACQUIRE in its class refers to.  A mutex
+                     protecting nothing is either dead weight or guarding
+                     data the analyzer cannot see.  Wait-only mutexes
+                     (pairing a CondVar, guarding no data) carry a
+                     ``// lint: allow(wait-lock): <reason>`` marker.
+  unguarded-field    a member field written under a class mutex in >= 2 of
+                     the class's methods but declared without GUARDED_BY —
+                     multi-writer shared state must be visible to the
+                     capability analysis
+"""
+
+from __future__ import annotations
+
+import re
+
+from compile_db import ALLOW_WINDOW, Finding, has_marker
+
+RAW_MUTEX = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?)\s+"
+    r"\w+\s*;")
+
+WAIT_LOCK_MARKER = "lint: allow(wait-lock)"
+
+#: Mutating member accesses that count as writes for the guarded-field
+#: heuristic.
+_WRITE_OPS = (r"(?:=(?!=)|\+=|-=|\*=|/=|\|=|&=|\^=|\+\+|--|"
+              r"\.\s*(?:push_back|pop_back|push_front|pop_front|clear|"
+              r"erase|insert|emplace|emplace_back|resize|assign|swap)\b|"
+              r"->\s*(?:push_back|clear|erase|insert|emplace)\b)")
+
+
+def _annotation_refs(body: str, mutex: str) -> bool:
+    pat = re.compile(
+        r"PJSCHED_(?:PT_GUARDED_BY|GUARDED_BY|REQUIRES|REQUIRES_SHARED|"
+        r"ACQUIRE|ACQUIRE_SHARED|RELEASE|TRY_ACQUIRE|EXCLUDES)\s*\(\s*"
+        + re.escape(mutex) + r"\s*[,)]")
+    return bool(pat.search(body))
+
+
+def run(model, raw_texts: dict[str, str]):
+    """`raw_texts` maps rel path -> original (unstripped) file text, used
+    for marker and annotation scans (annotations are macros in code, but
+    the allow markers live in comments the model blanks)."""
+    findings: list[Finding] = []
+
+    for rel in sorted(model.file_code):
+        if rel == "src/runtime/mutex.h":
+            continue
+        code = model.file_code[rel]
+        for m in RAW_MUTEX.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                rel, line, "raw-mutex",
+                f"`{m.group(0).strip()}` bypasses the annotated "
+                "runtime::Mutex wrapper — thread-safety analysis cannot "
+                "track it; use runtime::Mutex / runtime::CondVar from "
+                "src/runtime/mutex.h"))
+
+    for bare in sorted(model.classes):
+        for info in model.classes[bare]:
+            code = model.file_code[info.file]
+            body = code[info.body_span[0]:info.body_span[1]]
+            raw_lines = raw_texts[info.file].splitlines()
+            for mutex in sorted(info.mutex_fields):
+                if _annotation_refs(body, mutex):
+                    continue
+                line = info.mutex_lines.get(mutex, 1)
+                if has_marker(raw_lines, line - 1, WAIT_LOCK_MARKER,
+                              ALLOW_WINDOW):
+                    continue
+                findings.append(Finding(
+                    info.file, line, "mutex-unannotated",
+                    f"{info.qualname}::{mutex} guards nothing the "
+                    "analyzer can see: no GUARDED_BY/REQUIRES/ACQUIRE in "
+                    f"{info.qualname} names it.  Annotate the data it "
+                    "protects, or mark it `// lint: allow(wait-lock): "
+                    "<reason>` if it only pairs with a condition "
+                    "variable"))
+            findings += _unguarded_fields(model, info, body)
+    return findings
+
+
+def _unguarded_fields(model, info, class_body: str):
+    """Fields of `info` written inside lock-holding regions of >= 2 of the
+    class's methods without a GUARDED_BY on the declaration."""
+    findings: list[Finding] = []
+    if not info.mutex_fields:
+        return findings
+    class_locks = {model.canonical_lock(info, mu)
+                   for mu in info.mutex_fields}
+    methods = [fn for fn in model.functions.values()
+               if fn.class_name == info.name
+               and fn.file in model._tu_mates(info.file)]
+    for fname in sorted(info.fields):
+        ftype = info.fields[fname]
+        if fname in info.mutex_fields or "atomic" in ftype \
+                or "CondVar" in ftype or "condition_variable" in ftype:
+            continue
+        decl = re.search(
+            r"\b" + re.escape(fname) + r"\s+PJSCHED_(?:PT_)?GUARDED_BY",
+            class_body)
+        if decl:
+            continue
+        write_pat = re.compile(
+            r"(?<![\w.>])" + re.escape(fname) + r"\s*" + _WRITE_OPS)
+        writers = []
+        for fn in methods:
+            if not (fn.direct_locks & class_locks):
+                continue
+            region = _held_region_text(model, fn, class_locks)
+            if write_pat.search(region):
+                writers.append(fn)
+        if len(writers) >= 2:
+            line = 1
+            m = re.search(r"\b" + re.escape(fname) + r"\s*"
+                          r"(?:PJSCHED_\w+\s*\([^;]*\))?\s*"
+                          r"(?:=[^;]*|\{[^;{}]*\})?;", class_body)
+            if m:
+                line = model.file_code[info.file].count(
+                    "\n", 0, info.body_span[0] + m.start()) + 1
+            findings.append(Finding(
+                info.file, line, "unguarded-field",
+                f"{info.qualname}::{fname} is written under a class lock "
+                f"in {len(writers)} methods "
+                f"({', '.join(sorted(w.qualname for w in writers))}) but "
+                "its declaration has no PJSCHED_GUARDED_BY — annotate it "
+                "so clang's capability analysis checks every access"))
+    return findings
+
+
+def _held_region_text(model, fn, class_locks) -> str:
+    """Approximate text of `fn`'s body where a class lock is held: from
+    each acquisition of a class lock to the end of the body (scoped locks
+    dominate their block; good enough for a >=2-writers heuristic)."""
+    code = model.file_code[fn.file]
+    start, end = fn.body_span
+    body = code[start:end]
+    pieces = []
+    for ev, _held in model.walk_held(fn):
+        if ev.kind == "acquire" and ev.lock in class_locks:
+            # Offset of the event line within the body.
+            abs_line_start = 0
+            for _ in range(ev.line - 1):
+                abs_line_start = code.find("\n", abs_line_start) + 1
+            pieces.append(body[max(0, abs_line_start - start):])
+            break
+    return "".join(pieces)

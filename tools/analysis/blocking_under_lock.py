@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Blocking-under-lock pass.
+
+A thread that blocks — in a syscall, a sleep, a condition-variable wait,
+or a call that transitively does any of those — while holding a shard or
+router lock stalls every other thread contending for that lock for the
+full blocking duration.  The daemon's hot paths are built to take locks
+only around in-memory state (see docs/service.md); this pass keeps it
+that way.
+
+Rules:
+  blocking-under-lock  a blocking operation with at least one lock held
+  cv-wait-extra-lock   a CV wait whose thread holds a lock other than the
+                       one the wait releases (classic lost-wakeup /
+                       deadlock shape)
+
+Policy: a condition-variable wait is fine when the *only* held lock is
+the one handed to wait() — that lock is released for the duration.  Any
+additional held lock stays held while the thread sleeps.  Sites with a
+``// lint: allow(blocking-under-lock): <reason>`` marker within
+ALLOW_WINDOW lines are skipped (the reason is the review artifact).
+src/runtime/mutex.h is exempt wholesale: it *implements* the CV
+primitive, so its waits are definitionally lock-paired.
+"""
+
+from __future__ import annotations
+
+from compile_db import ALLOW_WINDOW, Finding, has_marker
+
+EXEMPT_FILES = {"src/runtime/mutex.h"}
+
+ALLOW_MARKER = "lint: allow(blocking-under-lock)"
+
+
+def run(model, raw_texts):
+    """`raw_texts` maps rel path -> original file text — the allow
+    markers live in comments, which the model's stripped code blanks."""
+    findings: list[Finding] = []
+    for qual in sorted(model.functions):
+        fn = model.functions[qual]
+        if fn.file in EXEMPT_FILES:
+            continue
+        lines = raw_texts[fn.file].splitlines()
+        for ev, held in model.walk_held(fn):
+            if not held:
+                continue
+            if ev.kind == "cv_wait":
+                others = [h for h in held if h != ev.cv_mutex]
+                if ev.cv_mutex in held and not others:
+                    continue  # single-lock pair: wait releases it
+                if has_marker(lines, ev.line - 1, ALLOW_MARKER,
+                              ALLOW_WINDOW):
+                    continue
+                if others and ev.cv_mutex in held:
+                    findings.append(Finding(
+                        fn.file, ev.line, "cv-wait-extra-lock",
+                        f"{qual}() waits on a condition variable while "
+                        f"also holding {', '.join(others)} — only "
+                        f"{ev.cv_mutex} is released for the wait; the "
+                        "rest stay held while the thread sleeps"))
+                else:
+                    findings.append(Finding(
+                        fn.file, ev.line, "blocking-under-lock",
+                        f"{qual}() CV-waits while holding "
+                        f"{', '.join(held)} but the wait does not release "
+                        "any of them — restructure so the wait's mutex is "
+                        "the only held lock"))
+                continue
+            blocking_why = None
+            if ev.kind == "blocking":
+                blocking_why = f"calls {ev.callee}()"
+            elif ev.kind == "call":
+                target = model.functions.get(ev.callee)
+                if target and target.may_block:
+                    blocking_why = (f"calls {ev.callee}(), which may "
+                                    "block (CV wait or syscall on some "
+                                    "path)")
+            if blocking_why is None:
+                continue
+            if has_marker(lines, ev.line - 1, ALLOW_MARKER, ALLOW_WINDOW):
+                continue
+            findings.append(Finding(
+                fn.file, ev.line, "blocking-under-lock",
+                f"{qual}() {blocking_why} while holding "
+                f"{', '.join(held)} — move the blocking operation "
+                "outside the critical section (site: "
+                f"`{ev.raw}`)"))
+    return findings

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Clang Static Analyzer (scan-build) gate with a curated baseline.
+
+Runs `scan-build` over a fresh configure+build of src/ (via the pjsched
+library targets), parses the emitted plist reports with stdlib plistlib,
+and diffs the findings against the committed baseline
+(tools/analysis/scan_build_baseline.txt).  New findings fail; baseline
+entries that no longer reproduce are warnings (prune the baseline).
+
+The baseline line format is `file|checker|description` — stable across
+line-number churn, tight enough not to mask new instances of a silenced
+class elsewhere.  Lines starting with `#` are comments.
+
+Where scan-build is not installed (gcc-only dev boxes) the gate exits 0
+with a "skipped" note — CI's scan-build job installs clang-tools and is
+the enforcing environment.
+
+Usage: run_scan_build.py [--root R] [--build-dir D] [--baseline F]
+                         [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import plistlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+
+def find_scan_build() -> str | None:
+    for name in ("scan-build", "scan-build-18", "scan-build-17",
+                 "scan-build-16", "scan-build-15", "scan-build-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    triples = set()
+    if not os.path.isfile(path):
+        return triples
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|", 2)
+            if len(parts) == 3:
+                triples.add(tuple(parts))
+    return triples
+
+
+def collect_findings(report_dir: str, root: str) \
+        -> set[tuple[str, str, str]]:
+    found = set()
+    for plist in glob.glob(os.path.join(report_dir, "**", "*.plist"),
+                           recursive=True):
+        with open(plist, "rb") as f:
+            try:
+                data = plistlib.load(f)
+            except plistlib.InvalidFileException:
+                continue
+        files = data.get("files", [])
+        for diag in data.get("diagnostics", []):
+            idx = diag.get("location", {}).get("file", 0)
+            path = files[idx] if idx < len(files) else "<unknown>"
+            rel = os.path.relpath(path, root) if os.path.isabs(path) \
+                else path
+            rel = rel.replace(os.sep, "/")
+            found.add((rel,
+                       diag.get("check_name", diag.get("category", "?")),
+                       diag.get("description", "?")))
+    return found
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.getcwd())
+    ap.add_argument("--build-dir", default=None,
+                    help="scratch build dir (default: a fresh tempdir — "
+                    "scan-build needs its own configure)")
+    ap.add_argument("--baseline", default=None)
+    ap.add_argument("--jobs", default=str(os.cpu_count() or 2))
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    baseline_path = args.baseline or os.path.join(
+        root, "tools", "analysis", "scan_build_baseline.txt")
+    scan_build = find_scan_build()
+    if scan_build is None:
+        print("run_scan_build: scan-build not installed; skipped "
+              "(CI's scan-build job enforces this gate)")
+        return 0
+
+    scratch = args.build_dir or tempfile.mkdtemp(prefix="pjsched_scan_")
+    report_dir = os.path.join(scratch, "scan-reports")
+    os.makedirs(report_dir, exist_ok=True)
+    base_cmd = [scan_build, "-o", report_dir, "--status-bugs",
+                "-plist-html"]
+    cfg = base_cmd + ["cmake", "-S", root, "-B", scratch,
+                      "-DCMAKE_BUILD_TYPE=Release"]
+    bld = base_cmd + ["cmake", "--build", scratch, "--target",
+                      "pjsched", "pjsched_runtime", "pjsched_service",
+                      "-j", args.jobs]
+    for cmd in (cfg, bld):
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              check=False)
+        # --status-bugs makes the build exit non-zero when bugs were
+        # found — that is the expected path; a missing report dir is the
+        # real failure.
+        if proc.returncode != 0 and not glob.glob(
+                os.path.join(report_dir, "**", "*.plist"),
+                recursive=True) and "cmake" in cmd[len(base_cmd)]:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            print("run_scan_build: scan-build could not drive the build")
+            return 1
+
+    baseline = load_baseline(baseline_path)
+    found = collect_findings(report_dir, root)
+    new = sorted(found - baseline)
+    stale = sorted(baseline - found)
+    for rel, checker, desc in new:
+        print(f"run_scan_build: NEW: {rel}|{checker}|{desc}")
+    for rel, checker, desc in stale:
+        print(f"run_scan_build: baseline entry no longer reproduces "
+              f"(prune it): {rel}|{checker}|{desc}")
+    if new:
+        print(f"run_scan_build: {len(new)} new finding(s) not in "
+              f"{os.path.relpath(baseline_path, root)}")
+        return 1
+    print(f"run_scan_build: OK ({len(found)} finding(s), all baselined; "
+          f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

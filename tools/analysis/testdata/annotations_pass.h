@@ -1,0 +1,26 @@
+// Fixture: a fully annotated class (GUARDED_BY names the mutex) plus a
+// markered wait-only mutex.  Expect clean.
+#pragma once
+
+#include "src/runtime/annotations.h"
+#include "src/runtime/mutex.h"
+
+class Disciplined {
+ public:
+  void inc() {
+    MutexLock l(mu_);
+    hits_ = hits_ + 1;
+  }
+  void reset() {
+    MutexLock l(mu_);
+    hits_ = 0;
+  }
+
+ private:
+  Mutex mu_;
+  int hits_ PJSCHED_GUARDED_BY(mu_) = 0;
+
+  // lint: allow(wait-lock): pairs with idle_cv_ only; guards no data.
+  Mutex idle_mu_;
+  CondVar idle_cv_;
+};

@@ -1,0 +1,15 @@
+// Fixture: a poll() syscall while holding the shard lock — every other
+// thread contending for mu_ stalls for the poll timeout.  Expect
+// [blocking-under-lock].
+#include "src/runtime/mutex.h"
+
+class Shardy {
+ public:
+  void pump() {
+    MutexLock l(mu_);
+    poll(nullptr, 0, 10);
+  }
+
+ private:
+  Mutex mu_;
+};

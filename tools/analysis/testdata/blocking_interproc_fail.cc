@@ -1,0 +1,25 @@
+// Fixture: the blocking hides one call deep — push() CV-waits under its
+// own lock (fine in isolation), so outer()'s call to push() while
+// holding big_mu_ blocks with big_mu_ held.  The may-block fixpoint must
+// propagate.  Expect [blocking-under-lock] in outer().
+#include "src/runtime/mutex.h"
+
+class Queueish {
+ public:
+  void outer() {
+    MutexLock l(big_mu_);
+    push();
+  }
+  void push() {
+    MutexLock l(mu_);
+    while (full_) {
+      cv_.wait(l);
+    }
+  }
+
+ private:
+  Mutex big_mu_;
+  Mutex mu_;
+  CondVar cv_;
+  bool full_ = false;
+};

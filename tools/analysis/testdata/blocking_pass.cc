@@ -1,0 +1,34 @@
+// Fixture: every blocking site is lock-free — scoped lock closed before
+// the syscall, single-lock CV pairing, and the watchdog-style
+// unlock()/lock() release window.  Expect clean.
+#include "src/runtime/mutex.h"
+
+class Polite {
+ public:
+  void pump() {
+    {
+      MutexLock l(mu_);
+      ticks_ = ticks_ + 1;
+    }
+    poll(nullptr, 0, 10);
+  }
+  void wait_ready() {
+    MutexLock l(mu_);
+    while (!ready_) {
+      cv_.wait(l);
+    }
+  }
+  void window() {
+    MutexLock l(mu_);
+    ticks_ = ticks_ + 1;
+    l.unlock();
+    poll(nullptr, 0, 10);
+    l.lock();
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool ready_ = false;
+  int ticks_ = 0;
+};

@@ -1,0 +1,20 @@
+// Fixture: a CV wait that releases mu_ while other_mu_ stays held for
+// the whole sleep.  Expect [cv-wait-extra-lock].
+#include "src/runtime/mutex.h"
+
+class TwoLocks {
+ public:
+  void bad_wait() {
+    MutexLock g(other_mu_);
+    MutexLock l(mu_);
+    while (!ready_) {
+      cv_.wait(l);
+    }
+  }
+
+ private:
+  Mutex other_mu_;
+  Mutex mu_;
+  CondVar cv_;
+  bool ready_ = false;
+};

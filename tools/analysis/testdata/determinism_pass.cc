@@ -1,0 +1,25 @@
+// Fixture: staged as src/sim/event_engine.cc — all flow/clock math goes
+// through the sim_math.h helpers; iteration is over ordered containers.
+// Expect clean.
+#include <map>
+#include <string>
+
+#include "src/sim/sim_math.h"
+
+namespace pjsched::sim {
+
+double advance(double coord, double W, double s) {
+  return completion_dt(coord, W, s);
+}
+
+bool ready(double coord, double W) { return coord_due(coord, W); }
+
+double fold(const std::map<std::string, double>& weights) {
+  double sum = 0.0;
+  for (const auto& kv : weights) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace pjsched::sim

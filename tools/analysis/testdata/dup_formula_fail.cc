@@ -1,0 +1,20 @@
+// Fixture: staged as src/sim/event_engine.cc — the flow/clock formulas
+// written inline instead of through sim_math.h's helpers.  Expect
+// [dup-fp-formula] for the completion delta, the tolerance compare, the
+// epsilon literal, and the ceil rounding.
+#include <cmath>
+#include <cstdint>
+
+namespace pjsched::sim {
+
+double next_dt(double coord, double W_, double s_) {
+  return (coord - W_) / s_;
+}
+
+bool due(double coord, double W_) { return coord - W_ <= 1e-9; }
+
+std::uint64_t to_step(double t, double s) {
+  return static_cast<std::uint64_t>(std::ceil(t * s - 1e-9));
+}
+
+}  // namespace pjsched::sim

@@ -1,0 +1,13 @@
+// Fixture: staged under src/sim/ (not rng.cc) — a free-running mt19937
+// seeded outside the Rng; the run is no longer a function of its seed.
+// Expect [entropy-source].
+#include <random>
+
+namespace pjsched::sim {
+
+double jitter() {
+  std::mt19937 gen(42);
+  return static_cast<double>(gen()) / 4294967296.0;
+}
+
+}  // namespace pjsched::sim

@@ -1,0 +1,25 @@
+// Fixture: acquisitions agree with testdata/hierarchy.md (a_ outer, b_
+// inner, w_ a wait-only leaf never held across another acquisition).
+// Expect clean under --hierarchy hierarchy.md.
+#pragma once
+
+#include "src/runtime/mutex.h"
+
+class Ranked {
+ public:
+  void in_order() {
+    MutexLock l1(a_);
+    MutexLock l2(b_);
+  }
+  void wait_idle() {
+    MutexLock l(w_);
+    while (!ready_) cv_.wait(l);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  Mutex w_;
+  CondVar cv_;
+  bool ready_ = false;
+};

@@ -1,0 +1,24 @@
+// Fixture: the AB/BA inversion hides behind a call — left() holds a_
+// while calling take_b(), right() holds b_ while calling take_a().  The
+// may-acquire fixpoint must surface both edges.  Expect [lock-cycle].
+#pragma once
+
+#include "src/runtime/mutex.h"
+
+class Inter {
+ public:
+  void left() {
+    MutexLock l(a_);
+    take_b();
+  }
+  void right() {
+    MutexLock l(b_);
+    take_a();
+  }
+  void take_a() { MutexLock l(a_); }
+  void take_b() { MutexLock l(b_); }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};

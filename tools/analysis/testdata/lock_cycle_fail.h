@@ -1,0 +1,21 @@
+// Fixture: two methods take the same pair of locks in opposite orders —
+// the classic AB/BA deadlock.  Expect [lock-cycle].
+#pragma once
+
+#include "src/runtime/mutex.h"
+
+class Twisted {
+ public:
+  void ab() {
+    MutexLock l1(a_);
+    MutexLock l2(b_);
+  }
+  void ba() {
+    MutexLock l1(b_);
+    MutexLock l2(a_);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};

@@ -1,0 +1,23 @@
+// Fixture: consistent nesting (always a_ before b_), plus the
+// release-window idiom — blocking while the scoped lock is temporarily
+// unlock()ed is fine.  Expect clean.
+#pragma once
+
+#include "src/runtime/mutex.h"
+
+class Ordered {
+ public:
+  void nested() {
+    MutexLock l1(a_);
+    MutexLock l2(b_);
+  }
+  void also_nested() {
+    MutexLock l1(a_);
+    take_b();
+  }
+  void take_b() { MutexLock l(b_); }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};

@@ -1,0 +1,18 @@
+// Fixture: a wrapped Mutex member that nothing in the class refers to —
+// no GUARDED_BY/REQUIRES/ACQUIRE names it, no wait-lock marker.  Either
+// it protects data invisibly or it is dead.  Expect [mutex-unannotated].
+#pragma once
+
+#include "src/runtime/mutex.h"
+
+class Mystery {
+ public:
+  void touch() {
+    MutexLock l(mu_);
+    count_ = 1;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ = 0;
+};

@@ -1,0 +1,18 @@
+// Fixture: acquires b_ then a_, against the documented a_-before-b_
+// order in testdata/hierarchy.md.  Expect [rank-violation].
+#pragma once
+
+#include "src/runtime/mutex.h"
+
+class Ranked {
+ public:
+  void inverted() {
+    MutexLock l1(b_);
+    MutexLock l2(a_);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  Mutex w_;
+};

@@ -1,0 +1,12 @@
+// Fixture: a bare std::mutex member — thread-safety analysis is blind
+// to it; the runtime::Mutex wrapper carries the capability attributes.
+// Expect [raw-mutex].
+#pragma once
+
+#include <mutex>
+
+class Unwrapped {
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+};

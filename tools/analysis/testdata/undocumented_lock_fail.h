@@ -1,0 +1,19 @@
+// Fixture: mutex c_ exists in the tree but is missing from
+// testdata/hierarchy.md.  Expect [undocumented-lock].
+#pragma once
+
+#include "src/runtime/mutex.h"
+
+class Ranked {
+ public:
+  void in_order() {
+    MutexLock l1(a_);
+    MutexLock l2(b_);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  Mutex w_;
+  Mutex c_;
+};

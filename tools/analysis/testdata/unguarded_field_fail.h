@@ -1,0 +1,23 @@
+// Fixture: hits_ is written under mu_ in two different methods but its
+// declaration carries no GUARDED_BY — the capability analysis cannot
+// check the third, unlocked access anyone will eventually add.  Expect
+// [unguarded-field] (and [mutex-unannotated], same root cause).
+#pragma once
+
+#include "src/runtime/mutex.h"
+
+class Sloppy {
+ public:
+  void inc() {
+    MutexLock l(mu_);
+    hits_ = hits_ + 1;
+  }
+  void reset() {
+    MutexLock l(mu_);
+    hits_ = 0;
+  }
+
+ private:
+  Mutex mu_;
+  int hits_ = 0;
+};

@@ -1,0 +1,17 @@
+// Fixture: staged under src/sched/ — folding results by iterating an
+// unordered_map; the order is hash-seed and libstdc++ dependent.  Expect
+// [unordered-iteration].
+#include <string>
+#include <unordered_map>
+
+namespace pjsched::sched {
+
+double total_weight(const std::unordered_map<std::string, double>& weights) {
+  double sum = 0.0;
+  for (const auto& kv : weights) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace pjsched::sched

@@ -1,0 +1,14 @@
+// Fixture: a MutexLock over an expression the model cannot resolve to a
+// registered mutex (unknown receiver type, field name not unique in the
+// TU).  The pass refuses to guess.  Expect [unresolved-lock].
+#pragma once
+
+#include "src/runtime/mutex.h"
+
+class Opaque {
+ public:
+  template <typename T>
+  void poke(T& t) {
+    MutexLock l(t.mystery_mu);
+  }
+};

@@ -1,0 +1,18 @@
+// Fixture: w_ is documented `leaf` (wait-only) in testdata/hierarchy.md
+// but is held while acquiring a_.  Expect [wait-lock-edge].
+#pragma once
+
+#include "src/runtime/mutex.h"
+
+class Ranked {
+ public:
+  void bad() {
+    MutexLock l(w_);
+    MutexLock l2(a_);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  Mutex w_;
+};

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI gate: the whole-program analyzer must pass clean over the real
+tree, with the committed lock-order graph (docs/lock-order.dot) matching
+the extraction, and must actually have analyzed a sane number of files —
+an empty discovery (misconfigured export, wrong root) would otherwise
+vacuously "pass".
+
+Usage: check_analysis_clean.py [--root R] [--compile-commands CC]
+                               [--min-files N]
+Exit 0 when clean, 1 with per-violation messages otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.getcwd())
+    ap.add_argument("--compile-commands", default=None)
+    ap.add_argument("--min-files", type=int, default=60,
+                    help="fail when fewer files were analyzed (guards "
+                    "against vacuous discovery; the tree has ~100)")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    driver = os.path.join(root, "tools", "analysis", "pjsched_analysis.py")
+    golden = os.path.join(root, "docs", "lock-order.dot")
+    cmd = [sys.executable, driver, "--root", root, "--check-dot", golden]
+    if args.compile_commands:
+        cmd += ["--compile-commands", args.compile_commands]
+
+    violations = []
+    if not os.path.isfile(golden):
+        violations.append(
+            "docs/lock-order.dot is missing — run "
+            "tools/analysis/regen_lock_order.sh and commit the result")
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        violations.append(
+            f"pjsched_analysis exited {proc.returncode}:\n"
+            f"{proc.stdout}{proc.stderr}".rstrip())
+    else:
+        m = re.search(r"OK \((\d+) files clean", proc.stdout)
+        if not m:
+            violations.append(
+                f"could not parse analyzer output:\n{proc.stdout}")
+        elif int(m.group(1)) < args.min_files:
+            violations.append(
+                f"analyzer saw only {m.group(1)} files "
+                f"(< {args.min_files}) — discovery is broken, the clean "
+                "result is vacuous")
+
+    if violations:
+        for v in violations:
+            print(f"check_analysis_clean: VIOLATION: {v}")
+        return 1
+    print("check_analysis_clean: OK —", proc.stdout.strip())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,14 +43,9 @@ used.  Both engines apply the same rule; fixtures in testdata/ pin both.
 from __future__ import annotations
 
 import argparse
-import glob
-import json
 import os
 import re
 import sys
-
-JUSTIFY_WINDOW = 5  # lines above a relaxed site searched for "order:"
-ALLOW_WINDOW = 6  # lines above a site searched for a lint: allow marker
 
 ATOMIC_OPS = (
     "load",
@@ -81,77 +76,14 @@ NONDETERMINISM_PATTERNS = (
 NONDETERMINISM_EXEMPT = ("sim/rng.cc", "sim/rng.h")
 
 
-class Finding:
-    def __init__(self, path: str, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments(text: str) -> str:
-    """Returns `text` with comments and string/char literal *contents*
-    blanked (newlines preserved), so rules never fire on prose."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "string"
-            elif c == "'":
-                state = "char"
-            out.append(c)
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state in ("string", "char"):
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-                out.append(c)
-            else:
-                out.append(c if c == "\n" else " ")
-        i += 1
-    return "".join(out)
-
-
-def has_marker(lines: list[str], line_idx: int, marker: str, window: int) -> bool:
-    lo = max(0, line_idx - window)
-    return any(marker in lines[j] for j in range(lo, line_idx + 1))
-
-
-def line_of_offset(text: str, offset: int) -> int:
-    return text.count("\n", 0, offset) + 1
+# The loader, Finding type, and comment/marker helpers are shared with
+# tools/analysis/ (one definition of "the tree", one staleness policy).
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "analysis"))
+from compile_db import (ALLOW_WINDOW, JUSTIFY_WINDOW, Finding,  # noqa: E402
+                        StaleCompileCommandsError, compile_args_for,
+                        discover_files, has_marker, line_of_offset,
+                        strip_comments)
 
 
 # --------------------------------------------------------------------------
@@ -379,58 +311,6 @@ def check_interference(path: str, code: str,
 # Driver
 
 
-def is_in_build_dir(path: str) -> bool:
-    return any(part.startswith("build") for part in
-               os.path.normpath(path).split(os.sep))
-
-
-def discover_files(root: str, compile_commands: str | None) -> list[str]:
-    files: set[str] = set()
-    src_root = os.path.join(root, "src")
-    if compile_commands and os.path.isfile(compile_commands):
-        with open(compile_commands, encoding="utf-8") as f:
-            for entry in json.load(f):
-                path = entry["file"]
-                if not os.path.isabs(path):
-                    path = os.path.join(entry.get("directory", root), path)
-                path = os.path.normpath(path)
-                if path.startswith(src_root) and not is_in_build_dir(
-                        os.path.relpath(path, root)):
-                    files.add(path)
-    else:
-        if compile_commands:
-            sys.stderr.write(
-                f"pjsched_lint: {compile_commands} not found; globbing "
-                "src/ instead (configure with "
-                "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)\n")
-        files.update(glob.glob(os.path.join(src_root, "**", "*.cc"),
-                               recursive=True))
-    # Headers never appear in compile_commands; glob them from the tree.
-    files.update(glob.glob(os.path.join(src_root, "**", "*.h"),
-                           recursive=True))
-    return sorted(p for p in files
-                  if not is_in_build_dir(os.path.relpath(p, root)))
-
-
-def compile_args_for(path: str, compile_commands: str | None,
-                     root: str) -> list[str]:
-    """Best-effort include/std flags for the libclang engine."""
-    args = ["-std=c++20", f"-I{root}"]
-    if compile_commands and os.path.isfile(compile_commands):
-        try:
-            with open(compile_commands, encoding="utf-8") as f:
-                for entry in json.load(f):
-                    if os.path.normpath(entry["file"]) == path:
-                        toks = entry.get("command", "").split()
-                        args = [t for t in toks[1:]
-                                if t.startswith(("-I", "-D", "-std="))]
-                        args.append(f"-I{root}")
-                        break
-        except (OSError, json.JSONDecodeError, KeyError):
-            pass
-    return args
-
-
 def lint_file(path: str, root: str, compile_commands: str | None,
               engine: str) -> list[Finding]:
     with open(path, encoding="utf-8", errors="replace") as f:
@@ -489,8 +369,13 @@ def main() -> int:
 
     root = os.path.abspath(args.root) if args.root else os.path.dirname(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    files = ([os.path.abspath(f) for f in args.files] if args.files
-             else discover_files(root, args.compile_commands))
+    try:
+        files = ([os.path.abspath(f) for f in args.files] if args.files
+                 else discover_files(root, args.compile_commands,
+                                     subdirs=("src",), tool="pjsched_lint"))
+    except StaleCompileCommandsError as exc:
+        sys.stderr.write(f"pjsched_lint: {exc}\n")
+        return 2
 
     all_findings: list[Finding] = []
     for path in files:
