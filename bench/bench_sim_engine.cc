@@ -18,12 +18,14 @@
 
 #include <cstdlib>
 
+#include "src/core/bounds.h"
 #include "src/core/multi_trial.h"
 #include "src/core/run.h"
 #include "src/dag/builders.h"
 #include "src/runtime/parallel_trials.h"
 #include "src/sched/fifo.h"
 #include "src/sched/work_stealing.h"
+#include "src/sim/packed_dag.h"
 #include "src/sim/rng.h"
 #include "src/sim/step_engine.h"
 #include "src/workload/distributions.h"
@@ -208,6 +210,73 @@ BENCHMARK(BM_BaselineTrialsParallel)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- PackedDag vs ReadyTracker inner loop (BENCH_sim.json `bounds`) -------
+//
+// The exact frontier drain the engines run per job, on the exact recycling
+// pattern the arena uses: one tracker object re-bound across 256 generated
+// bing DAGs per iteration, claim-head + complete until done.  The Packed
+// variant is what the engines now execute (SoA slot layout, O(1) head
+// claim); the Tracker variant is the pre-slot representation kept for the
+// runtime executor.  make_bench_baseline.py turns the items/sec ratio into
+// the recorded before/after speedup.
+
+std::vector<dag::Dag> packed_bench_dags() {
+  std::vector<dag::Dag> dags;
+  core::Instance inst = bench_instance(256);
+  dags.reserve(inst.jobs.size());
+  for (core::JobSpec& job : inst.jobs) dags.push_back(std::move(job.graph));
+  return dags;
+}
+
+std::int64_t total_nodes(const std::vector<dag::Dag>& dags) {
+  std::int64_t nodes = 0;
+  for (const dag::Dag& d : dags)
+    nodes += static_cast<std::int64_t>(d.node_count());
+  return nodes;
+}
+
+void BM_BaselinePackedDagInnerLoopPacked(benchmark::State& state) {
+  const std::vector<dag::Dag> dags = packed_bench_dags();
+  sim::PackedDag frontier;
+  for (auto _ : state) {
+    double work = 0.0;
+    for (const dag::Dag& d : dags) {
+      frontier.assign(d);
+      while (!frontier.done()) {
+        const dag::NodeId v = frontier.ready().front();
+        frontier.claim(v);
+        work += static_cast<double>(frontier.work_of(v));
+        frontier.complete(v);
+      }
+    }
+    benchmark::DoNotOptimize(work);
+  }
+  state.SetItemsProcessed(state.iterations() * total_nodes(dags));
+}
+BENCHMARK(BM_BaselinePackedDagInnerLoopPacked)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BaselinePackedDagInnerLoopTracker(benchmark::State& state) {
+  const std::vector<dag::Dag> dags = packed_bench_dags();
+  dag::ReadyTracker frontier;
+  for (auto _ : state) {
+    double work = 0.0;
+    for (const dag::Dag& d : dags) {
+      frontier.reset(d);
+      while (!frontier.done()) {
+        const dag::NodeId v = frontier.ready().front();
+        frontier.claim(v);
+        work += static_cast<double>(d.work_of(v));
+        frontier.complete(v);
+      }
+    }
+    benchmark::DoNotOptimize(work);
+  }
+  state.SetItemsProcessed(state.iterations() * total_nodes(dags));
+}
+BENCHMARK(BM_BaselinePackedDagInnerLoopTracker)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_InstanceGeneration(benchmark::State& state) {
   for (auto _ : state) {
     auto inst = bench_instance(2000);
@@ -321,6 +390,55 @@ void run_scaling_materialized(benchmark::State& state, bool event_engine) {
                           static_cast<std::int64_t>(jobs));
 }
 
+// Streamed lower bounds: one O(1)-state pass (no arena, no engine), so its
+// curve is the floor the engine curves are compared against.  The alloc
+// budget still applies — per-job DAG construction inside the source is the
+// only allowed allocation source.
+void run_scaling_bounds_streamed(benchmark::State& state) {
+  const auto dist = workload::bing_distribution();
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    benchprobe::reset_peak_rss();
+    const std::uint64_t alloc_start = benchprobe::allocation_count();
+    workload::GeneratedJobSource source(dist, scaling_config(jobs));
+    const auto bounds =
+        core::stream_lower_bounds(source, kScalingProcessors);
+    benchmark::DoNotOptimize(bounds.combined);
+    allocs = benchprobe::allocation_count() - alloc_start;
+    state.counters["peak_rss_bytes"] = static_cast<double>(
+        benchprobe::peak_rss_bytes());
+    state.counters["allocs_per_job"] =
+        static_cast<double>(allocs) / static_cast<double>(jobs);
+    if (bounds.jobs != jobs) {
+      state.SkipWithError("streamed bounds lost jobs");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+  if (static_cast<double>(allocs) >
+      kScalingAllocBudgetPerJob * static_cast<double>(jobs))
+    state.SkipWithError("allocation budget exceeded: steady-state leak");
+}
+
+void run_scaling_bounds_materialized(benchmark::State& state) {
+  const auto dist = workload::bing_distribution();
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchprobe::reset_peak_rss();
+    const auto inst = workload::generate_instance(dist, scaling_config(jobs));
+    benchmark::DoNotOptimize(
+        core::combined_lower_bound(inst, kScalingProcessors));
+    benchmark::DoNotOptimize(
+        core::weighted_combined_lower_bound(inst, kScalingProcessors));
+    state.counters["peak_rss_bytes"] = static_cast<double>(
+        benchprobe::peak_rss_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+
 void BM_ScalingEventEngineStreamed(benchmark::State& state) {
   run_scaling_streamed(state, /*event_engine=*/true);
 }
@@ -332,6 +450,12 @@ void BM_ScalingEventEngineMaterialized(benchmark::State& state) {
 }
 void BM_ScalingStepEngineMaterialized(benchmark::State& state) {
   run_scaling_materialized(state, /*event_engine=*/false);
+}
+void BM_ScalingBoundsStreamed(benchmark::State& state) {
+  run_scaling_bounds_streamed(state);
+}
+void BM_ScalingBoundsMaterialized(benchmark::State& state) {
+  run_scaling_bounds_materialized(state);
 }
 
 void register_scaling(const char* name, void (*fn)(benchmark::State&),
@@ -355,6 +479,7 @@ const int scaling_registered = [] {
                    BM_ScalingEventEngineStreamed, xl);
   register_scaling("BM_ScalingStepEngineStreamed",
                    BM_ScalingStepEngineStreamed, xl);
+  register_scaling("BM_ScalingBoundsStreamed", BM_ScalingBoundsStreamed, xl);
   // Materialized comparison points last: the CI smoke filter selects the
   // streamed curves only; the full bench_baseline run includes these to
   // compute the streamed-vs-materialized RSS ratio.
@@ -362,6 +487,8 @@ const int scaling_registered = [] {
                    BM_ScalingEventEngineMaterialized, /*xl_decade=*/false);
   register_scaling("BM_ScalingStepEngineMaterialized",
                    BM_ScalingStepEngineMaterialized, /*xl_decade=*/false);
+  register_scaling("BM_ScalingBoundsMaterialized",
+                   BM_ScalingBoundsMaterialized, /*xl_decade=*/false);
   return 0;
 }();
 

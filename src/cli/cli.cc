@@ -15,6 +15,7 @@
 #include "src/workload/distributions.h"
 #include "src/workload/generator.h"
 #include "src/workload/instance_io.h"
+#include "src/workload/streaming_source.h"
 
 namespace pjsched::cli {
 
@@ -38,6 +39,12 @@ struct Options {
   bool csv = false;
   std::vector<double> weight_classes = {1.0};
   std::size_t trials = 1;
+  /// Memory-bounded run: stream the workload through the engine (O(live
+  /// jobs) state) and report ratio vs the streamed lower bounds.
+  bool streamed = false;
+  /// Spill-mode trace file (sim::FileTraceSink); works at 10^6 jobs where
+  /// an in-core trace would not.
+  std::string trace_out_file;
   /// Machine-degradation events (--degrade).  Events whose speed was not
   /// given carry the sentinel speed < 0 and inherit --speed at use time.
   std::vector<core::MachineEvent> degradation;
@@ -105,6 +112,10 @@ Options parse(const std::vector<std::string>& args) {
         opt.utilization_buckets = std::stoull(v);
       } else if (arg == "--csv") {
         opt.csv = true;
+      } else if (arg == "--streamed") {
+        opt.streamed = true;
+      } else if (consume(arg, "trace-out", &v)) {
+        opt.trace_out_file = v;
       } else if (consume(arg, "weights", &v)) {
         opt.weight_classes.clear();
         std::istringstream iss(v);
@@ -225,24 +236,140 @@ int cmd_generate(const Options& opt, std::ostream& out) {
   return 0;
 }
 
-int cmd_bounds(const Options& opt, std::ostream& out) {
-  const core::Instance inst = obtain_instance(opt);
+/// Builds the generator config the run/bounds commands share.
+workload::GeneratorConfig make_generator(const Options& opt) {
+  workload::GeneratorConfig gen;
+  gen.num_jobs = opt.jobs;
+  gen.qps = opt.qps;
+  gen.seed = opt.seed;
+  gen.grains = opt.grains;
+  gen.units_per_ms = opt.units_per_ms;
+  gen.weight_classes = opt.weight_classes;
+  return gen;
+}
+
+void print_bounds_table(const core::LowerBoundSet& b, double units_per_ms,
+                        std::ostream& out) {
   metrics::Table table({"bound", "value_units", "value_ms"});
   const auto add = [&](const char* name, double v) {
     table.add_row({name, metrics::Table::cell(v),
-                   metrics::Table::cell(v / opt.units_per_ms)});
+                   metrics::Table::cell(v / units_per_ms)});
   };
-  add("span (max P_i)", core::span_lower_bound(inst));
-  add("work (max W_i/m)", core::work_lower_bound(inst, opt.m));
-  add("opt-sim (Sec 6)", core::opt_sim_lower_bound(inst, opt.m));
-  add("combined", core::combined_lower_bound(inst, opt.m));
-  add("weighted span", core::weighted_span_lower_bound(inst));
-  add("weighted combined", core::weighted_combined_lower_bound(inst, opt.m));
+  add("span (max P_i)", b.span);
+  add("work (max W_i/m)", b.work);
+  add("opt-sim (Sec 6)", b.opt_sim);
+  add("combined", b.combined);
+  add("weighted span", b.weighted_span);
+  add("weighted combined", b.weighted_combined);
   table.print(out);
+}
+
+int cmd_bounds(const Options& opt, std::ostream& out) {
+  if (opt.streamed && opt.load_file.empty()) {
+    // One O(1)-state pass over the generated stream — no instance in
+    // memory, so --jobs can be 10^6+.  Bitwise-equal to the materialized
+    // path below on the same config.
+    const auto dist = make_distribution(opt.workload);
+    workload::GeneratedJobSource source(*dist, make_generator(opt));
+    print_bounds_table(core::stream_lower_bounds(source, opt.m),
+                       opt.units_per_ms, out);
+    return 0;
+  }
+  const core::Instance inst = obtain_instance(opt);
+  core::InstanceSource source(inst);
+  print_bounds_table(core::stream_lower_bounds(source, opt.m),
+                     opt.units_per_ms, out);
+  return 0;
+}
+
+// Memory-bounded run: streams the workload twice — one O(1)-state pass for
+// the lower bounds, one O(live jobs) pass for the scheduler — and reports
+// the competitive ratio without ever materializing the instance.
+int cmd_run_streamed(const Options& opt, std::ostream& out) {
+  if (opt.trials > 1)
+    usage_error("--streamed cannot be combined with --trials");
+  if (opt.gantt_width.has_value() || !opt.chrome_trace_file.empty() ||
+      opt.utilization_buckets.has_value())
+    usage_error(
+        "--streamed records traces via --trace-out=FILE; in-core trace views "
+        "(--gantt/--chrome-trace/--utilization) need a materialized run");
+  auto spec = core::parse_scheduler(opt.scheduler);
+  spec.seed = opt.seed;
+  const core::MachineConfig machine = make_machine(opt);
+
+  std::unique_ptr<sim::FileTraceSink> sink;
+  std::unique_ptr<sim::Trace> trace;
+  if (!opt.trace_out_file.empty()) {
+    sink = std::make_unique<sim::FileTraceSink>(opt.trace_out_file);
+    trace = std::make_unique<sim::Trace>(sink.get());
+  }
+
+  core::StreamRatioResult res;
+  if (!opt.load_file.empty()) {
+    const core::Instance inst = obtain_instance(opt);
+    core::InstanceSource bound_source(inst);
+    core::InstanceSource run_source(inst);
+    res = core::run_scheduler_streamed_with_bounds(
+        run_source, bound_source, spec, machine, nullptr, trace.get());
+  } else {
+    const auto dist = make_distribution(opt.workload);
+    const workload::GeneratorConfig gen = make_generator(opt);
+    workload::GeneratedJobSource bound_source(*dist, gen);
+    workload::GeneratedJobSource run_source(*dist, gen);
+    res = core::run_scheduler_streamed_with_bounds(
+        run_source, bound_source, spec, machine, nullptr, trace.get());
+  }
+  const double u = opt.units_per_ms;
+
+  if (opt.csv) {
+    metrics::Table table({"scheduler", "jobs", "m", "speed", "max_flow_ms",
+                          "mean_flow_ms", "max_weighted_flow_ms",
+                          "makespan_ms", "combined_bound_ms", "ratio"});
+    table.add_row(
+        {res.run.scheduler_name, metrics::Table::cell(std::uint64_t{
+                                     res.run.jobs}),
+         metrics::Table::cell(std::uint64_t{opt.m}),
+         metrics::Table::cell(opt.speed),
+         metrics::Table::cell(res.run.max_flow / u),
+         metrics::Table::cell(res.run.mean_flow / u),
+         metrics::Table::cell(res.run.max_weighted_flow / u),
+         metrics::Table::cell(res.run.makespan / u),
+         metrics::Table::cell(res.bounds.combined / u),
+         metrics::Table::cell(res.ratio)});
+    table.print_csv(out);
+  } else {
+    out << "scheduler:        " << res.run.scheduler_name << " (streamed)\n"
+        << "jobs:             " << res.run.jobs << "\n"
+        << "machine:          m=" << opt.m << ", speed " << opt.speed << "\n"
+        << "max flow:         " << res.run.max_flow / u << " ms (job "
+        << res.run.argmax_flow << ")\n"
+        << "mean flow:        " << res.run.mean_flow / u << " ms\n"
+        << "p99 flow:         " << res.run.flow.p99 / u << " ms ("
+        << (res.run.flow_quantiles_exact ? "exact" : "reservoir estimate")
+        << ")\n"
+        << "max weighted:     " << res.run.max_weighted_flow / u
+        << " weighted-ms\n"
+        << "makespan:         " << res.run.makespan / u << " ms\n"
+        << "combined bound:   " << res.bounds.combined / u << " ms\n"
+        << "opt-sim bound:    " << res.bounds.opt_sim / u << " ms\n"
+        << "ratio to bound:   " << res.ratio << "\n";
+    if (res.weighted_ratio > 0.0 && res.weighted_ratio != res.ratio)
+      out << "weighted ratio:   " << res.weighted_ratio << "\n";
+    if (res.run.stats.steal_attempts > 0 || res.run.stats.admissions > 0)
+      out << "steals:           " << res.run.stats.successful_steals << "/"
+          << res.run.stats.steal_attempts << " successful, "
+          << res.run.stats.admissions << " admissions\n";
+  }
+  if (sink != nullptr)
+    out << "trace written to " << opt.trace_out_file << " ("
+        << sink->intervals_written() << " intervals, "
+        << sink->steals_written() << " steals, "
+        << sink->admissions_written() << " admissions)\n";
   return 0;
 }
 
 int cmd_run(const Options& opt, std::ostream& out) {
+  if (opt.streamed) return cmd_run_streamed(opt, out);
   if (opt.trials > 1) return cmd_run_trials(opt, out);
   const core::Instance inst = obtain_instance(opt);
   auto spec = core::parse_scheduler(opt.scheduler);
@@ -251,10 +378,21 @@ int cmd_run(const Options& opt, std::ostream& out) {
   const bool want_trace = opt.gantt_width.has_value() ||
                           !opt.chrome_trace_file.empty() ||
                           opt.utilization_buckets.has_value();
+  std::unique_ptr<sim::FileTraceSink> sink;
+  std::unique_ptr<sim::Trace> spill;
+  if (!opt.trace_out_file.empty()) {
+    if (want_trace)
+      usage_error(
+          "--trace-out spills the trace to disk and cannot feed the in-core "
+          "views (--gantt/--chrome-trace/--utilization)");
+    sink = std::make_unique<sim::FileTraceSink>(opt.trace_out_file);
+    spill = std::make_unique<sim::Trace>(sink.get());
+  }
   sim::Trace trace;
   const core::MachineConfig machine = make_machine(opt);
-  const auto res = core::run_scheduler(inst, spec, machine,
-                                       want_trace ? &trace : nullptr);
+  sim::Trace* trace_ptr =
+      spill != nullptr ? spill.get() : (want_trace ? &trace : nullptr);
+  const auto res = core::run_scheduler(inst, spec, machine, trace_ptr);
 
   if (opt.csv) {
     metrics::Table table({"scheduler", "jobs", "m", "speed", "max_flow_ms",
@@ -315,6 +453,11 @@ int cmd_run(const Options& opt, std::ostream& out) {
     out << "\nchrome trace written to " << opt.chrome_trace_file
         << " (open in chrome://tracing)\n";
   }
+  if (sink != nullptr)
+    out << "trace written to " << opt.trace_out_file << " ("
+        << sink->intervals_written() << " intervals, "
+        << sink->steals_written() << " steals, "
+        << sink->admissions_written() << " admissions)\n";
   return 0;
 }
 
@@ -335,6 +478,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
            "       [--units-per-ms=U] [--load=FILE] [--gantt[=W]]\n"
            "       [--chrome-trace=FILE] [--utilization=B] [--csv]\n"
            "       [--weights=w1,w2,...] [--trials=R]\n"
+           "       [--streamed]  (memory-bounded run/bounds: O(live jobs) "
+           "state,\n"
+           "        reports ratio vs the streamed lower bounds)\n"
+           "       [--trace-out=FILE]  (bounded-memory spill trace; works "
+           "at 10^6 jobs)\n"
            "       [--degrade=t:m[:s],...]  (machine loses/recovers "
            "processors at time t;\n"
            "        work-stealing schedulers reject speed changes)\n";

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/sim/sim_math.h"
+
 namespace pjsched::core {
 
 namespace {
@@ -11,62 +13,71 @@ void check_m(unsigned m) {
 }
 }  // namespace
 
+LowerBoundSet stream_lower_bounds(JobSource& source, unsigned m) {
+  check_m(m);
+  LowerBoundSet b;
+  // FIFO on one machine with processing times W_i/m; the max flow of that
+  // schedule (optimal for the relaxed instance, hence a lower bound) needs
+  // only the frontier scalar — no per-job state survives the iteration.
+  double frontier = 0.0;
+  while (!source.done()) {
+    const StreamedJob job = source.take();
+    const dag::Dag& g = job.dag();
+    const double cp = static_cast<double>(g.critical_path());
+    const double work = static_cast<double>(g.total_work());
+    const double relaxed = sim::relaxed_job_length(work, m, 1.0);
+    b.span = std::max(b.span, cp);
+    b.work = std::max(b.work, relaxed);
+    frontier = sim::fifo_frontier_advance(frontier, job.arrival, relaxed);
+    b.opt_sim = std::max(b.opt_sim, frontier - job.arrival);
+    b.weighted_span = std::max(b.weighted_span, job.weight * cp);
+    b.weighted_work = std::max(
+        b.weighted_work, sim::relaxed_job_length(job.weight * work, m, 1.0));
+    ++b.jobs;
+  }
+  b.combined = std::max(b.span, std::max(b.work, b.opt_sim));
+  b.weighted_combined = std::max(b.weighted_span, b.weighted_work);
+  return b;
+}
+
+// The materialized entry points are adapters: stream the Instance (arrival
+// order, borrowed DAGs) through the one-pass computation and project out
+// one field.  Callers needing several bounds of one instance should call
+// stream_lower_bounds over an InstanceSource themselves and pay one pass.
+
 double span_lower_bound(const Instance& instance) {
-  double best = 0.0;
-  for (const JobSpec& j : instance.jobs)
-    best = std::max(best, static_cast<double>(j.graph.critical_path()));
-  return best;
+  InstanceSource source(instance);
+  return stream_lower_bounds(source, 1).span;
 }
 
 double work_lower_bound(const Instance& instance, unsigned m) {
-  check_m(m);
-  double best = 0.0;
-  for (const JobSpec& j : instance.jobs)
-    best = std::max(best, static_cast<double>(j.graph.total_work()) / m);
-  return best;
+  InstanceSource source(instance);
+  return stream_lower_bounds(source, m).work;
 }
 
 double opt_sim_lower_bound(const Instance& instance, unsigned m) {
-  check_m(m);
-  // FIFO on one machine with processing times W_i/m; max flow of that
-  // schedule (optimal for the relaxed instance, hence a lower bound).
-  double frontier = 0.0;
-  double max_flow = 0.0;
-  for (JobId j : instance.arrival_order()) {
-    const JobSpec& job = instance.jobs[j];
-    frontier = std::max(frontier, job.arrival) +
-               static_cast<double>(job.graph.total_work()) / m;
-    max_flow = std::max(max_flow, frontier - job.arrival);
-  }
-  return max_flow;
+  InstanceSource source(instance);
+  return stream_lower_bounds(source, m).opt_sim;
 }
 
 double combined_lower_bound(const Instance& instance, unsigned m) {
-  return std::max(span_lower_bound(instance),
-                  std::max(work_lower_bound(instance, m),
-                           opt_sim_lower_bound(instance, m)));
+  InstanceSource source(instance);
+  return stream_lower_bounds(source, m).combined;
 }
 
 double weighted_span_lower_bound(const Instance& instance) {
-  double best = 0.0;
-  for (const JobSpec& j : instance.jobs)
-    best = std::max(best,
-                    j.weight * static_cast<double>(j.graph.critical_path()));
-  return best;
+  InstanceSource source(instance);
+  return stream_lower_bounds(source, 1).weighted_span;
 }
 
 double weighted_work_lower_bound(const Instance& instance, unsigned m) {
-  check_m(m);
-  double best = 0.0;
-  for (const JobSpec& j : instance.jobs)
-    best = std::max(best,
-                    j.weight * static_cast<double>(j.graph.total_work()) / m);
-  return best;
+  InstanceSource source(instance);
+  return stream_lower_bounds(source, m).weighted_work;
 }
 
 double weighted_combined_lower_bound(const Instance& instance, unsigned m) {
-  return std::max(weighted_span_lower_bound(instance),
-                  weighted_work_lower_bound(instance, m));
+  InstanceSource source(instance);
+  return stream_lower_bounds(source, m).weighted_combined;
 }
 
 }  // namespace pjsched::core

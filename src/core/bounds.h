@@ -2,11 +2,41 @@
 // Every feasible 1-speed schedule satisfies  OPT >= each of these, so they
 // serve as the denominator in empirical competitive-ratio measurements
 // (the paper's Section 6 uses exactly the fully-parallelizable FIFO bound).
+//
+// The core computation is streaming: stream_lower_bounds consumes a
+// JobSource in one pass — resident state is the current job plus a handful
+// of scalars, so the bounds scale to the 10^6+-job sources the engines
+// stream (run_scheduler_streamed_with_bounds in core/run.h reports the
+// competitive ratio without ever materializing).  The per-Instance
+// functions below are thin InstanceSource adapters over that pass and
+// return bit-identical values to the historical materialized loops: every
+// bound is a running max of per-job terms (order-independent), and the
+// FIFO-frontier recurrence visits jobs in exactly the arrival order the
+// materialized loop iterated.
 #pragma once
 
+#include <cstddef>
+
+#include "src/core/job_source.h"
 #include "src/core/types.h"
 
 namespace pjsched::core {
+
+/// Every lower bound this library computes, from one pass over a source.
+struct LowerBoundSet {
+  std::size_t jobs = 0;        ///< jobs the pass consumed
+  double span = 0.0;           ///< max_i P_i
+  double work = 0.0;           ///< max_i W_i / m
+  double opt_sim = 0.0;        ///< Section 6 simulated-OPT FIFO bound
+  double combined = 0.0;       ///< max of the three above
+  double weighted_span = 0.0;  ///< max_i w_i P_i
+  double weighted_work = 0.0;  ///< max_i w_i W_i / m
+  double weighted_combined = 0.0;  ///< max of the weighted bounds
+};
+
+/// One-pass streamed computation of every bound; consumes `source` to
+/// exhaustion.  Throws std::invalid_argument when m == 0.
+LowerBoundSet stream_lower_bounds(JobSource& source, unsigned m);
 
 /// max_i P_i — no scheduler can finish a job faster than its critical path
 /// at speed 1 (paper Proposition 2.1 / Lemma 3.2's OPT >= P_i argument).

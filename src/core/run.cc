@@ -108,8 +108,31 @@ ScheduleResult run_scheduler(const Instance& instance,
 StreamRunResult run_scheduler_streamed(JobSource& source,
                                        const SchedulerSpec& spec,
                                        const MachineConfig& machine,
-                                       metrics::StreamingFlowStats* stats) {
-  return make_scheduler(spec)->run_streamed(source, machine, stats);
+                                       metrics::StreamingFlowStats* stats,
+                                       sim::Trace* trace) {
+  return make_scheduler(spec)->run_streamed(source, machine, stats, trace);
+}
+
+StreamRatioResult run_scheduler_streamed_with_bounds(
+    JobSource& run_source, JobSource& bound_source, const SchedulerSpec& spec,
+    const MachineConfig& machine, metrics::StreamingFlowStats* stats,
+    sim::Trace* trace) {
+  StreamRatioResult out;
+  // Bounds first: the pass holds O(1) state, so a malformed twin pair fails
+  // before the expensive simulation runs.
+  out.bounds = stream_lower_bounds(bound_source, machine.processors);
+  out.run = run_scheduler_streamed(run_source, spec, machine, stats, trace);
+  if (out.bounds.jobs != out.run.jobs)
+    throw std::invalid_argument(
+        "run_scheduler_streamed_with_bounds: twin sources disagree (" +
+        std::to_string(out.bounds.jobs) + " jobs for bounds vs " +
+        std::to_string(out.run.jobs) + " for the run)");
+  if (out.bounds.combined > 0.0)
+    out.ratio = out.run.max_flow / out.bounds.combined;
+  if (out.bounds.weighted_combined > 0.0)
+    out.weighted_ratio =
+        out.run.max_weighted_flow / out.bounds.weighted_combined;
+  return out;
 }
 
 }  // namespace pjsched::core

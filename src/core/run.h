@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "src/core/bounds.h"
 #include "src/core/job_source.h"
 #include "src/core/types.h"
 #include "src/sched/scheduler.h"
@@ -59,9 +60,34 @@ ScheduleResult run_scheduler(const Instance& instance,
 /// Memory-bounded counterpart: streams `source` through the named
 /// scheduler's engine with O(live jobs) resident state (see
 /// sched::Scheduler::run_streamed).  Throws std::logic_error for schedulers
-/// without a streamed path (kOptBound).
+/// without a streamed path (kOptBound).  `trace`, if non-null, records the
+/// execution; pass a spill-mode sim::Trace to keep the recording itself
+/// bounded-memory.
 StreamRunResult run_scheduler_streamed(
     JobSource& source, const SchedulerSpec& spec, const MachineConfig& machine,
-    metrics::StreamingFlowStats* stats = nullptr);
+    metrics::StreamingFlowStats* stats = nullptr, sim::Trace* trace = nullptr);
+
+/// Streamed run plus the streamed lower bounds over the same job stream, in
+/// one pass each.  `run_source` and `bound_source` must yield identical
+/// streams (the twin-source contract: construct two sources from the same
+/// distribution + config, or two InstanceSources over the same instance) —
+/// the job counts are cross-checked and a mismatch throws
+/// std::invalid_argument.  This is how large streamed experiments report
+/// competitive ratios without materializing the instance: the bounds pass
+/// holds O(1) state and the run pass O(live jobs).
+struct StreamRatioResult {
+  StreamRunResult run;     ///< the scheduler's streamed outcome
+  LowerBoundSet bounds;    ///< streamed lower bounds over the same stream
+  /// run.max_flow / bounds.combined — the streamed analogue of the
+  /// materialized experiment's ratio column.  0 when the bound is 0.
+  double ratio = 0.0;
+  /// run.max_weighted_flow / bounds.weighted_combined; 0 when the bound is 0.
+  double weighted_ratio = 0.0;
+};
+
+StreamRatioResult run_scheduler_streamed_with_bounds(
+    JobSource& run_source, JobSource& bound_source, const SchedulerSpec& spec,
+    const MachineConfig& machine, metrics::StreamingFlowStats* stats = nullptr,
+    sim::Trace* trace = nullptr);
 
 }  // namespace pjsched::core

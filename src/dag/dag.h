@@ -14,6 +14,10 @@
 #include <string>
 #include <vector>
 
+namespace pjsched::sim {
+class PackedDag;  // SoA execution layout (src/sim/packed_dag.h)
+}  // namespace pjsched::sim
+
 namespace pjsched::dag {
 
 /// Index of a node within one job's DAG.
@@ -82,6 +86,9 @@ class Dag {
 
  private:
   friend class ReadyTracker;
+  // The arena's packed slot layout copies the CSR arrays wholesale instead
+  // of re-deriving them through the per-node query API.
+  friend class sim::PackedDag;
 
   std::vector<Work> work_;
   // CSR adjacency, filled by seal() from the edge list.

@@ -107,10 +107,11 @@ template <typename Policy>
 core::StreamRunResult run_streamed_with(core::JobSource& source,
                                         const core::MachineConfig& machine,
                                         metrics::StreamingFlowStats* stats,
-                                        bool exact_engine) {
+                                        sim::Trace* trace, bool exact_engine) {
   Policy policy;
   sim::EventEngineOptions opt;
   opt.machine = machine;
+  opt.trace = trace;
   opt.exact = exact_engine;
   return sim::run_event_engine_streamed(source, policy, opt, stats);
 }
@@ -125,8 +126,9 @@ core::ScheduleResult LifoScheduler::run(const core::Instance& instance,
 
 core::StreamRunResult LifoScheduler::run_streamed(
     core::JobSource& source, const core::MachineConfig& machine,
-    metrics::StreamingFlowStats* stats) {
-  return run_streamed_with<LifoPolicy>(source, machine, stats, exact_engine_);
+    metrics::StreamingFlowStats* stats, sim::Trace* trace) {
+  return run_streamed_with<LifoPolicy>(source, machine, stats, trace,
+                                       exact_engine_);
 }
 
 core::ScheduleResult SjfScheduler::run(const core::Instance& instance,
@@ -137,8 +139,9 @@ core::ScheduleResult SjfScheduler::run(const core::Instance& instance,
 
 core::StreamRunResult SjfScheduler::run_streamed(
     core::JobSource& source, const core::MachineConfig& machine,
-    metrics::StreamingFlowStats* stats) {
-  return run_streamed_with<SjfPolicy>(source, machine, stats, exact_engine_);
+    metrics::StreamingFlowStats* stats, sim::Trace* trace) {
+  return run_streamed_with<SjfPolicy>(source, machine, stats, trace,
+                                      exact_engine_);
 }
 
 core::ScheduleResult RoundRobinScheduler::run(const core::Instance& instance,
@@ -149,8 +152,8 @@ core::ScheduleResult RoundRobinScheduler::run(const core::Instance& instance,
 
 core::StreamRunResult RoundRobinScheduler::run_streamed(
     core::JobSource& source, const core::MachineConfig& machine,
-    metrics::StreamingFlowStats* stats) {
-  return run_streamed_with<RoundRobinPolicy>(source, machine, stats,
+    metrics::StreamingFlowStats* stats, sim::Trace* trace) {
+  return run_streamed_with<RoundRobinPolicy>(source, machine, stats, trace,
                                              exact_engine_);
 }
 
@@ -162,8 +165,9 @@ core::ScheduleResult EquiScheduler::run(const core::Instance& instance,
 
 core::StreamRunResult EquiScheduler::run_streamed(
     core::JobSource& source, const core::MachineConfig& machine,
-    metrics::StreamingFlowStats* stats) {
-  return run_streamed_with<EquiPolicy>(source, machine, stats, exact_engine_);
+    metrics::StreamingFlowStats* stats, sim::Trace* trace) {
+  return run_streamed_with<EquiPolicy>(source, machine, stats, trace,
+                                       exact_engine_);
 }
 
 }  // namespace pjsched::sched

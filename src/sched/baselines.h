@@ -38,7 +38,8 @@ class LifoScheduler final : public Scheduler {
                            sim::Trace* trace = nullptr) override;
   core::StreamRunResult run_streamed(
       core::JobSource& source, const core::MachineConfig& machine,
-      metrics::StreamingFlowStats* stats = nullptr) override;
+      metrics::StreamingFlowStats* stats = nullptr,
+      sim::Trace* trace = nullptr) override;
 
  private:
   bool exact_engine_;
@@ -56,7 +57,8 @@ class SjfScheduler final : public Scheduler {
                            sim::Trace* trace = nullptr) override;
   core::StreamRunResult run_streamed(
       core::JobSource& source, const core::MachineConfig& machine,
-      metrics::StreamingFlowStats* stats = nullptr) override;
+      metrics::StreamingFlowStats* stats = nullptr,
+      sim::Trace* trace = nullptr) override;
 
  private:
   bool exact_engine_;
@@ -74,7 +76,8 @@ class RoundRobinScheduler final : public Scheduler {
                            sim::Trace* trace = nullptr) override;
   core::StreamRunResult run_streamed(
       core::JobSource& source, const core::MachineConfig& machine,
-      metrics::StreamingFlowStats* stats = nullptr) override;
+      metrics::StreamingFlowStats* stats = nullptr,
+      sim::Trace* trace = nullptr) override;
 
  private:
   bool exact_engine_;
@@ -92,7 +95,8 @@ class EquiScheduler final : public Scheduler {
                            sim::Trace* trace = nullptr) override;
   core::StreamRunResult run_streamed(
       core::JobSource& source, const core::MachineConfig& machine,
-      metrics::StreamingFlowStats* stats = nullptr) override;
+      metrics::StreamingFlowStats* stats = nullptr,
+      sim::Trace* trace = nullptr) override;
 
  private:
   bool exact_engine_;

@@ -44,10 +44,11 @@ core::ScheduleResult BwfScheduler::run(const core::Instance& instance,
 
 core::StreamRunResult BwfScheduler::run_streamed(
     core::JobSource& source, const core::MachineConfig& machine,
-    metrics::StreamingFlowStats* stats) {
+    metrics::StreamingFlowStats* stats, sim::Trace* trace) {
   BwfPolicy policy;
   sim::EventEngineOptions opt;
   opt.machine = machine;
+  opt.trace = trace;
   opt.exact = exact_engine_;
   return sim::run_event_engine_streamed(source, policy, opt, stats);
 }

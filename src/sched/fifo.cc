@@ -40,10 +40,11 @@ core::ScheduleResult FifoScheduler::run(const core::Instance& instance,
 
 core::StreamRunResult FifoScheduler::run_streamed(
     core::JobSource& source, const core::MachineConfig& machine,
-    metrics::StreamingFlowStats* stats) {
+    metrics::StreamingFlowStats* stats, sim::Trace* trace) {
   FifoPolicy policy;
   sim::EventEngineOptions opt;
   opt.machine = machine;
+  opt.trace = trace;
   opt.exact = exact_engine_;
   return sim::run_event_engine_streamed(source, policy, opt, stats);
 }

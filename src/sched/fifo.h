@@ -27,7 +27,8 @@ class FifoScheduler final : public Scheduler {
                            sim::Trace* trace = nullptr) override;
   core::StreamRunResult run_streamed(
       core::JobSource& source, const core::MachineConfig& machine,
-      metrics::StreamingFlowStats* stats = nullptr) override;
+      metrics::StreamingFlowStats* stats = nullptr,
+      sim::Trace* trace = nullptr) override;
 
  private:
   bool exact_engine_;

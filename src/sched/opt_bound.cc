@@ -1,7 +1,8 @@
 #include "src/sched/opt_bound.h"
 
-#include <algorithm>
 #include <stdexcept>
+
+#include "src/sim/sim_math.h"
 
 namespace pjsched::sched {
 
@@ -19,12 +20,15 @@ core::ScheduleResult OptLowerBound::run(const core::Instance& instance,
   result.scheduler_name = name();
   result.completion.assign(instance.size(), core::kNoTime);
 
-  // FIFO on a single machine where job i has processing time W_i / (m*s).
+  // FIFO on a single machine where job i has processing time W_i / (m*s) —
+  // the same shared formulas the streamed bounds use (sim/sim_math.h), so
+  // opt_sim_lower_bound at s = 1 reproduces this run's max flow bitwise.
   core::Time frontier = 0.0;
   for (core::JobId j : instance.arrival_order()) {
     const core::JobSpec& job = instance.jobs[j];
-    const double p = static_cast<double>(job.graph.total_work()) / (m * s);
-    frontier = std::max(frontier, job.arrival) + p;
+    const double p = sim::relaxed_job_length(
+        static_cast<double>(job.graph.total_work()), m, s);
+    frontier = sim::fifo_frontier_advance(frontier, job.arrival, p);
     result.completion[j] = frontier;
   }
   result.finalize(instance.jobs);

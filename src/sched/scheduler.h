@@ -42,15 +42,19 @@ class Scheduler {
   /// Simulates a streamed source to exhaustion with O(live jobs) resident
   /// state; completions land in `stats` (an engine-internal default when
   /// null).  Bit-identical extremes to run() on the materialized
-  /// equivalent.  The default throws std::logic_error — only schedulers
-  /// without a simulation engine behind them (e.g. the analytic OPT lower
-  /// bound, which needs the whole instance) keep it.
+  /// equivalent.  If `trace` is non-null it records the execution; pass a
+  /// spill-mode Trace (sim::TraceSink) to keep the recording itself
+  /// bounded-memory on large sources.  The default throws std::logic_error
+  /// — only schedulers without a simulation engine behind them (e.g. the
+  /// analytic OPT lower bound, which needs the whole instance) keep it.
   virtual core::StreamRunResult run_streamed(
       core::JobSource& source, const core::MachineConfig& machine,
-      metrics::StreamingFlowStats* stats = nullptr) {
+      metrics::StreamingFlowStats* stats = nullptr,
+      sim::Trace* trace = nullptr) {
     (void)source;
     (void)machine;
     (void)stats;
+    (void)trace;
     throw std::logic_error(name() + ": streamed execution is not supported");
   }
 };

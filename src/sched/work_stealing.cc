@@ -28,13 +28,14 @@ core::ScheduleResult WorkStealingScheduler::run(
 
 core::StreamRunResult WorkStealingScheduler::run_streamed(
     core::JobSource& source, const core::MachineConfig& machine,
-    metrics::StreamingFlowStats* stats) {
+    metrics::StreamingFlowStats* stats, sim::Trace* trace) {
   sim::StepEngineOptions opt;
   opt.machine = machine;
   opt.steal_k = steal_k_;
   opt.seed = seed_;
   opt.admit_by_weight = admit_by_weight_;
   opt.steal_half = steal_half_;
+  opt.trace = trace;
   return sim::run_step_engine_streamed(source, opt, stats);
 }
 

@@ -41,7 +41,8 @@ class WorkStealingScheduler final : public Scheduler {
                            sim::Trace* trace = nullptr) override;
   core::StreamRunResult run_streamed(
       core::JobSource& source, const core::MachineConfig& machine,
-      metrics::StreamingFlowStats* stats = nullptr) override;
+      metrics::StreamingFlowStats* stats = nullptr,
+      sim::Trace* trace = nullptr) override;
 
   unsigned steal_k() const { return steal_k_; }
   bool admit_by_weight() const { return admit_by_weight_; }

@@ -171,24 +171,25 @@ class Engine {
 double Engine::remaining_work(std::uint32_t s) const {
   const SlotState& ss = slots_[s];
   if (!fast_)
-    return static_cast<double>(arena_[s].dag->total_work()) - ss.processed;
+    return static_cast<double>(arena_[s].graph.total_work()) - ss.processed;
   // Fast path (defensive: static-order policies must not call this, see the
   // OrderPolicy contract): unreached work plus what is left of every
   // available node, assigned nodes valued through their coordinate.
-  double rem = static_cast<double>(arena_[s].dag->total_work()) - ss.absorbed;
+  double rem = static_cast<double>(arena_[s].graph.total_work()) - ss.absorbed;
   for (dag::NodeId v : ss.available)
     rem += (ss.proc_of[v] == kNoProc) ? ss.remaining[v] : ss.coord[v] - W_;
   return rem;
 }
 
-// Claims every currently-ready node of the tracker into the available list.
+// Claims every currently-ready node of the packed frontier into the
+// available list.
 void Engine::absorb_ready(std::uint32_t s) {
   SlotState& ss = slots_[s];
-  dag::ReadyTracker& tracker = arena_[s].tracker;
-  while (tracker.ready_count() > 0) {
-    const dag::NodeId v = tracker.ready().front();
-    tracker.claim(v);
-    const double w = static_cast<double>(tracker.dag().work_of(v));
+  PackedDag& graph = arena_[s].graph;
+  while (graph.ready_count() > 0) {
+    const dag::NodeId v = graph.ready().front();
+    graph.claim(v);
+    const double w = static_cast<double>(graph.work_of(v));
     ss.remaining[v] = w;
     ss.absorbed += w;
     ss.pos_in_available[v] = static_cast<std::uint32_t>(ss.available.size());
@@ -216,7 +217,7 @@ void Engine::admit_arrivals() {
     const std::uint32_t s = arena_.acquire(source_.take());
     if (s >= slots_.size()) slots_.emplace_back();
     SlotState& ss = slots_[s];
-    const std::size_t nodes = arena_[s].dag->node_count();
+    const std::size_t nodes = arena_[s].graph.node_count();
     if (ss.remaining.size() < nodes) {
       ss.remaining.resize(nodes);
       ss.coord.resize(nodes);
@@ -360,9 +361,9 @@ void Engine::record_completion(std::uint32_t s) {
 }
 
 // Completion bookkeeping at the current time t_.  When the job's last node
-// finishes, the completion is recorded and the slot retired — its DAG
-// storage is freed right here, which is what keeps a long streamed run's
-// footprint at O(live jobs).
+// finishes, the completion is recorded and the slot retired — the slot's
+// packed arrays are released for the next occupant right here, which is
+// what keeps a long streamed run's footprint at O(live jobs).
 void Engine::complete_node(std::uint32_t s, dag::NodeId v) {
   SlotState& ss = slots_[s];
   const unsigned proc = ss.proc_of[v];
@@ -383,9 +384,9 @@ void Engine::complete_node(std::uint32_t s, dag::NodeId v) {
   ss.pos_in_available[back] = pos;
   ss.available.pop_back();
   ss.pos_in_available[v] = kNoPos;
-  arena_[s].tracker.complete(v);
+  arena_[s].graph.complete(v);
   absorb_ready(s);
-  if (arena_[s].tracker.done()) {
+  if (arena_[s].graph.done()) {
     record_completion(s);
     if (fast_)
       erase_ordered(s);

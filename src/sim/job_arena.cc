@@ -33,18 +33,14 @@ std::uint32_t JobArena::acquire(core::StreamedJob&& job) {
   slot.id = job.id;
   slot.arrival = job.arrival;
   slot.weight = job.weight;
-  if (job.borrowed != nullptr) {
-    slot.dag = job.borrowed;
-  } else {
-    slot.owned_ = std::move(job.graph);
-    slot.dag = &slot.owned_;
-  }
-  slot.tracker.reset(*slot.dag);
+  // Pack the DAG into the slot's grow-only arrays; the source Dag (owned or
+  // borrowed) is not referenced afterwards, so a streamed job's heap-backed
+  // graph is freed as soon as `job` leaves scope.
+  slot.graph.assign(g);
 
   if (!slot_of_.emplace(slot.id, s).second) {
+    slot.graph.release();
     free_.push_back(s);
-    slot.dag = nullptr;
-    slot.owned_ = dag::Dag{};
     throw std::invalid_argument("JobArena: duplicate live job id");
   }
   ++live_;
@@ -54,14 +50,12 @@ std::uint32_t JobArena::acquire(core::StreamedJob&& job) {
 
 void JobArena::retire(std::uint32_t slot) {
   Slot& s = slots_[slot];
-  if (s.dag == nullptr)
+  if (!s.graph.bound())
     throw std::logic_error("JobArena::retire: slot is not live");
   slot_of_.erase(s.id);
-  // Free the DAG's CSR storage now — this, not the slot bookkeeping, is the
-  // bulk of a retired job's memory.  The tracker deliberately keeps its
-  // vectors' capacity for the slot's next occupant.
-  s.owned_ = dag::Dag{};
-  s.dag = nullptr;
+  // The packed arrays deliberately keep their capacity for the slot's next
+  // occupant; resident state stays O(peak live jobs x largest hosted DAG).
+  s.graph.release();
   free_.push_back(slot);
   --live_;
 }

@@ -5,19 +5,24 @@
 // between arrival and completion are ever touched.  The arena replaces that
 // indexing scheme: a live job occupies a dense *slot*, slots are retired and
 // reused as jobs complete (LIFO freelist, so the hottest slot's caches are
-// reused first), and a retired slot's owned DAG storage is freed
-// immediately.  Resident state is therefore O(peak live jobs), which for a
-// stable system is O(1) in the instance length — the property the 10^6-job
-// scaling gate (bench_sim_engine's BM_Scaling suite) asserts.
+// reused first).  Resident state is therefore O(peak live jobs), which for
+// a stable system is O(1) in the instance length — the property the
+// 10^6-job scaling gate (bench_sim_engine's BM_Scaling suite) asserts.
 //
-// The arena owns what both engines need per job — identity, arrival,
-// weight, the DAG, and its ReadyTracker (whose internal vectors' capacity
-// survives recycling, see ReadyTracker::reset) — plus the live id->slot map
-// the event engine's policy context uses.  Engine-specific per-slot arrays
-// (completion coordinates, deques, ...) live in the engines, indexed by the
-// slot ids this class hands out; `size()` never shrinks, so grow-only
-// parallel arrays stay in sync by resizing whenever acquire() returns a
-// fresh slot.
+// Each slot's DAG lives in a PackedDag: node work, CSR successor lists, and
+// the in-degree/ready frontier state packed into contiguous grow-only
+// arrays (src/sim/packed_dag.h).  acquire() copies the job's sealed
+// dag::Dag into those arrays and drops the source immediately — a streamed
+// job's heap-backed Dag is freed at admission, not retirement — and a
+// recycled slot's steady state allocates nothing, since every array reuses
+// the capacity left by previous occupants.  The engines' ready-frontier and
+// completion inner loops run entirely on the packed layout; dag::Dag stays
+// the build/serialize representation.
+//
+// Engine-specific per-slot arrays (completion coordinates, deques, ...)
+// live in the engines, indexed by the slot ids this class hands out;
+// `size()` never shrinks, so grow-only parallel arrays stay in sync by
+// resizing whenever acquire() returns a fresh slot.
 //
 // acquire() also centralizes the per-job validation that Instance::validate
 // performed up front for materialized runs (sealed non-empty DAG,
@@ -32,7 +37,7 @@
 
 #include "src/core/job_source.h"
 #include "src/core/types.h"
-#include "src/dag/dag.h"
+#include "src/sim/packed_dag.h"
 
 namespace pjsched::sim {
 
@@ -44,25 +49,21 @@ class JobArena {
     core::JobId id = 0;
     core::Time arrival = 0.0;
     double weight = 1.0;
-    /// The DAG in play: &owned_ for streamed jobs, the source's storage for
-    /// borrowed ones.  Null while the slot is free.
-    const dag::Dag* dag = nullptr;
-    dag::ReadyTracker tracker;
-
-   private:
-    friend class JobArena;
-    dag::Dag owned_;
+    /// The packed DAG + ready frontier in play; unbound while the slot is
+    /// free (its arrays keep their capacity for the next occupant).
+    PackedDag graph;
   };
 
   /// Claims a slot (recycling a retired one when available) for `job`,
-  /// taking ownership of its DAG if it owns one.  Validates the job and
-  /// throws std::invalid_argument on an unsealed/empty DAG, negative
-  /// arrival, non-positive weight, out-of-order arrival, or a duplicate
-  /// live id.  Returns the slot index.
+  /// packing its DAG into the slot's arrays; the job's own DAG storage is
+  /// released when `job` goes out of scope.  Validates the job and throws
+  /// std::invalid_argument on an unsealed/empty DAG, negative arrival,
+  /// non-positive weight, out-of-order arrival, or a duplicate live id.
+  /// Returns the slot index.
   std::uint32_t acquire(core::StreamedJob&& job);
 
-  /// Releases a live slot: frees its owned DAG storage (the tracker keeps
-  /// its capacity for the next occupant) and recycles the index.
+  /// Releases a live slot: marks its packed DAG unbound (the arrays keep
+  /// their capacity for the next occupant) and recycles the index.
   void retire(std::uint32_t slot);
 
   Slot& operator[](std::uint32_t slot) { return slots_[slot]; }

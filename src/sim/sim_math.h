@@ -14,6 +14,7 @@
 // them into FMA forms that round differently across targets.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -53,6 +54,24 @@ inline std::uint64_t time_to_step(double t, double s) {
 /// interval endpoints and completion times).
 inline double step_time(std::uint64_t step, double s) {
   return static_cast<double>(step) / s;
+}
+
+/// Fully-parallelizable relaxation of a job (paper Section 6): `work_units`
+/// units of work become one sequential task of length W / (m s) on a single
+/// machine.  Shared by the streamed lower bounds (core/bounds, s = 1) and
+/// the OPT comparator scheduler (sched/opt_bound) so the two round
+/// identically — the streamed experiment driver pins opt_sim ==
+/// OptLowerBound::run's max flow bit for bit.
+inline double relaxed_job_length(double work_units, double m, double s) {
+  return work_units / (m * s);
+}
+
+/// FIFO single-machine frontier advance over relaxed jobs (the simulated
+/// OPT bound): the machine finishes its backlog at `frontier`, idles until
+/// `arrival` if early, then runs the new job for `length`.
+inline double fifo_frontier_advance(double frontier, double arrival,
+                                    double length) {
+  return std::max(frontier, arrival) + length;
 }
 
 }  // namespace pjsched::sim

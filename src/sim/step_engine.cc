@@ -169,15 +169,15 @@ core::EngineStats run_impl(core::JobSource& source,
   // worker's current node, the rest go to the bottom of its deque.
   const auto take_ready = [&](Worker& w, std::uint32_t slot,
                               std::uint64_t step) {
-    dag::ReadyTracker& tracker = arena[slot].tracker;
+    PackedDag& graph = arena[slot].graph;
     bool first = true;
-    while (tracker.ready_count() > 0) {
-      const dag::NodeId v = tracker.ready().front();
-      tracker.claim(v);
+    while (graph.ready_count() > 0) {
+      const dag::NodeId v = graph.ready().front();
+      graph.claim(v);
       if (first) {
         w.current = {slot, v};
         w.has_current = true;
-        w.remaining = tracker.dag().work_of(v);
+        w.remaining = graph.work_of(v);
         w.work_start = step;
         first = false;
       } else {
@@ -223,7 +223,7 @@ core::EngineStats run_impl(core::JobSource& source,
       if (auto_budget) {
         budget_last_arrival =
             std::max(budget_last_arrival, arrival_step[slot]);
-        budget_total_work += arena[slot].dag->total_work();
+        budget_total_work += arena[slot].graph.total_work();
         ++budget_jobs;
         any_arrivals = true;
       }
@@ -326,7 +326,7 @@ core::EngineStats run_impl(core::JobSource& source,
           w.deque.pop_back();
           w.current = r;
           w.has_current = true;
-          w.remaining = arena[r.slot].dag->work_of(r.node);
+          w.remaining = arena[r.slot].graph.work_of(r.node);
           w.work_start = step;
         } else if (w.fail_count >= k && !global_queue.empty()) {
           // Admit from the global queue: the FIFO head, or — under the
@@ -360,7 +360,7 @@ core::EngineStats run_impl(core::JobSource& source,
               v.deque.pop_front();
               w.current = r;
               w.has_current = true;
-              w.remaining = arena[r.slot].dag->work_of(r.node);
+              w.remaining = arena[r.slot].graph.work_of(r.node);
               w.work_start = step + 1;  // execution begins next step
               for (std::size_t g = 1; g < grab; ++g) {
                 w.deque.push_back(v.deque.front());
@@ -390,11 +390,11 @@ core::EngineStats run_impl(core::JobSource& source,
                                        step_time(w.work_start, s),
                                        step_time(step + 1, s)});
         w.has_current = false;
-        dag::ReadyTracker& tracker = arena[slot].tracker;
+        PackedDag& graph = arena[slot].graph;
         enabled.clear();
-        tracker.complete(v, &enabled);
+        graph.complete(v, &enabled);
         if (!enabled.empty()) take_ready(w, slot, step + 1);
-        if (tracker.done()) {
+        if (graph.done()) {
           const core::Time completion = step_time(step + 1, s);
           if (completion_out != nullptr)
             (*completion_out)[arena[slot].id] = completion;

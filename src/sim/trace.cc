@@ -1,10 +1,24 @@
 #include "src/sim/trace.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace pjsched::sim {
 
 void Trace::coalesce() {
+  if (sink_ != nullptr) {
+    // Spill mode: the merge already happened incrementally; drain whatever
+    // windows are still open, in processor order, then let the sink flush.
+    for (std::size_t proc = 0; proc < pending_.size(); ++proc) {
+      PendingSpan& p = pending_[proc];
+      if (p.open) {
+        sink_->on_interval(p.iv);
+        p.open = false;
+      }
+    }
+    sink_->flush();
+    return;
+  }
   if (intervals_.empty()) return;
   std::stable_sort(intervals_.begin(), intervals_.end(),
                    [](const WorkInterval& a, const WorkInterval& b) {
@@ -25,6 +39,23 @@ void Trace::coalesce() {
     merged.push_back(iv);
   }
   intervals_ = std::move(merged);
+}
+
+void Trace::spill_interval(const WorkInterval& iv) {
+  if (iv.proc >= pending_.size()) pending_.resize(iv.proc + 1);
+  PendingSpan& p = pending_[iv.proc];
+  if (p.open) {
+    // Engines emit each processor's intervals in nondecreasing start order,
+    // so extending the single open window reproduces exactly the merge
+    // coalesce() performs after its (proc, start) sort.
+    if (p.iv.job == iv.job && p.iv.node == iv.node && p.iv.end == iv.start) {
+      p.iv.end = iv.end;
+      return;
+    }
+    sink_->on_interval(p.iv);
+  }
+  p.iv = iv;
+  p.open = true;
 }
 
 void SpanRecorder::reconcile(unsigned proc, core::JobId job, dag::NodeId node,
@@ -48,5 +79,40 @@ void SpanRecorder::close(unsigned proc, core::Time t) {
     trace_->add_interval({span.job, span.node, proc, span.start, t});
   span.open = false;
 }
+
+FileTraceSink::FileTraceSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr)
+    throw std::runtime_error("FileTraceSink: cannot open '" + path + "'");
+}
+
+FileTraceSink::~FileTraceSink() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+void FileTraceSink::on_interval(const WorkInterval& iv) {
+  std::fprintf(file_, "i %llu %u %u %.17g %.17g\n",
+               static_cast<unsigned long long>(iv.job), iv.node, iv.proc,
+               iv.start, iv.end);
+  ++intervals_written_;
+}
+
+void FileTraceSink::on_steal(const StealEvent& ev) {
+  std::fprintf(file_, "s %u %u %d %llu\n", ev.thief, ev.victim,
+               ev.success ? 1 : 0, static_cast<unsigned long long>(ev.step));
+  ++steals_written_;
+}
+
+void FileTraceSink::on_admission(const AdmissionEvent& ev) {
+  std::fprintf(file_, "a %u %llu %llu\n", ev.worker,
+               static_cast<unsigned long long>(ev.job),
+               static_cast<unsigned long long>(ev.step));
+  ++admissions_written_;
+}
+
+void FileTraceSink::flush() { std::fflush(file_); }
 
 }  // namespace pjsched::sim

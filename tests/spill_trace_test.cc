@@ -1,0 +1,235 @@
+// Spill-mode traces: a Trace constructed with a TraceSink holds one pending
+// span per processor and streams maximal merged intervals out as they close
+// — coalesce-equivalent by construction.  These tests pin that equivalence
+// against the in-core path for both engines (event via fifo/bwf, step via
+// the admission/steal schedulers), the steal/admission passthrough, and the
+// FileTraceSink's bit-exact text format.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/run.h"
+#include "src/core/types.h"
+#include "src/sim/trace.h"
+#include "src/workload/distributions.h"
+#include "src/workload/generator.h"
+#include "src/workload/streaming_source.h"
+
+namespace pjsched {
+namespace {
+
+workload::GeneratorConfig base_config(std::size_t jobs) {
+  workload::GeneratorConfig cfg;
+  cfg.num_jobs = jobs;
+  cfg.qps = 800.0;
+  cfg.units_per_ms = 100.0;
+  cfg.seed = 5;
+  cfg.weight_classes = {1.0, 2.0, 8.0};
+  return cfg;
+}
+
+core::MachineConfig machine16() {
+  core::MachineConfig m;
+  m.processors = 16;
+  m.speed = 1.0;
+  return m;
+}
+
+// In-memory sink collecting everything a spill trace emits.
+class CollectingSink final : public sim::TraceSink {
+ public:
+  void on_interval(const sim::WorkInterval& iv) override {
+    intervals.push_back(iv);
+  }
+  void on_steal(const sim::StealEvent& ev) override { steals.push_back(ev); }
+  void on_admission(const sim::AdmissionEvent& ev) override {
+    admissions.push_back(ev);
+  }
+  void flush() override { ++flushes; }
+
+  std::vector<sim::WorkInterval> intervals;
+  std::vector<sim::StealEvent> steals;
+  std::vector<sim::AdmissionEvent> admissions;
+  int flushes = 0;
+};
+
+void expect_same_intervals(const std::vector<sim::WorkInterval>& a,
+                           const std::vector<sim::WorkInterval>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job, b[i].job) << "interval " << i;
+    EXPECT_EQ(a[i].node, b[i].node) << "interval " << i;
+    EXPECT_EQ(a[i].proc, b[i].proc) << "interval " << i;
+    EXPECT_EQ(a[i].start, b[i].start) << "interval " << i;
+    EXPECT_EQ(a[i].end, b[i].end) << "interval " << i;
+  }
+}
+
+class SpillTraceCrossCheck
+    : public ::testing::TestWithParam<const char*> {};
+
+// The contract: after sorting the sink's intervals into the in-core
+// canonical order (coalesce stable_sorts by (proc, start); the sink sees
+// each processor's stream already in order), the spill run must have
+// emitted *exactly* the intervals the in-core run coalesced — same spans,
+// same endpoints, bitwise — plus identical steal/admission sequences.
+TEST_P(SpillTraceCrossCheck, SpillEqualsInCoreCoalesce) {
+  const core::SchedulerSpec spec = core::parse_scheduler(GetParam());
+  const auto dist = workload::bing_distribution();
+  const workload::GeneratorConfig cfg = base_config(250);
+
+  sim::Trace in_core;
+  workload::GeneratedJobSource in_core_source(dist, cfg);
+  const auto mat = run_scheduler_streamed(in_core_source, spec, machine16(),
+                                          nullptr, &in_core);
+  ASSERT_FALSE(in_core.spilling());
+  ASSERT_FALSE(in_core.intervals().empty());
+
+  CollectingSink sink;
+  sim::Trace spill(&sink);
+  ASSERT_TRUE(spill.spilling());
+  workload::GeneratedJobSource spill_source(dist, cfg);
+  const auto str =
+      run_scheduler_streamed(spill_source, spec, machine16(), nullptr, &spill);
+  EXPECT_EQ(str.max_flow, mat.max_flow);
+
+  // Spill mode never accumulates in-core; the engine's end-of-run
+  // coalesce() drained the pending windows and flushed the sink once.
+  EXPECT_TRUE(spill.intervals().empty());
+  EXPECT_EQ(sink.flushes, 1);
+
+  std::stable_sort(sink.intervals.begin(), sink.intervals.end(),
+                   [](const sim::WorkInterval& a, const sim::WorkInterval& b) {
+                     return a.proc != b.proc ? a.proc < b.proc
+                                             : a.start < b.start;
+                   });
+  expect_same_intervals(in_core.intervals(), sink.intervals);
+
+  ASSERT_EQ(sink.steals.size(), in_core.steals().size());
+  for (std::size_t i = 0; i < sink.steals.size(); ++i) {
+    EXPECT_EQ(sink.steals[i].thief, in_core.steals()[i].thief);
+    EXPECT_EQ(sink.steals[i].victim, in_core.steals()[i].victim);
+    EXPECT_EQ(sink.steals[i].success, in_core.steals()[i].success);
+    EXPECT_EQ(sink.steals[i].step, in_core.steals()[i].step);
+  }
+  ASSERT_EQ(sink.admissions.size(), in_core.admissions().size());
+  for (std::size_t i = 0; i < sink.admissions.size(); ++i) {
+    EXPECT_EQ(sink.admissions[i].worker, in_core.admissions()[i].worker);
+    EXPECT_EQ(sink.admissions[i].job, in_core.admissions()[i].job);
+    EXPECT_EQ(sink.admissions[i].step, in_core.admissions()[i].step);
+  }
+}
+
+// fifo/fifo-exact/bwf run the event engine (fast and exact paths); the
+// admission schedulers run the step engine and additionally exercise the
+// steal/admission passthrough.
+INSTANTIATE_TEST_SUITE_P(Schedulers, SpillTraceCrossCheck,
+                         ::testing::Values("fifo", "fifo-exact", "bwf",
+                                           "admit-first", "steal-16-first"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+// Unit-level merge semantics: back-to-back slices of the same (job, node)
+// on one processor fold into one window; a gap, an occupant change, or a
+// different processor closes it.
+TEST(SpillTraceTest, SingleWindowMergePerProcessor) {
+  CollectingSink sink;
+  sim::Trace trace(&sink);
+  trace.add_interval({7, 0, 0, 0.0, 1.0});
+  trace.add_interval({7, 0, 0, 1.0, 2.5});   // extends: same job/node, abuts
+  EXPECT_TRUE(sink.intervals.empty());       // window still open
+  trace.add_interval({7, 1, 0, 2.5, 3.0});   // node changed: closes window
+  ASSERT_EQ(sink.intervals.size(), 1u);
+  EXPECT_EQ(sink.intervals[0].start, 0.0);
+  EXPECT_EQ(sink.intervals[0].end, 2.5);
+  trace.add_interval({9, 0, 1, 0.0, 4.0});   // other proc: independent window
+  EXPECT_EQ(sink.intervals.size(), 1u);
+  trace.coalesce();                          // drains both open windows
+  ASSERT_EQ(sink.intervals.size(), 3u);
+  EXPECT_EQ(sink.flushes, 1);
+  // Drain order is processor order.
+  EXPECT_EQ(sink.intervals[1].proc, 0u);
+  EXPECT_EQ(sink.intervals[1].end, 3.0);
+  EXPECT_EQ(sink.intervals[2].proc, 1u);
+}
+
+// FileTraceSink: counters match what was emitted, and the %.17g doubles
+// round-trip bit-exactly through the text file.
+TEST(SpillTraceTest, FileTraceSinkWritesRecoverableRecords) {
+  const std::string path = ::testing::TempDir() + "/spill_trace_test.txt";
+  const auto dist = workload::bing_distribution();
+  const workload::GeneratorConfig cfg = base_config(120);
+  const core::SchedulerSpec spec = core::parse_scheduler("steal-16-first");
+
+  sim::Trace in_core;
+  workload::GeneratedJobSource in_core_source(dist, cfg);
+  run_scheduler_streamed(in_core_source, spec, machine16(), nullptr,
+                         &in_core);
+
+  std::uint64_t n_intervals = 0, n_steals = 0, n_admissions = 0;
+  {
+    sim::FileTraceSink sink(path);
+    sim::Trace spill(&sink);
+    workload::GeneratedJobSource source(dist, cfg);
+    run_scheduler_streamed(source, spec, machine16(), nullptr, &spill);
+    n_intervals = sink.intervals_written();
+    n_steals = sink.steals_written();
+    n_admissions = sink.admissions_written();
+  }
+  EXPECT_EQ(n_intervals, in_core.intervals().size());
+  EXPECT_EQ(n_steals, in_core.steals().size());
+  EXPECT_EQ(n_admissions, in_core.admissions().size());
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::uint64_t seen_i = 0, seen_s = 0, seen_a = 0;
+  char line[256];
+  std::vector<sim::WorkInterval> parsed;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (line[0] == 'i') {
+      ++seen_i;
+      unsigned long long job = 0;
+      unsigned node = 0, proc = 0;
+      char s1[64], s2[64];
+      ASSERT_EQ(std::sscanf(line, "i %llu %u %u %63s %63s", &job, &node,
+                            &proc, s1, s2),
+                5);
+      parsed.push_back({static_cast<core::JobId>(job), node, proc,
+                        std::strtod(s1, nullptr), std::strtod(s2, nullptr)});
+    } else if (line[0] == 's') {
+      ++seen_s;
+    } else if (line[0] == 'a') {
+      ++seen_a;
+    } else {
+      FAIL() << "unexpected record: " << line;
+    }
+  }
+  std::fclose(f);
+  EXPECT_EQ(seen_i, n_intervals);
+  EXPECT_EQ(seen_s, n_steals);
+  EXPECT_EQ(seen_a, n_admissions);
+
+  std::stable_sort(parsed.begin(), parsed.end(),
+                   [](const sim::WorkInterval& a, const sim::WorkInterval& b) {
+                     return a.proc != b.proc ? a.proc < b.proc
+                                             : a.start < b.start;
+                   });
+  expect_same_intervals(in_core.intervals(), parsed);
+  std::remove(path.c_str());
+}
+
+TEST(SpillTraceTest, FileTraceSinkThrowsOnUnopenablePath) {
+  EXPECT_THROW(sim::FileTraceSink("/nonexistent-dir/trace.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pjsched

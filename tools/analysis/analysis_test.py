@@ -177,6 +177,29 @@ class FixtureCase(unittest.TestCase):
         self.stage("dup_formula_fail.cc", "src/sim", rename="helpers.cc")
         self.assert_clean("determinism")
 
+    def test_dup_bound_formula_fail(self):
+        # The bound formulas hoisted into sim_math.h (relaxed job length,
+        # FIFO frontier advance) are watched in the streamed-bounds
+        # pipeline: re-inlining them there silently forks the rounding from
+        # OptLowerBound's.
+        self.stage("dup_bound_formula_fail.cc", "src/core",
+                   rename="bounds.cc")
+        self.assert_rule_fires("determinism", "dup-fp-formula",
+                               min_findings=2)
+
+    def test_dup_bound_formula_scope_in_opt_bound(self):
+        self.stage("dup_bound_formula_fail.cc", "src/sched",
+                   rename="opt_bound.cc")
+        self.assert_rule_fires("determinism", "dup-fp-formula",
+                               min_findings=2)
+
+    def test_bound_formula_scope_excludes_other_files(self):
+        # Outside the watched bound/engine files the same expressions are
+        # legitimate local math.
+        self.stage("dup_bound_formula_fail.cc", "src/sched",
+                   rename="fifo.cc")
+        self.assert_clean("determinism")
+
     def test_unordered_iteration_fail(self):
         self.stage("unordered_iter_fail.cc", "src/sched")
         self.assert_rule_fires("determinism", "unordered-iteration")

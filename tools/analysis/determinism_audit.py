@@ -34,30 +34,52 @@ import re
 from compile_db import ALLOW_WINDOW, Finding, command_for, has_marker
 
 #: Watchlist of FP formulas that must exist at exactly one program point.
-#: Each entry: (rule-suffix, regex, home file, files in scope).  Scope is
-#: deliberately tight — these match the engines' flow/clock math, not
-#: every division in the tree.
+#: Each entry: (rule-suffix, regex, description, files in scope).  Scope is
+#: deliberately tight per pattern — the engine clock math is watched in the
+#: engine TUs, while the lower-bound formulas hoisted into sim_math.h
+#: (relaxed job length, FIFO frontier advance) are additionally watched in
+#: the analytic users whose bit-identity depends on them: the streamed
+#: bounds pipeline and the OPT comparator.  Nothing matches every division
+#: in the tree.
 ENGINE_FILES = ("src/sim/event_engine.cc", "src/sim/event_engine.h",
                 "src/sim/step_engine.cc", "src/sim/step_engine.h")
+#: Files where the shared bound formulas must never be re-inlined: the
+#: streamed bounds' opt_sim is only bitwise-equal to OptLowerBound's max
+#: flow because both call the same two sim_math.h helpers.
+BOUND_FILES = ENGINE_FILES + ("src/core/bounds.cc", "src/sched/opt_bound.cc")
 HOME = "src/sim/sim_math.h"
 
 FORMULA_PATTERNS = [
     ("time-to-step",
      re.compile(r"\bceil\s*\([^;)]*\*\s*s\w*\b[^;)]*\)"),
-     "time -> step index rounding (`ceil(t * s - eps)`)"),
+     "time -> step index rounding (`ceil(t * s - eps)`)",
+     ENGINE_FILES),
     ("completion-dt",
      re.compile(r"-\s*W_?\w*\s*\)\s*/\s*s_?\w*\b"),
-     "remaining-work completion delta (`(coord - W) / s`)"),
+     "remaining-work completion delta (`(coord - W) / s`)",
+     ENGINE_FILES),
     ("coord-tolerance",
      re.compile(r"\bcoord\w*(?:\[[^\]]*\])?\s*-\s*W_?\w*\s*[<>]=?"),
-     "coordinate-due tolerance compare (`coord - W <= eps`)"),
+     "coordinate-due tolerance compare (`coord - W <= eps`)",
+     ENGINE_FILES),
     ("step-to-time",
      re.compile(r"static_cast<\s*double\s*>\s*\(\s*\w+(?:\s*\+\s*1)?\s*\)"
                 r"\s*/\s*s\w*\b"),
-     "step index -> time (`double(step) / s`)"),
+     "step index -> time (`double(step) / s`)",
+     ENGINE_FILES),
     ("epsilon-literal",
      re.compile(r"\b1e-9\b"),
-     "the sim tolerance literal (use pjsched::sim::kSimEps)"),
+     "the sim tolerance literal (use pjsched::sim::kSimEps)",
+     BOUND_FILES),
+    ("relaxed-length",
+     re.compile(r"\b(?:work|W)\w*\s*/\s*\(?\s*m\b"),
+     "relaxed job length (`W / (m * s)`; use sim::relaxed_job_length)",
+     BOUND_FILES),
+    ("fifo-frontier",
+     re.compile(r"\bmax\s*\(\s*frontier\w*\s*,"),
+     "single-machine FIFO frontier advance "
+     "(`max(frontier, arrival) + p`; use sim::fifo_frontier_advance)",
+     BOUND_FILES),
 ]
 
 UNORDERED_DECL = re.compile(
@@ -117,10 +139,11 @@ def _check_fp_contract(compile_commands, root):
 
 def _check_dup_formulas(model, raw_texts):
     findings = []
-    in_scope = [f for f in ENGINE_FILES if f in model.file_code]
-    for rel in in_scope:
-        code = model.file_code[rel]
-        for rule_suffix, pat, what in FORMULA_PATTERNS:
+    for rule_suffix, pat, what, scope in FORMULA_PATTERNS:
+        for rel in scope:
+            if rel not in model.file_code:
+                continue
+            code = model.file_code[rel]
             for m in pat.finditer(code):
                 line = code.count("\n", 0, m.start()) + 1
                 rule = "dup-fp-formula"
@@ -129,8 +152,8 @@ def _check_dup_formulas(model, raw_texts):
                 findings.append(Finding(
                     rel, line, rule,
                     f"{what} written inline — this formula's only home is "
-                    f"{HOME}; call the shared inline helper so both "
-                    "engines round identically "
+                    f"{HOME}; call the shared inline helper so every "
+                    "caller rounds identically "
                     f"(matched `{m.group(0).strip()}`)"))
     return findings
 

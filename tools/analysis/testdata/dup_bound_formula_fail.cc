@@ -1,0 +1,19 @@
+// Fixture: staged as src/core/bounds.cc — the lower-bound formulas written
+// inline instead of through sim_math.h's shared helpers.  Expect
+// [dup-fp-formula] for the relaxed job length (`W / (m * s)`) and the FIFO
+// frontier advance (`max(frontier, arrival) + p`): re-inlining either
+// breaks the bitwise equality between the streamed opt_sim bound and
+// OptLowerBound's max flow.
+#include <algorithm>
+
+namespace pjsched::core {
+
+double relaxed_length_inline(double work, double m, double s) {
+  return work / (m * s);
+}
+
+double frontier_advance_inline(double frontier, double arrival, double p) {
+  return std::max(frontier, arrival) + p;
+}
+
+}  // namespace pjsched::core

@@ -8,10 +8,14 @@ Usage:
 <scaling-json> is google-benchmark JSON from e.g.
 
     bench_sim_engine \
-        '--benchmark_filter=Scaling(Event|Step)EngineStreamed/(10000|100000)/' \
+        '--benchmark_filter=Scaling(EventEngine|StepEngine|Bounds)Streamed/(10000|100000)/' \
         --benchmark_out=<file> --benchmark_out_format=json
 
-Asserts, per engine, over every streamed point found:
+Covers the engine curves (BM_Scaling{Event,Step}EngineStreamed) and the
+streamed lower-bound pass (BM_ScalingBoundsStreamed), which holds O(1)
+state and must therefore satisfy the same budgets with even more headroom.
+
+Asserts, per curve, over every streamed point found:
 
   1. peak RSS stays under an absolute ceiling (default 192 MB — an order of
      magnitude above the ~5 MB a healthy streamed run needs at any decade,
@@ -32,7 +36,8 @@ import re
 import sys
 
 _NAME = re.compile(
-    r"^BM_Scaling(Event|Step)EngineStreamed/(\d+)(?:/iterations:\d+)?$")
+    r"^BM_Scaling(EventEngine|StepEngine|Bounds)Streamed/(\d+)"
+    r"(?:/iterations:\d+)?$")
 
 
 def main(argv):
@@ -68,7 +73,7 @@ def main(argv):
         curves.setdefault(m.group(1), {})[int(m.group(2))] = bench
 
     if not curves:
-        sys.exit("check_scaling_smoke.py: no BM_Scaling*EngineStreamed "
+        sys.exit("check_scaling_smoke.py: no BM_Scaling*Streamed "
                  f"benchmarks in {args[0]}")
 
     failures = []
@@ -77,7 +82,7 @@ def main(argv):
             rss_mb = bench.get("peak_rss_bytes", 0) / (1024.0 * 1024.0)
             allocs = bench.get("allocs_per_job")
             live = bench.get("peak_live_jobs")
-            print(f"{engine} engine, {jobs:>9,} jobs: "
+            print(f"{engine} streamed, {jobs:>9,} jobs: "
                   f"peak RSS {rss_mb:7.1f} MB, "
                   f"allocs/job {allocs if allocs is not None else '?'}, "
                   f"peak live {live if live is not None else '?'}")

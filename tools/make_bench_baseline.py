@@ -19,7 +19,11 @@ speedups are reported against it), and --service is the matching
 distilled into a `scaling` section (the 10^4 -> 10^6-job decade curves:
 jobs/sec, peak RSS, allocations/job per decade and engine, streamed vs
 materialized, plus the materialized/streamed RSS ratio — the asymptotic
-memory gate), and --ingest is the `bench_ingest --benchmark_filter=Ingest`
+memory gate) and a `bounds` section (the BM_ScalingBounds* decade curves
+for the one-pass streamed lower-bound pipeline — held to the same O(live
+jobs) RSS budget, with a loud warning on breach — plus the PackedDag vs
+ReadyTracker inner-loop speedup from BM_BaselinePackedDagInnerLoop*),
+and --ingest is the `bench_ingest --benchmark_filter=Ingest`
 output, distilled into an `ingest` section (parse+admit jobs/sec with the
 alloc-probe allocations/job, the per-line comparison, and the socket-path
 io-threads x connections grid with its single-loop -> sharded scaling
@@ -235,6 +239,95 @@ def _scaling_section(scaling_path, warnings):
     return section
 
 
+_BOUNDS_NAME = re.compile(
+    r"^BM_ScalingBounds(Streamed|Materialized)/(\d+)(?:/iterations:\d+)?$")
+
+
+def _bounds_section(scaling_path, sim_by_name, warnings):
+    """The streamed lower-bound pipeline + PackedDag inner-loop snapshot.
+
+    Decade curves come from the --scaling json (BM_ScalingBounds*); the
+    PackedDag-vs-ReadyTracker micro-bench pair comes from the main sim json
+    (BM_BaselinePackedDagInnerLoop*).  The streamed bound pass holds O(1)
+    state — not even O(live jobs) — so its peak RSS is held to the same
+    flatness budget as the engines, with the same loud warning on breach.
+    """
+    _, by_name = _load_report(scaling_path)
+    modes = {}  # mode -> {jobs: point}
+    for name, bench in by_name.items():
+        m = _BOUNDS_NAME.match(name)
+        if m is None:
+            continue
+        point = {
+            "jobs_per_sec": bench.get("items_per_second"),
+            "peak_rss_bytes": bench.get("peak_rss_bytes"),
+            "wall_seconds": _wall_seconds(bench),
+        }
+        if "allocs_per_job" in bench:
+            point["allocs_per_job"] = bench["allocs_per_job"]
+        if bench.get("error_occurred"):
+            warnings.append(
+                f"BOUNDS BENCH FAILED: {name}: "
+                f"{bench.get('error_message', 'unknown error')}")
+        modes.setdefault(m.group(1).lower(), {})[int(m.group(2))] = point
+
+    section = {
+        "workload": "streamed bing jobs @ 1000 qps, m=16, one-pass "
+                    "stream_lower_bounds vs materialized "
+                    "combined/weighted_combined on generate_instance "
+                    "(bench/bench_sim_engine.cc BM_ScalingBounds*)",
+    }
+    for mode, points in sorted(modes.items()):
+        section[mode] = {str(jobs): point
+                         for jobs, point in sorted(points.items())}
+    streamed = modes.get("streamed", {})
+    materialized = modes.get("materialized", {})
+    ratios = {}
+    for jobs in sorted(set(streamed) & set(materialized)):
+        srss = streamed[jobs].get("peak_rss_bytes")
+        mrss = materialized[jobs].get("peak_rss_bytes")
+        if srss and mrss:
+            ratios[str(jobs)] = mrss / srss
+    if ratios:
+        section["rss_ratio_materialized_over_streamed"] = ratios
+    if len(streamed) >= 2:
+        decades = sorted(streamed)
+        lo, hi = streamed[decades[0]], streamed[decades[-1]]
+        if lo.get("peak_rss_bytes") and hi.get("peak_rss_bytes"):
+            growth = hi["peak_rss_bytes"] / lo["peak_rss_bytes"]
+            section["streamed_rss_growth_smallest_to_largest"] = growth
+            if growth > _SCALING_RSS_GROWTH_LIMIT:
+                warnings.append(
+                    f"O(live jobs) BUDGET EXCEEDED (bounds): streamed "
+                    f"lower-bound peak RSS grew {growth:.1f}x from "
+                    f"{decades[0]:,} to {decades[-1]:,} jobs (limit "
+                    f"{_SCALING_RSS_GROWTH_LIMIT:.1f}x) — the one-pass "
+                    "bound pipeline is supposed to hold O(1) resident "
+                    "state; see bench/bench_sim_engine.cc "
+                    "BM_ScalingBoundsStreamed.")
+    if not modes:
+        warnings.append(f"--scaling snapshot {scaling_path} contained no "
+                        "BM_ScalingBounds* benchmarks; bounds curves empty")
+
+    packed = sim_by_name.get("BM_BaselinePackedDagInnerLoopPacked")
+    tracker = sim_by_name.get("BM_BaselinePackedDagInnerLoopTracker")
+    if packed is not None and tracker is not None:
+        section["packed_dag_inner_loop"] = {
+            "workload": "frontier drain (claim head + complete) over 256 "
+                        "generated bing DAGs per iteration, one recycled "
+                        "tracker object (the arena slot-reuse pattern)",
+            "packed_nodes_per_sec": packed["items_per_second"],
+            "tracker_nodes_per_sec": tracker["items_per_second"],
+            "speedup": packed["items_per_second"] /
+                       tracker["items_per_second"],
+        }
+    else:
+        warnings.append("BM_BaselinePackedDagInnerLoop{Packed,Tracker} "
+                        "missing from the sim snapshot; packed-DAG "
+                        "speedup omitted")
+    return section
+
+
 # The ingest hot path may allocate at most this much per job (the alloc
 # probe over parse_batch + admit_batch + pops); anything above means a
 # per-line or per-field allocation crept back in.
@@ -426,6 +519,7 @@ def main(argv):
         out["service"] = _service_section(service_path)
     if scaling_path is not None:
         out["scaling"] = _scaling_section(scaling_path, warnings)
+        out["bounds"] = _bounds_section(scaling_path, by_name, warnings)
     if ingest_path is not None:
         out["ingest"] = _ingest_section(ingest_path, warnings, num_cpus)
 
@@ -449,6 +543,9 @@ def main(argv):
         line += f", ingest {ing['parse_admit_jobs_per_sec']:,.0f} jobs/s"
         if "allocs_per_job" in ing:
             line += f" ({ing['allocs_per_job']:.2f} allocs/job)"
+    if out.get("bounds", {}).get("packed_dag_inner_loop"):
+        pd = out["bounds"]["packed_dag_inner_loop"]["speedup"]
+        line += f", packed-DAG inner loop {pd:.2f}x vs tracker"
     if out.get("scaling", {}).get("event_engine", {}).get(
             "rss_ratio_materialized_over_streamed"):
         ratios = out["scaling"]["event_engine"][
